@@ -1,0 +1,87 @@
+"""Figures 7 and 8: in-cache overhead measurements (full-size machines).
+
+Each benchmark times the steady-state simulation of one figure's versions
+on one machine and asserts the paper's ordering claims.  The unrolling
+ablation quantifies what Section 4.2's mod-removal buys.
+"""
+
+import pytest
+
+from repro.execution import simulate
+from repro.machine import ALPHA_21164, MACHINES, PENTIUM_PRO, ULTRA_2
+
+S5_SIZES = {"T": 8, "L": 48}
+PSM_SIZES = {"n0": 20, "n1": 20}
+
+
+def overhead(versions, keys, sizes, machine):
+    return {
+        k: simulate(versions[k], sizes, machine, passes=2) for k in keys
+    }
+
+
+@pytest.mark.parametrize(
+    "machine", MACHINES, ids=lambda m: m.name
+)
+def test_fig7_stencil_overhead(benchmark, stencil5_versions, machine):
+    keys = ("storage-optimized", "natural", "ov-interleaved", "ov")
+    results = benchmark.pedantic(
+        overhead,
+        args=(stencil5_versions, keys, S5_SIZES, machine),
+        rounds=3,
+        iterations=1,
+    )
+    cpis = {k: r.cycles_per_iteration for k, r in results.items()}
+    # "similar performance" in-cache (the paper's negligible-overhead claim)
+    assert max(cpis.values()) <= 2.5 * min(cpis.values())
+    # OV-mapped within 25% of the leanest hand-optimized indexing
+    assert cpis["ov"] <= 1.25 * cpis["storage-optimized"]
+    # memory stalls negligible at in-cache sizes
+    assert all(
+        r.stall_cycles_per_iteration <= 0.25 * r.cycles_per_iteration
+        for r in results.values()
+    )
+
+
+@pytest.mark.parametrize(
+    "machine", MACHINES, ids=lambda m: m.name
+)
+def test_fig8_psm_overhead(benchmark, psm_versions, machine):
+    keys = ("storage-optimized", "natural", "ov")
+    results = benchmark.pedantic(
+        overhead,
+        args=(psm_versions, keys, PSM_SIZES, machine),
+        rounds=3,
+        iterations=1,
+    )
+    cpis = {k: r.cycles_per_iteration for k, r in results.items()}
+    assert cpis["ov"] < cpis["natural"]
+    assert cpis["storage-optimized"] <= cpis["ov"]
+
+
+def test_ablation_mod_removal(stencil5_versions):
+    """Section 4.2's unrolling: keeping the raw mods costs real cycles."""
+    version = stencil5_versions["ov"]
+    unrolled = version.address_ops(S5_SIZES, unrolled=True)
+    raw = version.address_ops(S5_SIZES, unrolled=False)
+    assert unrolled.mods == 0
+    assert raw.mods == 6  # one per reference (5 loads + 1 store)
+    cost_u = PENTIUM_PRO.cost.iteration_cost(9, 0, 0, 5, 1, unrolled)
+    cost_r = PENTIUM_PRO.cost.iteration_cost(9, 0, 0, 5, 1, raw)
+    # mod-removal saves more than half the addressing cost
+    assert cost_u.addressing < 0.5 * cost_r.addressing
+
+
+def test_ablation_branch_cost_explains_machines(psm_versions):
+    """The in-order machines' PSM cycles are branch-dominated; the
+    out-of-order Pentium Pro's are not — the paper's Section 5.2
+    conjecture, checked against the model's own breakdown."""
+    r_ppro = simulate(psm_versions["ov"], PSM_SIZES, PENTIUM_PRO, passes=2)
+    r_ultra = simulate(psm_versions["ov"], PSM_SIZES, ULTRA_2, passes=2)
+    r_alpha = simulate(psm_versions["ov"], PSM_SIZES, ALPHA_21164, passes=2)
+    branch_ppro = 3 * PENTIUM_PRO.cost.branch_cycles
+    branch_ultra = 3 * ULTRA_2.cost.branch_cycles
+    branch_alpha = 3 * ALPHA_21164.cost.branch_cycles
+    assert branch_ultra > 0.5 * r_ultra.cycles_per_iteration
+    assert branch_alpha > 0.5 * r_alpha.cycles_per_iteration
+    assert branch_ppro < 0.5 * r_ppro.cycles_per_iteration

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Code generation tour: what the compiler would actually emit.
+
+Prints, for the 5-point stencil:
+
+1. the natural C loop;
+2. the OV-mapped C loop (note the one-dimensional buffer and the mapped
+   subscripts, exactly like the paper's Figure 1(b) rewrite);
+3. the tiled OV-mapped C loop (skewed by x' = x + 2t, tile loops outside);
+4. the Python twin with the modterm removed by unrolling (Section 4.2) —
+   then executes that generated Python and checks it against the
+   interpreter, so what you read is what runs.
+
+Run:  python examples/codegen_tour.py
+"""
+
+import numpy as np
+
+from repro.codegen import build_runner, generate_c, generate_python
+from repro.codes import make_stencil5
+from repro.execution import execute
+
+SIZES = {"T": 4, "L": 12, "tile_h": 2, "tile_w": 6}
+
+
+def show(title: str, source: str) -> None:
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+    print(source)
+
+
+def main() -> None:
+    versions = make_stencil5()
+
+    show("1. natural C", generate_c(versions["natural"], SIZES))
+    show("2. OV-mapped C (UOV (2,0), consecutive)",
+         generate_c(versions["ov"], SIZES))
+    show("3. tiled OV-mapped C (skew x' = x + 2t)",
+         generate_c(versions["ov-tiled"], SIZES))
+
+    unrolled = generate_python(versions["ov"], SIZES, unroll_mod=True)
+    show("4. OV-mapped Python, mod removed by unrolling", unrolled)
+
+    # run the generated source and referee it against the interpreter
+    run = build_runner(unrolled)
+    code = versions["ov"].code
+    ctx = code.make_context(SIZES, 0)
+    storage = np.zeros(versions["ov"].mapping(SIZES).size)
+    run(storage, ctx, code.combine, code.input_value)
+    reference = execute(versions["ov"], SIZES)
+    assert np.array_equal(storage, reference.storage)
+    print("the generated (unrolled) code reproduced the interpreter's")
+    print("storage buffer bit for bit — transformation verified.")
+
+
+if __name__ == "__main__":
+    main()

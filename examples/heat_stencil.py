@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""The 5-point stencil (Section 5) on a simulated Pentium Pro.
+
+Reproduces the core of Figures 7 and 9 at laptop scale: the in-cache
+overhead of each storage mapping, then the scaling behaviour where tiling
+the OV-mapped code keeps cycles/iteration flat while the untiled versions
+degrade and the natural version eventually pages.
+
+Run:  python examples/heat_stencil.py            (about a minute)
+      python examples/heat_stencil.py --quick    (a few seconds)
+"""
+
+import argparse
+
+from repro.codes import make_stencil5
+from repro.execution import simulate
+from repro.machine import PENTIUM_PRO
+
+KEYS = (
+    "storage-optimized",
+    "natural",
+    "natural-tiled",
+    "ov",
+    "ov-tiled",
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    args = parser.parse_args()
+
+    versions = make_stencil5()
+
+    # ---- overhead at an in-cache size, full-size machine ----------------
+    print("in-cache overhead (cycles/iteration, steady state):")
+    sizes = {"T": 8, "L": 48}
+    for key in ("storage-optimized", "natural", "ov", "ov-interleaved"):
+        r = simulate(versions[key], sizes, PENTIUM_PRO, passes=2)
+        print(
+            f"  {versions[key].label:<28s} {r.cycles_per_iteration:6.1f}  "
+            f"(storage {r.storage_elements} doubles)"
+        )
+    print()
+
+    # ---- scaling sweep on the scaled machine ------------------------------
+    machine = PENTIUM_PRO.scaled(32)
+    lengths = [256, 2048, 8192] if args.quick else [256, 1024, 4096, 16384, 40960]
+    print(
+        f"scaling sweep on {machine.name} "
+        f"(caches {machine.l1.size_bytes}B/{machine.l2.size_bytes}B, "
+        f"memory {machine.memory_bytes // 1024}KB):"
+    )
+    header = f"{'L':>8} " + "".join(f"{k:>18}" for k in KEYS)
+    print(header)
+    for length in lengths:
+        sizes = {"T": 16, "L": length, "tile_h": 16, "tile_w": 32}
+        row = [f"{length:>8}"]
+        for key in KEYS:
+            r = simulate(versions[key], sizes, machine)
+            row.append(f"{r.cycles_per_iteration:>18.1f}")
+        print("".join(row))
+    print()
+    print(
+        "read it like Figure 9: the tiled OV-mapped line stays flat; the\n"
+        "natural lines skyrocket when T*L*8 bytes exceed simulated memory\n"
+        "— and tiling does not rescue them, because a natural tile touches\n"
+        "each location at most twice."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Protein string matching (Section 5) with every storage treatment.
+
+Scores two random amino-acid strings with the Smith-Waterman-style
+recurrence the paper benchmarks, under four storage mappings — including
+the paper's published UOV ``(2,2)`` and the *optimal* UOV ``(1,1)`` that
+the branch-and-bound search finds (halving the OV-mapped footprint) —
+and shows the machine-dependent tiling story of Figures 12-14: tiling
+wins on the memory-bound Pentium Pro model and buys nothing on the
+branch-bound Ultra 2 model.
+
+Run:  python examples/protein_matching.py
+"""
+
+from repro.codes import make_psm
+from repro.core import Stencil, find_optimal_uov
+from repro.execution import execute, simulate
+from repro.machine import PENTIUM_PRO, ULTRA_2
+
+
+def main() -> None:
+    versions = make_psm()
+    sizes = {"n0": 48, "n1": 64}
+
+    # ---- the alignment itself -------------------------------------------
+    result = execute(versions["ov-optimal"], sizes, seed=42)
+    scores = result.output_values()
+    print(
+        f"aligned two strings of lengths {sizes['n0']} and {sizes['n1']}: "
+        f"similarity score {scores[-1]:.0f}"
+    )
+    print()
+
+    # ---- storage accounting (Table 2) ---------------------------------------
+    print("temporary storage (doubles):")
+    for key in ("natural", "ov", "ov-optimal", "storage-optimized"):
+        v = versions[key]
+        note = f"  [{v.notes}]" if v.notes else ""
+        print(f"  {v.label:<30s} {v.storage(sizes):>6}{note}")
+    print()
+
+    # ---- the search behind ov-optimal ----------------------------------
+    stencil = Stencil([(1, 1), (1, 0), (0, 1)])
+    search = find_optimal_uov(stencil)
+    print(
+        f"UOV search over the PSM stencil: initial {stencil.initial_uov} "
+        f"(the paper's choice), optimal {search.ov} "
+        f"({search.nodes_visited} nodes)"
+    )
+    print()
+
+    # ---- Figures 12-14 in one line per machine -----------------------------
+    big = {"n0": 384, "n1": 384}
+    for machine in (PENTIUM_PRO.scaled(32), ULTRA_2.scaled(32)):
+        untiled = simulate(versions["ov"], big, machine)
+        tiled = simulate(versions["ov-tiled"], big, machine)
+        delta = (
+            (untiled.cycles_per_iteration - tiled.cycles_per_iteration)
+            / untiled.cycles_per_iteration
+            * 100
+        )
+        print(
+            f"{machine.name:<18s} OV untiled "
+            f"{untiled.cycles_per_iteration:6.1f} cyc/iter, tiled "
+            f"{tiled.cycles_per_iteration:6.1f}  (tiling gains {delta:+.0f}%)"
+        )
+    print()
+    print(
+        "the Pentium Pro model is memory-bound so tiling helps; the\n"
+        "in-order Ultra 2 model spends its cycles in the compare/branch\n"
+        "ladder, so tiling cannot help — the paper's Section 5.2 finding."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""Program analyses (Section 2 of the paper).
+
+- :mod:`repro.analysis.dependence` — value-based dependence analysis for
+  uniform references: extracts the constant-distance stencil.
+- :mod:`repro.analysis.regions` — array region analysis: which elements a
+  loop imports, exports, and uses as temporaries.
+- :mod:`repro.analysis.legality` — is a schedule legal for a stencil; is a
+  loop in the class the UOV technique handles.
+- :mod:`repro.analysis.liveness` — dynamic ground truth: is a *storage
+  mapping* legal under a concrete schedule (no value overwritten while
+  still needed).
+"""
+
+from repro.analysis.dependence import (
+    consumer_distances,
+    extract_stencil,
+    flow_distances,
+)
+from repro.analysis.legality import (
+    check_uov_applicability,
+    is_schedule_legal,
+)
+from repro.analysis.liveness import is_mapping_legal
+from repro.analysis.regions import RegionSummary, analyse_regions
+
+__all__ = [
+    "extract_stencil",
+    "consumer_distances",
+    "flow_distances",
+    "analyse_regions",
+    "RegionSummary",
+    "is_schedule_legal",
+    "check_uov_applicability",
+    "is_mapping_legal",
+]

@@ -1,0 +1,123 @@
+"""Value-based dependence analysis for uniform references.
+
+For the regular loops the paper handles (Section 2), every reference is
+*uniform*: subscript ``k`` is ``index_k + c_k``.  Then the iteration that
+wrote the value read by ``A[q + c_r]`` at iteration ``q`` is exactly
+``q + c_r - c_w`` (where ``c_w`` is the write offset): each element is
+written at most once inside the loop, so the last-write tree degenerates to
+a single constant distance per read — this is where the general machinery
+of Feautrier [13] / Maydan et al. [20] / Pugh & Wonnacott [21] collapses to
+the constant-distance stencil the rest of the paper builds on.
+
+Distances with non-positive lexicographic sign mean the read uses a value
+from the loop's *inputs* (written before the loop), not a loop-carried
+value; they contribute no stencil vector.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.stencil import Stencil
+from repro.ir.program import Program
+from repro.ir.stmt import Assignment
+from repro.util.vectors import IntVector, is_lex_positive, sub
+
+__all__ = ["flow_distances", "extract_stencil", "UniformityError"]
+
+
+class UniformityError(ValueError):
+    """A reference does not have the uniform (index + constant) shape."""
+
+
+def flow_distances(
+    stmt: Assignment, indices: Sequence[str]
+) -> list[IntVector]:
+    """All flow (value) dependence distances of one assignment.
+
+    For each read of the written array, the distance from the producing
+    iteration to the consuming one is ``c_w - c_r`` (write offset minus
+    read offset): iteration ``p`` writes element ``p + c_w``, which
+    iteration ``q = p + c_w - c_r`` reads as ``q + c_r``.
+
+    Lexicographically non-positive distances are reads of pre-loop values
+    and are dropped.  A zero distance would mean the statement reads the
+    value it writes in the same iteration — rejected as ill-formed.
+    """
+    try:
+        write_offset = stmt.target.offset_from(indices)
+    except ValueError as exc:
+        raise UniformityError(str(exc)) from exc
+    distances: list[IntVector] = []
+    for ref in stmt.self_sources():
+        try:
+            read_offset = ref.offset_from(indices)
+        except ValueError as exc:
+            raise UniformityError(str(exc)) from exc
+        d = sub(write_offset, read_offset)
+        if all(c == 0 for c in d):
+            raise ValueError(
+                f"statement reads the element it writes: {stmt}"
+            )
+        if is_lex_positive(d):
+            distances.append(d)
+    return distances
+
+
+def consumer_distances(
+    program: Program, stmt: Assignment
+) -> list[IntVector]:
+    """All flow distances of *consumers* of one statement's values.
+
+    The reduced ISG of Section 3 contains "just the edges that correspond
+    to values produced by the assignment under consideration" — which
+    includes reads issued by *other* statements of the loop body.  For a
+    multi-assignment loop this is the stencil the statement's storage
+    decision must respect: a location may be reused only after every
+    consumer, whichever statement it belongs to, has executed.
+
+    Zero distances (a later statement of the same iteration reading the
+    value) are dropped after checking that the consumer statement really
+    follows the producer in body order; a *preceding* statement reading
+    the value written later in the same iteration would be a use of an
+    older generation — not a uniform value flow — and is rejected.
+    """
+    indices = program.loop.indices
+    write_offset = stmt.target.offset_from(indices)
+    writer_position = program.body.index(stmt)
+    distances: list[IntVector] = []
+    for position, consumer in enumerate(program.body):
+        for ref in consumer.sources:
+            if ref.array != stmt.target.array:
+                continue
+            d = sub(write_offset, ref.offset_from(indices))
+            if all(c == 0 for c in d):
+                if position <= writer_position:
+                    raise ValueError(
+                        f"statement {consumer} reads {ref} before "
+                        f"{stmt} writes it in the same iteration"
+                    )
+                continue  # same-iteration read: ordered by body position
+            if is_lex_positive(d):
+                distances.append(d)
+    return distances
+
+
+def extract_stencil(
+    program: Program, stmt: Assignment | None = None
+) -> Stencil:
+    """The reduced-ISG stencil of one assignment (Section 3).
+
+    Considers only the edges produced by the chosen assignment — the
+    paper's *reduced ISG*.  Raises ``ValueError`` when the statement
+    carries no loop-carried value dependence at all (then there is nothing
+    to remap: every value is consumed from inputs only).
+    """
+    if stmt is None:
+        stmt = program.single_statement
+    distances = flow_distances(stmt, program.loop.indices)
+    if not distances:
+        raise ValueError(
+            f"assignment {stmt} has no loop-carried value dependences"
+        )
+    return Stencil(distances)

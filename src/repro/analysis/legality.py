@@ -1,0 +1,129 @@
+"""Legality checks: schedules against stencils, programs against the
+UOV technique's applicability conditions.
+
+A schedule (a total order on the iteration points) is *legal* when every
+value dependence is respected: for each point ``q`` and stencil vector
+``v``, the producer ``q - v`` (if inside the ISG) executes before ``q``.
+Storage-related dependences are deliberately **not** consulted here — the
+whole point of the UOV construction is that the reuse it introduces is
+implied by the value dependences, so checking values alone suffices for
+OV-mapped code, while storage-optimized code must additionally pass the
+mapping-level check in :mod:`repro.analysis.liveness`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.analysis.dependence import extract_stencil, flow_distances
+from repro.core.stencil import Stencil
+from repro.ir.program import Program
+from repro.util.vectors import as_vector, sub
+
+__all__ = ["is_schedule_legal", "check_uov_applicability", "ApplicabilityReport"]
+
+
+def is_schedule_legal(
+    order: Iterable[Sequence[int]],
+    stencil: Stencil,
+) -> bool:
+    """Does the execution order respect every value dependence?
+
+    ``order`` must enumerate exactly the iteration points of the (reduced)
+    ISG.  Points whose producer lies outside the enumerated set read loop
+    inputs and constrain nothing.
+    """
+    points = [as_vector(p) for p in order]
+    position = {p: t for t, p in enumerate(points)}
+    if len(position) != len(points):
+        raise ValueError("schedule visits a point twice")
+    for q in points:
+        tq = position[q]
+        for v in stencil.vectors:
+            p = sub(q, v)
+            tp = position.get(p)
+            if tp is not None and tp >= tq:
+                return False
+    return True
+
+
+class ApplicabilityReport:
+    """Outcome of checking a program against the technique's assumptions."""
+
+    def __init__(self) -> None:
+        self.ok = True
+        self.problems: list[str] = []
+        self.stencil: Stencil | None = None
+
+    def fail(self, reason: str) -> None:
+        self.ok = False
+        self.problems.append(reason)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def __str__(self) -> str:
+        if self.ok:
+            return f"applicable (stencil {self.stencil})"
+        return "not applicable: " + "; ".join(self.problems)
+
+
+def check_uov_applicability(
+    program: Program,
+    sizes: Mapping[str, int] | None = None,
+) -> ApplicabilityReport:
+    """Verify the Section 2 preconditions for OV-based storage mapping.
+
+    Checks, in the order the paper introduces them:
+
+    1. the loop is a perfect rectangular nest (by construction of
+       :class:`~repro.ir.loop.LoopNest`, re-validated here);
+    2. every reference is uniform, so dependences have constant distance;
+    3. the written array carries loop-carried value dependences — a
+       regular stencil exists;
+    4. the values produced are temporaries (the written array is not
+       declared fully live-out), established by array region analysis when
+       concrete sizes are supplied.
+    """
+    report = ApplicabilityReport()
+    indices = program.loop.indices
+
+    for stmt in program.body:
+        refs = [stmt.target, *stmt.sources]
+        for ref in refs:
+            if ref.array == stmt.target.array and not ref.is_uniform_in(indices):
+                report.fail(
+                    f"reference {ref} is not uniform in {indices}; "
+                    "dependence distances would not be constant"
+                )
+    if not report.ok:
+        return report
+
+    try:
+        stmt = program.single_statement
+    except ValueError:
+        stmt = program.body[0]
+    distances = flow_distances(stmt, indices)
+    if not distances:
+        report.fail(
+            f"assignment {stmt} produces no loop-carried values; "
+            "there is no storage to remap"
+        )
+        return report
+    report.stencil = extract_stencil(program, stmt)
+
+    target_decl = program.array(stmt.target.array)
+    if target_decl.live_out:
+        report.fail(
+            f"array {target_decl.name!r} is declared fully live-out; "
+            "its values are not temporaries"
+        )
+
+    if sizes is not None:
+        from repro.analysis.regions import analyse_regions
+
+        summaries = analyse_regions(program, sizes)
+        summary = summaries[stmt.target.array]
+        if summary.written is None:
+            report.fail("region analysis found no written region")
+    return report

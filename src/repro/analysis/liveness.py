@@ -1,0 +1,106 @@
+"""Dynamic mapping legality: the semantic ground truth.
+
+``is_mapping_legal`` simulates one execution order against one storage
+mapping and reports whether any location is overwritten while the value it
+holds still has pending readers.  This is the operational meaning of the
+paper's storage-related dependences:
+
+- a **universal** occupancy vector's mapping passes for *every* legal
+  schedule (that is the theorem the algebraic test certifies);
+- a plain (schedule-specific) occupancy vector or a rolling buffer passes
+  for the schedule it was built for and generally fails for others —
+  tiling in particular, which is exactly why the paper's
+  "storage optimized" versions cannot be tiled.
+
+The checker is deliberately independent of all the algebra in
+:mod:`repro.core`: the property-based tests pit the two against each other.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.stencil import Stencil
+from repro.mapping.base import StorageMapping
+from repro.util.vectors import IntVector, add, as_vector, sub
+
+__all__ = ["is_mapping_legal", "MappingViolation", "find_mapping_violation"]
+
+
+class MappingViolation:
+    """Evidence that a mapping breaks a schedule: who clobbered whom."""
+
+    def __init__(
+        self,
+        writer: IntVector,
+        victim: IntVector,
+        pending_reader: IntVector | None,
+        location: int,
+    ):
+        self.writer = writer
+        self.victim = victim
+        self.pending_reader = pending_reader
+        self.location = location
+
+    def __str__(self) -> str:
+        if self.pending_reader is None:
+            return (
+                f"iteration {self.writer} overwrites location "
+                f"{self.location} before producer {self.victim} ran"
+            )
+        return (
+            f"iteration {self.writer} overwrites location {self.location} "
+            f"holding the value of {self.victim}, still needed by "
+            f"{self.pending_reader}"
+        )
+
+
+def find_mapping_violation(
+    mapping: StorageMapping,
+    stencil: Stencil,
+    order: Iterable[Sequence[int]],
+) -> MappingViolation | None:
+    """First liveness violation of ``mapping`` under ``order``, or None.
+
+    ``order`` enumerates the reduced ISG's points in execution sequence.
+    For every executing iteration ``q`` we check the location ``SM(q)``:
+    if it currently holds the value of some iteration ``p``, then every
+    consumer ``p + v`` inside the ISG must already have executed, and ``p``
+    itself must have executed before ``q`` (a value may not be displaced
+    before it exists — that would be the use-def/def-def storage dependence
+    turned *backwards*).
+    """
+    points = [as_vector(p) for p in order]
+    position = {p: t for t, p in enumerate(points)}
+    if len(position) != len(points):
+        raise ValueError("schedule visits a point twice")
+    point_set = position.keys()
+    resident: dict[int, IntVector] = {}
+
+    executed: set[IntVector] = set()
+    for q in points:
+        loc = mapping(q)
+        victim = resident.get(loc)
+        if victim is not None:
+            for v in stencil.vectors:
+                consumer = add(victim, v)
+                # Reads precede the write within one iteration, so q itself
+                # counts as an already-satisfied consumer (this is exactly
+                # the "once q has consumed its inputs" clause of the DEAD
+                # set definition).
+                if consumer == q:
+                    continue
+                if consumer in point_set and consumer not in executed:
+                    return MappingViolation(q, victim, consumer, loc)
+        resident[loc] = q
+        executed.add(q)
+    return None
+
+
+def is_mapping_legal(
+    mapping: StorageMapping,
+    stencil: Stencil,
+    order: Iterable[Sequence[int]],
+) -> bool:
+    """True when no location is clobbered while its value is still live."""
+    return find_mapping_violation(mapping, stencil, order) is None

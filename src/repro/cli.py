@@ -1,0 +1,201 @@
+"""Command-line interface: ``repro-uov`` (or ``python -m repro``).
+
+Subcommands:
+
+- ``find`` — search for the optimal UOV of a stencil, optionally with
+  compile-time ISG bounds (the Figure 3 scenario)::
+
+      repro-uov find --stencil "1,0;0,1;1,1"
+      repro-uov find --stencil "1,0;1,1;1,-1" --bounds "1,1;1,6;10,9;10,4"
+
+- ``map`` — print the storage mapping (expression, size, layouts) an OV
+  induces over a rectangular ISG::
+
+      repro-uov map --ov 2,0 --box "1,0:16,63"
+
+- ``codegen`` — emit the Python or C source of a benchmark code version::
+
+      repro-uov codegen stencil5 ov-tiled --sizes T=8,L=64 --lang c
+
+- ``common`` — find a UOV shared by several loops' stencils (Section 7
+  future work)::
+
+      repro-uov common --stencils "1,-2;1,-1;1,0;1,1;1,2 | 1,-1;1,0;1,1"
+
+- ``experiments`` — run the paper's evaluation and write EXPERIMENTS.md::
+
+      repro-uov experiments --mode quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core import Stencil, find_optimal_uov, initial_uov
+from repro.util.polyhedron import Polytope
+
+__all__ = ["main"]
+
+
+def _parse_vectors(text: str) -> list[tuple[int, ...]]:
+    vectors = []
+    for chunk in text.split(";"):
+        chunk = chunk.strip()
+        if chunk:
+            vectors.append(tuple(int(c) for c in chunk.split(",")))
+    if not vectors:
+        raise argparse.ArgumentTypeError(f"no vectors in {text!r}")
+    return vectors
+
+
+def _parse_sizes(text: str) -> dict[str, int]:
+    sizes = {}
+    for pair in text.split(","):
+        name, _, value = pair.partition("=")
+        sizes[name.strip()] = int(value)
+    return sizes
+
+
+def _cmd_find(args) -> int:
+    stencil = Stencil(_parse_vectors(args.stencil))
+    isg = Polytope(_parse_vectors(args.bounds)) if args.bounds else None
+    print(f"stencil:     {list(stencil.vectors)}")
+    print(f"initial UOV: {initial_uov(stencil)} (sum of dependences)")
+    result = find_optimal_uov(stencil, isg=isg, max_nodes=args.max_nodes)
+    print(f"search:      {result}")
+    if isg is not None:
+        from repro.core import storage_for_ov
+
+        print(
+            f"storage:     {storage_for_ov(result.ov, isg)} locations "
+            f"over the given ISG"
+        )
+    return 0
+
+
+def _cmd_map(args) -> int:
+    from repro.mapping import OVMapping2D, OVMappingND
+
+    ov = tuple(int(c) for c in args.ov.split(","))
+    lower_text, _, upper_text = args.box.partition(":")
+    lower = tuple(int(c) for c in lower_text.split(","))
+    upper = tuple(int(c) for c in upper_text.split(","))
+    isg = Polytope.from_box(lower, upper)
+    names = [f"q{k}" for k in range(len(ov))]
+    for layout in ("interleaved", "consecutive"):
+        cls = OVMapping2D if len(ov) == 2 else OVMappingND
+        mapping = cls(ov, isg, layout=layout)
+        expr = mapping.expression(names)
+        print(
+            f"{layout:>12}: SM({', '.join(names)}) = {expr.to_python()}   "
+            f"[{mapping.size} locations, ops {expr.op_counts()}]"
+        )
+    return 0
+
+
+def _cmd_codegen(args) -> int:
+    from repro.codes import make_jacobi, make_psm, make_simple2d, make_stencil5
+
+    makers = {
+        "stencil5": make_stencil5,
+        "psm": make_psm,
+        "simple2d": make_simple2d,
+        "jacobi": make_jacobi,
+    }
+    if args.code not in makers:
+        print(f"unknown code {args.code!r}; one of {sorted(makers)}")
+        return 2
+    versions = makers[args.code]()
+    if args.version not in versions:
+        print(f"unknown version {args.version!r}; one of {sorted(versions)}")
+        return 2
+    version = versions[args.version]
+    sizes = _parse_sizes(args.sizes)
+    if args.lang == "c":
+        from repro.codegen import generate_c
+
+        print(generate_c(version, sizes))
+    else:
+        from repro.codegen import generate_python
+
+        print(generate_python(version, sizes, unroll_mod=args.unroll))
+    return 0
+
+
+def _cmd_common(args) -> int:
+    from repro.core import find_common_uov
+
+    stencils = [
+        Stencil(_parse_vectors(chunk))
+        for chunk in args.stencils.split("|")
+    ]
+    for k, stencil in enumerate(stencils):
+        print(f"loop {k}: stencil {list(stencil.vectors)}")
+    result = find_common_uov(stencils, max_norm2=args.max_norm2)
+    if result is None:
+        print("no common UOV exists (within the search radius)")
+        return 1
+    print(f"common UOV: {result.ov} (checked {result.nodes_visited} candidates)")
+    return 0
+
+
+def _cmd_experiments(args) -> int:
+    from repro.experiments.report import main as report_main
+
+    argv = ["--mode", args.mode, "--out", args.out]
+    return report_main(argv)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-uov",
+        description="Schedule-independent storage mapping (UOV) toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_find = sub.add_parser("find", help="search for the optimal UOV")
+    p_find.add_argument(
+        "--stencil", required=True, help='e.g. "1,0;0,1;1,1"'
+    )
+    p_find.add_argument(
+        "--bounds", default=None, help='ISG vertices, e.g. "1,1;1,6;10,9;10,4"'
+    )
+    p_find.add_argument("--max-nodes", type=int, default=None)
+    p_find.set_defaults(func=_cmd_find)
+
+    p_map = sub.add_parser("map", help="print an OV's storage mapping")
+    p_map.add_argument("--ov", required=True, help='e.g. "2,0"')
+    p_map.add_argument("--box", required=True, help='e.g. "1,0:16,63"')
+    p_map.set_defaults(func=_cmd_map)
+
+    p_gen = sub.add_parser("codegen", help="emit a version's source")
+    p_gen.add_argument("code", help="stencil5 | psm | simple2d | jacobi")
+    p_gen.add_argument("version", help="e.g. ov-tiled")
+    p_gen.add_argument("--sizes", required=True, help='e.g. "T=8,L=64"')
+    p_gen.add_argument("--lang", choices=("python", "c"), default="python")
+    p_gen.add_argument("--unroll", action="store_true")
+    p_gen.set_defaults(func=_cmd_codegen)
+
+    p_common = sub.add_parser(
+        "common", help="find a UOV shared by several loops"
+    )
+    p_common.add_argument(
+        "--stencils",
+        required=True,
+        help='stencils separated by "|", e.g. "1,0;1,1 | 1,0"',
+    )
+    p_common.add_argument("--max-norm2", type=int, default=400)
+    p_common.set_defaults(func=_cmd_common)
+
+    p_exp = sub.add_parser("experiments", help="run the paper's evaluation")
+    p_exp.add_argument("--mode", choices=("quick", "full"), default="quick")
+    p_exp.add_argument("--out", default="EXPERIMENTS.md")
+    p_exp.set_defaults(func=_cmd_experiments)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

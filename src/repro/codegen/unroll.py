@@ -1,0 +1,73 @@
+"""Mod-removal by loop unrolling (Section 4.2).
+
+A non-prime OV mapping contains ``(beta . q) mod g``.  Along the inner
+loop, ``beta . q`` changes by the constant ``beta[inner]`` per iteration,
+so the modterm cycles with period ``g / gcd(g, beta[inner])`` (usually
+``g``): unrolling the inner loop by that period turns the modterm into a
+compile-time constant in each unrolled copy.  The paper: *"In generating
+code, we remove the overhead introduced by the mod operations by applying
+loop unrolling."*
+
+This module computes the unroll period for a mapping and provides the
+per-copy constant offsets the generators substitute.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.mapping.base import StorageMapping
+
+__all__ = ["unrollable_modulus", "unroll_offsets"]
+
+
+def unrollable_modulus(mapping: StorageMapping, inner_axis: int) -> int:
+    """Unroll period that removes the mapping's modterm, or 1 if none.
+
+    Supports the OV mappings (2-D and n-D) and the rolling buffer's mod
+    is *not* unrollable this way (its modulus grows with the problem size;
+    the hand-written equivalent uses pointer rotation instead) — for it,
+    and for mod-free mappings, the function returns 1.
+    """
+    g = getattr(mapping, "gcd", 1)
+    if g <= 1:
+        return 1
+    beta = _class_functional(mapping)
+    if beta is None:
+        return 1
+    step = beta[inner_axis] % g
+    if step == 0:
+        # The modterm is constant along the inner loop: hoistable, so an
+        # "unroll" factor of 1 already removes it from the loop body.
+        return 1
+    return g // math.gcd(g, step)
+
+
+def unroll_offsets(
+    mapping: StorageMapping, inner_axis: int, start: Sequence[int]
+) -> list[int]:
+    """The modterm's value in each unrolled copy, starting at ``start``.
+
+    ``result[k]`` is the class index for the iteration ``start`` displaced
+    ``k`` steps along the inner axis — the constant the generator bakes
+    into copy ``k``'s address expression.
+    """
+    period = unrollable_modulus(mapping, inner_axis)
+    g = getattr(mapping, "gcd", 1)
+    beta = _class_functional(mapping)
+    if beta is None or g <= 1:
+        return [0] * max(1, period)
+    base = sum(b * c for b, c in zip(beta, start))
+    step = beta[inner_axis]
+    return [(base + k * step) % g for k in range(period)]
+
+
+def _class_functional(mapping: StorageMapping):
+    """The integer functional whose value mod gcd selects the storage
+    class (``beta`` for 2-D mappings, the completion's first row in n-D)."""
+    for attr in ("_beta", "_class_row"):
+        beta = getattr(mapping, attr, None)
+        if beta is not None:
+            return beta
+    return None

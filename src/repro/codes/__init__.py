@@ -1,0 +1,32 @@
+"""The paper's benchmark codes, in every storage-mapping version.
+
+Each code couples an analysable IR program with executable semantics and a
+family of *versions* — the natural (array-expanded), OV-mapped (plain and
+interleaved), and storage-optimized mappings of Section 5, each optionally
+tiled.  All versions of one code compute bit-identical results (the
+cross-version verifier in :mod:`repro.execution.verify` asserts this);
+they differ only in where values live and in what order iterations run,
+which is the entire subject of the paper.
+
+- :mod:`repro.codes.simple2d` — the running example of Figure 1.
+- :mod:`repro.codes.stencil5` — the 5-point 1-D stencil over time
+  (Section 5, Table 1, Figures 7 and 9–11).
+- :mod:`repro.codes.psm` — protein string matching
+  (Section 5, Table 2, Figures 8 and 12–14).
+- :mod:`repro.codes.jacobi` — a 3-point Jacobi extension exercise.
+"""
+
+from repro.codes.base import Code, CodeVersion
+from repro.codes.jacobi import make_jacobi
+from repro.codes.psm import make_psm
+from repro.codes.simple2d import make_simple2d
+from repro.codes.stencil5 import make_stencil5
+
+__all__ = [
+    "Code",
+    "CodeVersion",
+    "make_simple2d",
+    "make_stencil5",
+    "make_psm",
+    "make_jacobi",
+]

@@ -1,0 +1,141 @@
+"""The Code / CodeVersion abstraction shared by all benchmark codes.
+
+A :class:`Code` is one computation (the 5-point stencil, protein string
+matching, ...) with:
+
+- an IR :class:`~repro.ir.program.Program` for the analyses and the code
+  generators;
+- executable semantics (``combine``, boundary values, auxiliary tables)
+  for the interpreter and the address tracer;
+- per-iteration instruction costs for the machine model.
+
+A :class:`CodeVersion` is one (storage mapping, schedule) pair over that
+computation — "Natural", "OV-Mapped Interleaved Tiled", and so on, the
+legend entries of Figures 7–14.  Versions are constructed by each code's
+``make_*`` factory so that the storage formulas of Tables 1 and 2 are
+stated next to the mappings that realise them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.core.stencil import Stencil
+from repro.ir.program import Program
+from repro.mapping.base import OpCounts, StorageMapping
+from repro.schedule.base import Bounds, Schedule
+from repro.util.vectors import IntVector
+
+__all__ = ["Code", "CodeVersion", "Context"]
+
+#: Per-run auxiliary state (input arrays, weight tables, strings).
+Context = dict
+
+
+@dataclass(frozen=True)
+class Code:
+    """One benchmark computation, independent of storage and schedule."""
+
+    name: str
+    program: Program
+    stencil: Stencil
+    #: Source distances in the order ``combine`` expects its values — may
+    #: repeat or reorder the stencil's (sorted, deduplicated) vectors.
+    source_distances: tuple[IntVector, ...]
+    #: ``bounds(sizes)`` — the ISG box for concrete sizes.
+    bounds: Callable[[Mapping[str, int]], tuple[tuple[int, int], ...]]
+    #: ``make_context(sizes, seed)`` — inputs and tables for one run.
+    make_context: Callable[[Mapping[str, int], int], Context]
+    #: ``input_value(p, ctx)`` — value read when the producer ``p`` of a
+    #: source lies outside the ISG (a loop input).
+    input_value: Callable[[Sequence[int], Context], float]
+    #: ``input_offset(p, sizes)`` — element offset of that input in the
+    #: input buffer, for address tracing.
+    input_offset: Callable[[Sequence[int], Mapping[str, int]], int]
+    #: ``combine(values, q, ctx)`` — the statement's right-hand side.
+    combine: Callable[[Sequence[float], IntVector, Context], float]
+    #: ``extra_read_offsets(q, ctx)`` — element offsets (into the table
+    #: region) of reads that are not stencil sources: weight tables,
+    #: string characters.  Empty for pure stencils.
+    extra_read_offsets: Callable[[IntVector, Context], tuple[int, ...]] = (
+        lambda q, ctx: ()
+    )
+    #: ``output_points(sizes)`` — the iterations whose values are live-out;
+    #: the cross-version verifier compares exactly these.
+    output_points: Callable[
+        [Mapping[str, int]], list[IntVector]
+    ] = lambda sizes: []
+    # Per-iteration instruction costs for the machine model.
+    flops: int = 0
+    int_ops: int = 0
+    branches: int = 0
+
+    def iteration_count(self, sizes: Mapping[str, int]) -> int:
+        n = 1
+        for lo, hi in self.bounds(sizes):
+            n *= hi - lo + 1
+        return n
+
+    def domain_polytope(self, sizes: Mapping[str, int]):
+        from repro.util.polyhedron import Polytope
+
+        return Polytope.from_loop_bounds(self.bounds(sizes))
+
+
+@dataclass(frozen=True)
+class CodeVersion:
+    """One (mapping, schedule) realisation of a code."""
+
+    key: str
+    label: str
+    code: Code
+    mapping_factory: Callable[[Mapping[str, int]], StorageMapping]
+    schedule_factory: Callable[[Mapping[str, int]], Schedule]
+    #: Temporary-storage formula (the Tables 1 / 2 entries), in elements.
+    storage_formula: Callable[[Mapping[str, int]], int]
+    tiled: bool = False
+    #: False for mappings whose storage dependences forbid tiling.
+    tilable: bool = True
+    notes: str = ""
+
+    def mapping(self, sizes: Mapping[str, int]) -> StorageMapping:
+        return self.mapping_factory(sizes)
+
+    def schedule(self, sizes: Mapping[str, int]) -> Schedule:
+        return self.schedule_factory(sizes)
+
+    def storage(self, sizes: Mapping[str, int]) -> int:
+        return self.storage_formula(sizes)
+
+    def address_ops(
+        self, sizes: Mapping[str, int], unrolled: bool = True
+    ) -> OpCounts:
+        """Address-arithmetic cost of one iteration under this mapping.
+
+        One address computation per source read plus one per store, all
+        through the same mapping — matching what generated code would do.
+        (Common-subexpression sharing across the reads is deliberately not
+        assumed; neither does the paper when counting mapping overhead.)
+
+        ``unrolled=True`` (the default, and what the paper's generated
+        code does) applies mod-removal by unrolling / pointer rotation;
+        ``unrolled=False`` keeps the raw mods, which the overhead-ablation
+        benchmark uses to quantify what unrolling buys.
+        """
+        mapping = self.mapping_factory(sizes)
+        per_ref = (
+            mapping.effective_op_cost() if unrolled else mapping.op_cost()
+        )
+        refs = len(self.code.source_distances) + 1
+        return OpCounts(
+            adds=per_ref.adds * refs,
+            muls=per_ref.muls * refs,
+            mods=per_ref.mods * refs,
+        )
+
+    def bounds(self, sizes: Mapping[str, int]) -> Bounds:
+        return self.code.bounds(sizes)
+
+    def __str__(self) -> str:
+        return f"{self.code.name}/{self.key}"

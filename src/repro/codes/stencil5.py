@@ -1,0 +1,245 @@
+"""The 5-point 1-D stencil over time (Section 5; Table 1, Figures 7, 9-11).
+
+A 1-D array of length ``L`` is transformed over ``T`` time steps; each new
+value is a weighted average of the element and its four neighbours one
+time step earlier::
+
+    for t = 1..T:
+      for x = 0..L-1:
+        A[t][x] = w0*A[t-1][x-2] + w1*A[t-1][x-1] + w2*A[t-1][x]
+                + w3*A[t-1][x+1] + w4*A[t-1][x+2]
+
+The stencil is ``{(1,-2), (1,-1), (1,0), (1,1), (1,2)}``; its optimal UOV
+is ``(2, 0)`` (Figure 5) — non-prime with gcd 2, hence the two storage
+layouts the paper measures separately:
+
+==========================  ============================  =================
+version                     mapping                       temporary storage
+==========================  ============================  =================
+natural                     row-major ``T x L`` array      ``T*L``
+ov-mapped (consecutive)     ``OVMapping2D((2,0))``         ``2*L``
+ov-mapped interleaved       same, interleaved classes      ``2*L``
+storage optimized           rolling buffer                 ``L + 3``
+==========================  ============================  =================
+
+matching Table 1 exactly.  Reads of row 0 come from the 1-D input array
+and out-of-range columns read fixed boundary guard cells, "making it
+possible to use temporary storage for a loop computation while not having
+to change code outside the loop" (Section 5).
+
+Tiling uses the skew ``x' = x + 2t`` (making every distance non-negative)
+with tile sizes taken from the ``tile_h`` / ``tile_w`` entries of the size
+binding, defaulting to a tall-and-narrow shape that reuses each mapped
+location ``tile_h`` times per tile — the reuse the paper credits for the
+tiled OV-mapped version's flat scaling.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.codes.base import Code, CodeVersion
+from repro.core.stencil import Stencil
+from repro.ir import ArrayDecl, ArrayRef, Assignment, LoopNest, Program
+from repro.mapping import OVMapping2D, RollingBufferMapping, RowMajorMapping
+from repro.schedule import LexicographicSchedule, TiledSchedule, required_skew
+from repro.util.polyhedron import Polytope
+
+__all__ = ["make_stencil5", "STENCIL5_WEIGHTS", "STENCIL5_UOV"]
+
+STENCIL5_WEIGHTS = (0.05, 0.25, 0.4, 0.25, 0.05)
+# Distance of reading A[t-1][x+dx] is (1, -dx): the producer sits dx to
+# the *right* for negative distances.  Order matches the source refs
+# (dx = -2..2), i.e. weights[k] multiplies the neighbour at x + (k - 2).
+STENCIL5_DISTANCES = ((1, 2), (1, 1), (1, 0), (1, -1), (1, -2))
+STENCIL5_UOV = (2, 0)
+
+DEFAULT_TILE_H = 8
+DEFAULT_TILE_W = 64
+
+
+def _program() -> Program:
+    loop = LoopNest.of(("t", "x"), [(1, "T"), (0, "L-1")])
+    stmt = Assignment(
+        target=ArrayRef.of("A", "t", "x"),
+        sources=tuple(
+            ArrayRef.of("A", "t-1", f"x{dx:+d}" if dx else "x")
+            for dx in (-2, -1, 0, 1, 2)
+        ),
+        combine=lambda *vals: sum(
+            w * v for w, v in zip(STENCIL5_WEIGHTS, vals)
+        ),
+        flops=9,
+    )
+    return Program(
+        name="stencil5",
+        loop=loop,
+        body=(stmt,),
+        arrays=(ArrayDecl.of("A", "T+1", "L", live_out=False),),
+        size_symbols=("T", "L"),
+    )
+
+
+def _bounds(sizes: Mapping[str, int]):
+    return ((1, sizes["T"]), (0, sizes["L"] - 1))
+
+
+def _isg(sizes: Mapping[str, int]) -> Polytope:
+    return Polytope.from_loop_bounds(_bounds(sizes))
+
+
+def _make_context(sizes: Mapping[str, int], seed: int):
+    rng = np.random.default_rng(seed)
+    length = sizes["L"]
+    # input[0:2] and input[L+2:L+4] are constant boundary guard cells;
+    # input[2:L+2] is the initial (time 0) contents of the array.
+    buf = rng.uniform(0.0, 1.0, size=length + 4)
+    buf[0] = buf[1] = 0.25
+    buf[-1] = buf[-2] = 0.25
+    return {"input": buf}
+
+
+def _input_value(p, ctx) -> float:
+    t, x = p
+    buf = ctx["input"]
+    length = len(buf) - 4
+    if x < 0:
+        return float(buf[max(0, x + 2)])
+    if x >= length:
+        return float(buf[min(length + 3, x + 2)])
+    return float(buf[x + 2])  # row zero: the initial array contents
+
+
+def _input_offset(p, sizes) -> int:
+    t, x = p
+    length = sizes["L"]
+    return min(max(x + 2, 0), length + 3)
+
+
+def _combine(values, q, ctx) -> float:
+    w = STENCIL5_WEIGHTS
+    return (
+        w[0] * values[0]
+        + w[1] * values[1]
+        + w[2] * values[2]
+        + w[3] * values[3]
+        + w[4] * values[4]
+    )
+
+
+def _output_points(sizes: Mapping[str, int]):
+    t = sizes["T"]
+    return [(t, x) for x in range(sizes["L"])]
+
+
+def _tile_sizes(sizes: Mapping[str, int]) -> tuple[int, int]:
+    return (
+        sizes.get("tile_h", DEFAULT_TILE_H),
+        sizes.get("tile_w", DEFAULT_TILE_W),
+    )
+
+
+def make_stencil5() -> dict[str, CodeVersion]:
+    """All seven versions of the 5-point stencil (the Figure 9-11 legend)."""
+    stencil = Stencil(STENCIL5_DISTANCES)
+    skew = required_skew(stencil)
+    code = Code(
+        name="stencil5",
+        program=_program(),
+        stencil=stencil,
+        source_distances=STENCIL5_DISTANCES,
+        bounds=_bounds,
+        make_context=_make_context,
+        input_value=_input_value,
+        input_offset=_input_offset,
+        combine=_combine,
+        output_points=_output_points,
+        flops=9,
+        int_ops=0,
+        branches=0,
+    )
+
+    def natural_mapping(sizes):
+        return RowMajorMapping((sizes["T"], sizes["L"]), origin=(1, 0))
+
+    def ov_mapping(layout):
+        def factory(sizes):
+            return OVMapping2D(STENCIL5_UOV, _isg(sizes), layout=layout)
+
+        return factory
+
+    def optimized_mapping(sizes):
+        return RollingBufferMapping(stencil, _isg(sizes))
+
+    def lex(sizes):
+        return LexicographicSchedule()
+
+    def tiled(sizes):
+        return TiledSchedule(_tile_sizes(sizes), skew=skew)
+
+    def mk(key, label, mapping_factory, schedule_factory, storage, **kw):
+        return CodeVersion(
+            key=key,
+            label=label,
+            code=code,
+            mapping_factory=mapping_factory,
+            schedule_factory=schedule_factory,
+            storage_formula=storage,
+            **kw,
+        )
+
+    t_times_l = lambda s: s["T"] * s["L"]
+    two_l = lambda s: 2 * s["L"]
+    l_plus_3 = lambda s: s["L"] + 3
+
+    return {
+        "natural": mk(
+            "natural", "Natural", natural_mapping, lex, t_times_l
+        ),
+        "natural-tiled": mk(
+            "natural-tiled",
+            "Natural Tiled",
+            natural_mapping,
+            tiled,
+            t_times_l,
+            tiled=True,
+        ),
+        "ov": mk(
+            "ov", "OV-Mapped", ov_mapping("consecutive"), lex, two_l
+        ),
+        "ov-tiled": mk(
+            "ov-tiled",
+            "OV-Mapped Tiled",
+            ov_mapping("consecutive"),
+            tiled,
+            two_l,
+            tiled=True,
+        ),
+        "ov-interleaved": mk(
+            "ov-interleaved",
+            "OV-Mapped Interleaved",
+            ov_mapping("interleaved"),
+            lex,
+            two_l,
+        ),
+        "ov-interleaved-tiled": mk(
+            "ov-interleaved-tiled",
+            "OV-Mapped Interleaved Tiled",
+            ov_mapping("interleaved"),
+            tiled,
+            two_l,
+            tiled=True,
+        ),
+        "storage-optimized": mk(
+            "storage-optimized",
+            "Storage Optimized",
+            optimized_mapping,
+            lex,
+            l_plus_3,
+            tilable=False,
+            notes="cannot be tiled: the rolling buffer's storage "
+            "dependences span the whole window",
+        ),
+    }

@@ -1,0 +1,151 @@
+"""Common UOVs across multiple loop nests (the paper's future work).
+
+Section 7: *"Future work will extend the UOV approach to multiple loop
+nests.  We might want to select our occupancy vector in a way that allows
+two loops to use the same OV-mapping for a given array."*
+
+A vector is a **common UOV** of stencils ``V1..Vk`` when it is a UOV of
+each — then one buffer with one mapping serves an array that several
+loops produce/consume in turn, with every loop still free to be tiled
+independently.
+
+Unlike the single-stencil case there is no trivially-computed starting
+point: the sum of one stencil need not lie in another's cone, and a
+common UOV may simply not exist (``{(1,0)}`` forces the ``i``-axis,
+``{(0,1)}`` forces the ``j``-axis).  We therefore search outward by
+length over candidate vectors, seeded by each stencil's own UOV
+candidates, and report failure honestly within a caller-set radius.
+
+``common_uov_exists_direction`` gives a cheap necessary condition used to
+fail fast: a common UOV is a non-negative *rational* combination of each
+stencil's vectors (it lies in each cone), so the intersection of the
+cones must contain a non-zero vector.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Sequence
+
+from repro.core.cone import ConeSolver, in_rational_cone
+from repro.core.search import SearchResult
+from repro.core.stencil import Stencil
+from repro.core.storage_metric import storage_for_ov
+from repro.core.uov import is_uov
+from repro.util.polyhedron import Polytope
+from repro.util.vectors import IntVector, norm2
+
+__all__ = [
+    "is_common_uov",
+    "find_common_uov",
+    "common_uov_exists_direction",
+]
+
+
+def is_common_uov(
+    ov: Sequence[int], stencils: Sequence[Stencil]
+) -> bool:
+    """Is ``ov`` a universal occupancy vector of *every* stencil?"""
+    if not stencils:
+        raise ValueError("need at least one stencil")
+    solvers = [ConeSolver(s.vectors) for s in stencils]
+    return all(
+        is_uov(ov, s, solver=sv) for s, sv in zip(stencils, solvers)
+    )
+
+
+def common_uov_exists_direction(stencils: Sequence[Stencil]) -> bool:
+    """Necessary condition: the stencils' rational cones intersect
+    non-trivially.
+
+    Checked by testing each stencil's vectors (the candidate extreme
+    directions of the intersection) for membership in all other cones.
+    Sufficient for the 2-D case (the intersection of planar cones is a
+    planar cone spanned by such directions); in higher dimensions a
+    ``False`` here is still a definitive no, while ``True`` only means
+    "worth searching".
+    """
+    candidates = {v for s in stencils for v in s.vectors}
+    for c in candidates:
+        if all(in_rational_cone(c, s.vectors) for s in stencils):
+            return True
+    # Pairwise mixtures catch intersections strictly between stencils.
+    for a, b in itertools.combinations(candidates, 2):
+        mix = tuple(x + y for x, y in zip(a, b))
+        if all(in_rational_cone(mix, s.vectors) for s in stencils):
+            return True
+    return False
+
+
+def find_common_uov(
+    stencils: Sequence[Stencil],
+    isg: Optional[Polytope] = None,
+    max_norm2: int = 400,
+) -> Optional[SearchResult]:
+    """Shortest (or, with an ISG, smallest-storage) common UOV.
+
+    Returns ``None`` when no common UOV exists within the search radius
+    (or provably at all, when the cone intersection is empty).  The
+    search enumerates lattice vectors by increasing length — candidate
+    counts are tiny for realistic stencils because the positivity
+    functionals prune almost everything — and verifies each against all
+    stencils with the exact membership test.
+    """
+    if not stencils:
+        raise ValueError("need at least one stencil")
+    dims = {s.dim for s in stencils}
+    if len(dims) != 1:
+        raise ValueError("stencils must share dimensionality")
+    dim = dims.pop()
+    if isg is not None and isg.dim != dim:
+        raise ValueError("ISG dimensionality mismatch")
+    if not common_uov_exists_direction(stencils):
+        return None
+
+    solvers = [ConeSolver(s.vectors) for s in stencils]
+    radius = int(max_norm2**0.5)
+    nodes = 0
+    best: Optional[IntVector] = None
+    best_obj = float("inf")
+    candidates: list[IntVector] = []
+
+    def objective(w: IntVector) -> float:
+        if isg is None:
+            return float(norm2(w))
+        return float(storage_for_ov(w, isg))
+
+    # Enumerate by increasing squared length so the first hits are the
+    # shortest; with an ISG we must keep scanning the whole radius since
+    # storage is not monotone in length (Figure 3!).
+    lattice = sorted(
+        (
+            w
+            for w in itertools.product(range(-radius, radius + 1), repeat=dim)
+            if any(c != 0 for c in w) and norm2(w) <= max_norm2
+        ),
+        key=norm2,
+    )
+    for w in lattice:
+        nodes += 1
+        if not all(
+            is_uov(w, s, solver=sv) for s, sv in zip(stencils, solvers)
+        ):
+            continue
+        candidates.append(w)
+        obj = objective(w)
+        if obj < best_obj:
+            best, best_obj = w, obj
+        if isg is None:
+            # shortest-first enumeration: the first hit is optimal
+            break
+    if best is None:
+        return None
+    return SearchResult(
+        ov=best,
+        objective=best_obj,
+        storage=storage_for_ov(best, isg) if isg is not None else None,
+        optimal=True,
+        nodes_visited=nodes,
+        nodes_pushed=nodes,
+        candidates=tuple(candidates),
+    )

@@ -1,0 +1,197 @@
+"""Branch-and-bound search for the optimal UOV (Section 3.2.2).
+
+The search walks the reversed value dependences backwards from an arbitrary
+iteration point ``q`` (we use the origin; by the regular-stencil assumption
+the answer is independent of ``q``).  Each visited offset ``x`` — a
+candidate ``ov = q - p`` — carries a ``PATHSET``: the set of stencil
+vectors traversed by *some* backward path from ``q`` to ``p``.  A point
+whose ``PATHSET`` equals the full stencil is a legal UOV:
+
+- if a path to ``x`` traverses ``vi``, then ``x - vi`` is a non-negative
+  combination of stencil vectors, which is exactly the membership condition
+  of Section 3.1, per stencil vector;
+- conversely every UOV has, for each ``vi``, a certificate path that uses
+  ``vi`` first, so breadth-first exploration accumulates the full set.
+
+Bounding (Section 3.2.1): the trivially-legal initial UOV ``ov0 = sum(vi)``
+seeds the incumbent.  For the unknown-bounds objective (shortest vector)
+candidates longer than the incumbent are useless; for known bounds the
+length cap is ``storage(incumbent) / PM`` (see
+:func:`repro.core.storage_metric.search_length_bound`).  Because a short
+UOV may only be reachable through *longer* intermediate points (the paper's
+parallelepiped of Figure 4 exists for the same reason), pruning interior
+points by plain length would be wrong.  Instead we prune with the
+stencil's positivity functional ``phi``: every ancestor ``x`` of a
+candidate ``w`` satisfies ``phi(x) <= phi(w) <= |phi| * |w|``, so
+``phi(x) <= |phi| * length_cap`` is a sound region that shrinks every time
+the incumbent improves.
+
+The search keeps a legal UOV at all times (the paper's "a compiler could
+limit the amount of time and just take the best answer so far"): pass
+``max_nodes`` to cut it short and check ``SearchResult.optimal``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.stencil import Stencil
+from repro.core.storage_metric import (
+    search_length_bound,
+    storage_for_ov,
+)
+from repro.util.polyhedron import Polytope
+from repro.util.priorityqueue import PriorityQueue
+from repro.util.vectors import IntVector, add, norm2
+
+__all__ = ["SearchResult", "find_optimal_uov"]
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of a UOV search.
+
+    ``ov`` is a legal universal occupancy vector in every case; ``optimal``
+    records whether the bounded region was exhausted (True) or the node
+    budget ran out first (False — ``ov`` is then the best found so far,
+    which the paper explicitly allows a compiler to use).
+    """
+
+    ov: IntVector
+    objective: float
+    storage: Optional[int]
+    optimal: bool
+    nodes_visited: int
+    nodes_pushed: int
+    candidates: tuple[IntVector, ...] = field(default=())
+
+    def __str__(self) -> str:
+        status = "optimal" if self.optimal else "best-so-far"
+        extra = f", storage={self.storage}" if self.storage is not None else ""
+        return (
+            f"UOV {self.ov} ({status}, objective={self.objective}{extra}, "
+            f"{self.nodes_visited} nodes)"
+        )
+
+
+def find_optimal_uov(
+    stencil: Stencil,
+    isg: Optional[Polytope] = None,
+    objective: str = "auto",
+    max_nodes: Optional[int] = None,
+) -> SearchResult:
+    """Branch-and-bound search for the best universal occupancy vector.
+
+    Parameters
+    ----------
+    stencil:
+        The loop's regular dependence stencil.
+    isg:
+        The iteration-space polytope, when loop bounds are known at compile
+        time.  Enables the storage objective (Figure 3: a longer OV can
+        need *less* storage than the shortest one).
+    objective:
+        ``"shortest"`` — minimise Euclidean length (the right goal when
+        bounds are runtime values, Section 3.2); ``"storage"`` — minimise
+        allocated locations over ``isg``; ``"auto"`` — storage if an ISG
+        was given, shortest otherwise.
+    max_nodes:
+        Optional node budget.  The result is still a legal UOV when the
+        budget is exhausted, just not certified optimal.
+    """
+    if objective == "auto":
+        objective = "storage" if isg is not None else "shortest"
+    if objective not in ("shortest", "storage"):
+        raise ValueError(f"unknown objective {objective!r}")
+    if objective == "storage" and isg is None:
+        raise ValueError("the storage objective requires ISG bounds")
+    if isg is not None and isg.dim != stencil.dim:
+        raise ValueError("ISG and stencil dimensionality mismatch")
+
+    vectors = stencil.vectors
+    full_mask = (1 << len(vectors)) - 1
+    phi = stencil.positivity_weights
+    phi_norm = math.sqrt(sum(w * w for w in phi))
+
+    def phi_of(x: IntVector) -> int:
+        return sum(w * c for w, c in zip(phi, x))
+
+    def measure(x: IntVector) -> float:
+        if objective == "shortest":
+            return float(norm2(x))
+        return float(storage_for_ov(x, isg))
+
+    # Seed the incumbent with the always-legal initial UOV.
+    incumbent = stencil.initial_uov
+    best_objective = measure(incumbent)
+    best_storage = storage_for_ov(incumbent, isg) if isg is not None else None
+
+    def length_cap() -> float:
+        if objective == "shortest":
+            # Only strictly shorter vectors can improve the incumbent.
+            return math.sqrt(best_objective)
+        return search_length_bound(
+            stencil, isg, incumbent_storage=int(best_objective)
+        )
+
+    phi_cap = phi_norm * length_cap()
+
+    origin: IntVector = tuple(0 for _ in range(stencil.dim))
+    masks: dict[IntVector, int] = {origin: 0}
+    queue: PriorityQueue[IntVector] = PriorityQueue()
+    queue.push(origin, (0.0, origin))
+
+    nodes_visited = 0
+    nodes_pushed = 1
+    candidates: list[IntVector] = [incumbent]
+    exhausted = True
+
+    while queue:
+        if max_nodes is not None and nodes_visited >= max_nodes:
+            exhausted = False
+            break
+        x, _priority = queue.pop()
+        nodes_visited += 1
+        mask = masks[x]
+
+        if mask == full_mask and x != origin:
+            candidates.append(x)
+            value = measure(x)
+            better = value < best_objective or (
+                value == best_objective and norm2(x) < norm2(incumbent)
+            )
+            if better:
+                incumbent = x
+                best_objective = value
+                if isg is not None:
+                    best_storage = storage_for_ov(x, isg)
+                phi_cap = phi_norm * length_cap()
+
+        # Expand children along the backward value dependences.
+        for bit, v in enumerate(vectors):
+            child = add(x, v)
+            child_phi = phi_of(child)
+            if child_phi > phi_cap:
+                continue
+            new_mask = mask | (1 << bit)
+            old_mask = masks.get(child, 0)
+            merged = old_mask | new_mask
+            if merged != old_mask or child not in masks:
+                masks[child] = merged
+                if queue.push(child, (measure(child), child)):
+                    nodes_pushed += 1
+            elif child not in queue and merged == old_mask:
+                # Nothing new to propagate.
+                continue
+
+    return SearchResult(
+        ov=incumbent,
+        objective=best_objective,
+        storage=best_storage,
+        optimal=exhausted,
+        nodes_visited=nodes_visited,
+        nodes_pushed=nodes_pushed,
+        candidates=tuple(dict.fromkeys(candidates)),
+    )

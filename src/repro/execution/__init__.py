@@ -1,0 +1,34 @@
+"""Execution: interpret codes, trace their memory accesses, simulate cost.
+
+- :mod:`repro.execution.interpreter` — runs a :class:`~repro.codes.base.
+  CodeVersion` and produces its numeric results (the correctness oracle).
+- :mod:`repro.execution.trace` — the address trace the version's loop
+  would issue, at cache-line granularity.
+- :mod:`repro.execution.simulator` — trace + memory hierarchy + cost
+  model = cycles per iteration, the paper's reported metric.
+- :mod:`repro.execution.verify` — asserts that every version of a code
+  computes bit-identical live-out values.
+"""
+
+from repro.execution.interpreter import ExecutionResult, execute
+from repro.execution.multi import (
+    MultiAssignmentPlan,
+    execute_multi,
+    plan_storage,
+)
+from repro.execution.simulator import SimResult, simulate
+from repro.execution.trace import TraceLayout, line_trace
+from repro.execution.verify import verify_versions
+
+__all__ = [
+    "execute",
+    "MultiAssignmentPlan",
+    "plan_storage",
+    "execute_multi",
+    "ExecutionResult",
+    "line_trace",
+    "TraceLayout",
+    "simulate",
+    "SimResult",
+    "verify_versions",
+]

@@ -1,0 +1,113 @@
+"""Trace-driven simulation: the cycles-per-iteration measurement.
+
+``simulate`` plays one version's address trace through a machine's memory
+hierarchy and combines the stall cycles with the instruction cost model:
+
+    cycles/iter = compute(flops, addressing, branches, issue)
+                + stalls(L1/L2/TLB/paging) / iterations
+
+which is the quantity on the y-axis of every performance figure in the
+paper (Figures 7–14).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.codes.base import CodeVersion
+from repro.execution.trace import line_trace
+from repro.machine.configs import MachineConfig
+from repro.machine.cost import IterationCost
+from repro.machine.hierarchy import AccessStats
+
+__all__ = ["SimResult", "simulate"]
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """One point of a performance figure."""
+
+    version_key: str
+    machine: str
+    sizes: dict
+    iterations: int
+    cycles_per_iteration: float
+    compute_cycles: float
+    stall_cycles_per_iteration: float
+    stats: AccessStats
+    storage_elements: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.version_key:>28s} on {self.machine:<16s} "
+            f"{self.cycles_per_iteration:8.2f} cyc/iter "
+            f"(compute {self.compute_cycles:.2f}, "
+            f"stall {self.stall_cycles_per_iteration:.2f})"
+        )
+
+
+def simulate(
+    version: CodeVersion,
+    sizes: Mapping[str, int],
+    machine: MachineConfig,
+    seed: int = 0,
+    passes: int = 1,
+) -> SimResult:
+    """Cycles per iteration of one version on one machine.
+
+    ``passes > 1`` replays the trace and reports only the *last* pass's
+    stalls: the steady-state measurement the paper's in-cache overhead
+    figures (7 and 8) need, where compulsory misses on a problem that fits
+    in cache would otherwise dominate a single short run.
+    """
+    code = version.code
+    iterations = code.iteration_count(sizes)
+    if iterations <= 0:
+        raise ValueError("empty iteration space")
+    if passes < 1:
+        raise ValueError("at least one simulation pass is required")
+
+    hierarchy = machine.build_hierarchy()
+    for _warm in range(passes - 1):
+        for line in line_trace(
+            version, sizes, machine.l1.line_bytes, seed=seed
+        ):
+            hierarchy.access_line(line)
+    before = hierarchy.stall_cycles
+    trace = line_trace(version, sizes, machine.l1.line_bytes, seed=seed)
+    for line in trace:
+        hierarchy.access_line(line)
+    stats = hierarchy.stats()
+    if passes > 1:
+        from dataclasses import replace as _replace
+
+        stats = _replace(stats, stall_cycles=stats.stall_cycles - before)
+
+    ctx = code.make_context(sizes, seed)
+    bounds = code.bounds(sizes)
+    q0 = tuple(lo for lo, _ in bounds)
+    loads = len(code.source_distances) + len(code.extra_read_offsets(q0, ctx))
+    compute: IterationCost = machine.cost.iteration_cost(
+        flops=code.flops,
+        int_ops=code.int_ops,
+        branches=code.branches,
+        loads=loads,
+        stores=1,
+        address_ops=version.address_ops(sizes),
+    )
+    stall_per_iter = stats.stall_cycles / iterations
+    compute_total = compute.total
+    if version.tiled:
+        compute_total += machine.cost.tile_overhead_cycles
+    return SimResult(
+        version_key=version.key,
+        machine=machine.name,
+        sizes=dict(sizes),
+        iterations=iterations,
+        cycles_per_iteration=compute_total + stall_per_iter,
+        compute_cycles=compute_total,
+        stall_cycles_per_iteration=stall_per_iter,
+        stats=stats,
+        storage_elements=version.storage(sizes),
+    )

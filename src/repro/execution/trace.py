@@ -1,0 +1,123 @@
+"""Cache-line address traces for code versions.
+
+Lays out the version's memory objects in a flat byte address space —
+
+    [ temporary-storage buffer | loop-input buffer | tables/strings ]
+
+with each region page-aligned — then walks the schedule emitting, per
+iteration: one load per stencil source (from the storage buffer, or from
+the input region when the producer is outside the ISG), the code's extra
+reads (weight table, string characters), and one store through the
+mapping.  Addresses are divided down to line granularity immediately;
+``collapse=True`` additionally merges *consecutive identical* lines, which
+is exact for every LRU level (a repeated line can neither miss nor change
+any LRU order beyond its first access) and shrinks unit-stride stencil
+traces several-fold before they reach the Python simulation loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from repro.codes.base import CodeVersion, Context
+
+__all__ = ["TraceLayout", "line_trace", "trace_length"]
+
+ELEMENT_BYTES = 8
+_PAGE_ALIGN = 1 << 16
+
+
+@dataclass(frozen=True)
+class TraceLayout:
+    """Base byte addresses of the version's memory regions."""
+
+    storage_base: int
+    input_base: int
+    table_base: int
+
+    @staticmethod
+    def for_version(
+        version: CodeVersion, sizes: Mapping[str, int]
+    ) -> "TraceLayout":
+        storage_bytes = version.mapping(sizes).size * ELEMENT_BYTES
+        storage_base = 0
+        # Region bases are staggered off the alignment boundary: three
+        # heap blocks never share the same cache-set phase in practice,
+        # and keeping them boundary-aligned here would make every region
+        # collide in set 0 of a direct-mapped cache — a layout artifact,
+        # not a property of the codes.
+        input_base = _align(storage_base + storage_bytes) + 7 * 32
+        # The input region is comfortably bounded by the natural extent of
+        # the code's border; a generous page-aligned gap suffices for
+        # layout purposes (regions never alias).
+        input_bytes = 4 * _PAGE_ALIGN
+        table_base = _align(input_base + input_bytes) + 21 * 32
+        return TraceLayout(storage_base, input_base, table_base)
+
+
+def _align(addr: int) -> int:
+    return (addr + _PAGE_ALIGN - 1) // _PAGE_ALIGN * _PAGE_ALIGN
+
+
+def line_trace(
+    version: CodeVersion,
+    sizes: Mapping[str, int],
+    line_bytes: int,
+    seed: int = 0,
+    collapse: bool = True,
+    ctx: Context | None = None,
+) -> Iterator[int]:
+    """Yield the line-granular address trace of one full run."""
+    code = version.code
+    if ctx is None:
+        ctx = code.make_context(sizes, seed)
+    layout = TraceLayout.for_version(version, sizes)
+    bounds = code.bounds(sizes)
+    mapping_fn = version.mapping(sizes).compiled()
+    schedule = version.schedule(sizes)
+    distances = code.source_distances
+    input_offset = code.input_offset
+    extra_reads = code.extra_read_offsets
+    dim = len(bounds)
+    lows = tuple(lo for lo, _ in bounds)
+    highs = tuple(hi for _, hi in bounds)
+    sbase, ibase, tbase = layout.storage_base, layout.input_base, layout.table_base
+
+    last = -1
+    for q in schedule.order(bounds):
+        # source loads
+        for d in distances:
+            p = tuple(q[k] - d[k] for k in range(dim))
+            if all(lo <= c <= hi for lo, c, hi in zip(lows, p, highs)):
+                addr = sbase + ELEMENT_BYTES * mapping_fn(*p)
+            else:
+                addr = ibase + ELEMENT_BYTES * input_offset(p, sizes)
+            line = addr // line_bytes
+            if not collapse or line != last:
+                yield line
+                last = line
+        for offset in extra_reads(q, ctx):
+            line = (tbase + ELEMENT_BYTES * offset) // line_bytes
+            if not collapse or line != last:
+                yield line
+                last = line
+        # store
+        line = (sbase + ELEMENT_BYTES * mapping_fn(*q)) // line_bytes
+        if not collapse or line != last:
+            yield line
+            last = line
+
+
+def trace_length(
+    version: CodeVersion, sizes: Mapping[str, int]
+) -> int:
+    """Accesses per run *before* collapsing (loads + extras + one store)."""
+    code = version.code
+    ctx = code.make_context(sizes, 0)
+    per_iter = len(code.source_distances) + 1
+    # Extra reads are uniform per iteration for our codes; sample one point.
+    bounds = code.bounds(sizes)
+    q0 = tuple(lo for lo, _ in bounds)
+    per_iter += len(code.extra_read_offsets(q0, ctx))
+    return per_iter * code.iteration_count(sizes)

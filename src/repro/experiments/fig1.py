@@ -1,0 +1,95 @@
+"""Figure 1 — the worked example: storage of the three code versions.
+
+The paper's introduction claims, for the 3-point recurrence over an
+``n x m`` iteration space:
+
+- natural (array-expanded) storage: ``n*m`` temporaries;
+- UOV ``(1,1)``-mapped storage: ``n+m+1`` counting the border row/column
+  kept in the same buffer (our interior-only mapping allocates ``n+m-1``;
+  both are recorded);
+- storage-optimized: ``m+2``, but the code cannot be tiled;
+- the optimal UOV found by the search is exactly ``(1,1)`` with mapping
+  vector ``(-1,1)`` and a one-subtract-one-add address computation.
+"""
+
+from __future__ import annotations
+
+from repro.codes import make_simple2d
+from repro.core import Stencil, find_optimal_uov
+from repro.experiments.harness import ExperimentResult
+
+TITLE = "Figure 1 worked example (3-point recurrence)"
+
+
+def run(mode: str = "quick") -> ExperimentResult:
+    n, m = (60, 80) if mode == "full" else (12, 17)
+    sizes = {"n": n, "m": m}
+    versions = make_simple2d()
+    result = ExperimentResult(
+        "fig1", TITLE, mode, xlabel="version", ylabel="storage"
+    )
+
+    rows = [["version", "paper formula", "paper value", "allocated (this repo)"]]
+    natural = versions["natural"]
+    ov = versions["ov"]
+    optimized = versions["storage-optimized"]
+    rows.append(
+        ["Natural", "n*m", str(n * m), str(natural.mapping(sizes).size)]
+    )
+    rows.append(
+        [
+            "OV-Mapped (1,1)",
+            "n+m+1 (with borders)",
+            str(n + m + 1),
+            f"{ov.mapping(sizes).size} (interior only)",
+        ]
+    )
+    rows.append(
+        [
+            "Storage Optimized",
+            "m+2",
+            str(m + 2),
+            str(optimized.mapping(sizes).size),
+        ]
+    )
+    result.tables["storage"] = rows
+
+    stencil = Stencil([(1, 0), (0, 1), (1, 1)])
+    search = find_optimal_uov(stencil)
+    result.notes.append(
+        f"search: {search}; mapping expression "
+        f"{ov.mapping(sizes).expression(['i', 'j']).to_python()!r}"
+    )
+
+    result.claim(
+        "natural storage is n*m",
+        lambda: natural.mapping(sizes).size == n * m,
+    )
+    result.claim(
+        "OV-mapped storage is n+m-1 interior (paper: n+m+1 with borders)",
+        lambda: ov.mapping(sizes).size == n + m - 1,
+    )
+    result.claim(
+        "storage-optimized uses m+2 locations",
+        lambda: optimized.mapping(sizes).size == m + 2,
+    )
+    result.claim(
+        "the optimal UOV is (1,1)", lambda: search.ov == (1, 1) and search.optimal
+    )
+    result.claim(
+        "the (1,1) mapping costs 2 add-class ops and no multiplies",
+        lambda: (
+            lambda ops: ops.muls == 0 and ops.mods == 0 and ops.adds == 2
+        )(ov.mapping(sizes).op_cost()),
+    )
+    result.claim(
+        "OV-mapped is far smaller than natural yet tilable",
+        lambda: ov.mapping(sizes).size < natural.mapping(sizes).size // 4
+        and ov.tilable,
+    )
+    result.claim(
+        "storage-optimized is smallest but not tilable",
+        lambda: optimized.mapping(sizes).size < ov.mapping(sizes).size
+        and not optimized.tilable,
+    )
+    return result

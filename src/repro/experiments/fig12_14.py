@@ -1,0 +1,116 @@
+"""Figures 12-14 — protein string matching scaling on the three machines.
+
+The paper's five curves (Storage Optimized; Natural, Natural Tiled;
+OV-Mapped, OV-Mapped Tiled) over growing string lengths, plus our
+searched-optimal-UOV variants.  The qualitative findings reproduced:
+
+1. on the (out-of-order, memory-bound) **Pentium Pro**, the tiled
+   OV-mapped code performs best at large sizes;
+2. on the in-order **Ultra 2** and **Alpha**, the branchy inner loop
+   dominates, so tiling buys little — the curves bunch up (the paper:
+   "pipeline stalls due to branches are the bottleneck instead of memory
+   latency");
+3. the natural versions fall out of memory first (storage ``n0*n1``),
+   and tiling does not prevent it.
+"""
+
+from __future__ import annotations
+
+from repro.codes import make_psm
+from repro.experiments.harness import ExperimentResult, Series
+from repro.experiments.perf import sweep
+from repro.machine import MACHINES
+
+TITLE = "Figures 12-14: PSM scaling (scaled machines)"
+
+VERSION_KEYS = (
+    "storage-optimized",
+    "natural",
+    "natural-tiled",
+    "ov",
+    "ov-tiled",
+)
+
+SCALE = 32
+MEMORY_CAP = 3 * 1024 * 1024
+TILE = {"tile_h": 48, "tile_w": 48}
+
+
+def run(mode: str = "quick", progress=None) -> ExperimentResult:
+    lengths = (
+        [64, 128, 256, 512, 704] if mode == "full" else [64, 256, 512]
+    )
+    versions = make_psm()
+    chosen = [versions[k] for k in VERSION_KEYS]
+    # Cap memory uniformly so every machine's paging cliff lands inside
+    # the sweep (see MachineConfig.with_memory).
+    machines = [
+        m.scaled(SCALE).with_memory(min(MEMORY_CAP, m.scaled(SCALE).memory_bytes))
+        for m in MACHINES
+    ]
+    result = ExperimentResult(
+        "fig12_14",
+        TITLE,
+        mode,
+        xlabel="string length n",
+        ylabel="cycles/iteration",
+    )
+    result.groups = sweep(
+        chosen,
+        [{"n0": n, "n1": n, **TILE} for n in lengths],
+        machines,
+        x_of=lambda s: s["n0"],
+        progress=progress,
+    )
+
+    def series(machine: str, key: str) -> Series:
+        label = versions[key].label
+        for s in result.groups[machine]:
+            if s.label == label:
+                return s
+        raise KeyError(key)
+
+    ppro = machines[0].name
+    inorder = [machines[1].name, machines[2].name]
+
+    result.claim(
+        "pentium-pro: tiled OV-mapped is best-or-tied at the largest size "
+        "(paper: 'better performance than all other versions')",
+        lambda: series(ppro, "ov-tiled").final
+        <= 1.05 * min(series(ppro, k).final for k in VERSION_KEYS),
+    )
+    result.claim(
+        "pentium-pro: tiling helps the OV-mapped code once it has left "
+        "cache (memory latency is the bottleneck there)",
+        lambda: series(ppro, "ov-tiled").final
+        < series(ppro, "ov").final,
+    )
+    for machine in inorder:
+        result.claim(
+            f"{machine}: branch stalls dominate — tiling the OV code "
+            "changes cycles/iteration by less than 25%",
+            lambda m=machine: abs(
+                series(m, "ov-tiled").final - series(m, "ov").final
+            )
+            <= 0.25 * series(m, "ov").final,
+        )
+        result.claim(
+            f"{machine}: the curves bunch up instead of exploding "
+            "(branch-bound, not memory-bound)",
+            lambda m=machine: series(m, "ov").final
+            < 2.2 * series(m, "ov").ys[0],
+        )
+    if mode == "full":
+        for machine in result.groups:
+            result.claim(
+                f"{machine}: natural falls out of memory first",
+                lambda m=machine: series(m, "natural").final
+                > 3 * series(m, "ov").final,
+            )
+    result.notes.append(
+        f"Machines scaled by {SCALE}x with memory capped at "
+        f"{MEMORY_CAP // (1024 * 1024)}MB (paging cliff inside the "
+        f"sweep); square tiles {TILE['tile_h']}x{TILE['tile_w']}; no "
+        "skew needed (the PSM stencil is already fully permutable)."
+    )
+    return result

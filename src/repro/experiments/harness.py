@@ -1,0 +1,192 @@
+"""Shared experiment infrastructure: results, claims, ASCII rendering.
+
+The deliverable of each experiment is an :class:`ExperimentResult`: the
+raw series (the same rows/curves the paper plots), a set of
+:class:`Claim` objects — the paper's qualitative statements evaluated
+against the fresh numbers — and text renderings for the terminal and for
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+__all__ = [
+    "Series",
+    "Claim",
+    "ExperimentResult",
+    "ascii_table",
+    "ascii_chart",
+]
+
+
+@dataclass
+class Series:
+    """One curve: a label and aligned x/y values."""
+
+    label: str
+    xs: list
+    ys: list[float]
+
+    def y_at(self, x) -> float:
+        return self.ys[self.xs.index(x)]
+
+    @property
+    def final(self) -> float:
+        return self.ys[-1]
+
+
+@dataclass
+class Claim:
+    """One of the paper's qualitative statements, checked numerically."""
+
+    text: str
+    holds: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        mark = "PASS" if self.holds else "FAIL"
+        suffix = f" ({self.detail})" if self.detail else ""
+        return f"[{mark}] {self.text}{suffix}"
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment produced."""
+
+    experiment: str
+    title: str
+    mode: str
+    xlabel: str = ""
+    ylabel: str = ""
+    #: Grouped series: {"pentium-pro": [Series, ...], ...} or {"": [...]}.
+    groups: dict[str, list[Series]] = field(default_factory=dict)
+    #: Free-form table rows (header first) for table-style experiments.
+    tables: dict[str, list[list[str]]] = field(default_factory=dict)
+    claims: list[Claim] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(c.holds for c in self.claims)
+
+    def claim(
+        self, text: str, predicate: Callable[[], bool], detail: str = ""
+    ) -> None:
+        """Evaluate and record one claim (exceptions count as failures)."""
+        try:
+            holds = bool(predicate())
+        except Exception as exc:  # a broken claim is a failed claim
+            holds = False
+            detail = f"{detail + '; ' if detail else ''}error: {exc}"
+        self.claims.append(Claim(text, holds, detail))
+
+    def render(self) -> str:
+        """Terminal/markdown-friendly text rendering."""
+        out = [f"## {self.experiment}: {self.title}  [mode={self.mode}]", ""]
+        for name, rows in self.tables.items():
+            if name:
+                out.append(f"**{name}**")
+                out.append("")
+            out.append(ascii_table(rows))
+            out.append("")
+        for group, series_list in self.groups.items():
+            if group:
+                out.append(f"**{group}** ({self.ylabel} vs {self.xlabel})")
+                out.append("")
+            out.append(series_table(series_list, self.xlabel))
+            out.append("")
+            chart = ascii_chart(series_list)
+            if chart:
+                out.append("```")
+                out.append(chart)
+                out.append("```")
+                out.append("")
+        if self.claims:
+            out.append("Claims:")
+            out.extend(f"- {c}" for c in self.claims)
+            out.append("")
+        for note in self.notes:
+            out.append(f"> {note}")
+            out.append("")
+        return "\n".join(out)
+
+
+def ascii_table(rows: Sequence[Sequence[str]]) -> str:
+    """GitHub-flavoured markdown table from header + data rows."""
+    rows = [[str(c) for c in row] for row in rows]
+    if not rows:
+        return ""
+    widths = [
+        max(len(row[k]) for row in rows if k < len(row))
+        for k in range(max(len(r) for r in rows))
+    ]
+
+    def fmt(row):
+        cells = [
+            (row[k] if k < len(row) else "").ljust(widths[k])
+            for k in range(len(widths))
+        ]
+        return "| " + " | ".join(cells) + " |"
+
+    lines = [fmt(rows[0])]
+    lines.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    lines.extend(fmt(r) for r in rows[1:])
+    return "\n".join(lines)
+
+
+def series_table(series_list: Sequence[Series], xlabel: str) -> str:
+    """Markdown table with one column per series, one row per x."""
+    if not series_list:
+        return ""
+    xs = series_list[0].xs
+    header = [xlabel or "x"] + [s.label for s in series_list]
+    rows = [header]
+    for i, x in enumerate(xs):
+        row = [str(x)]
+        for s in series_list:
+            row.append(f"{s.ys[i]:.1f}" if i < len(s.ys) else "")
+        rows.append(row)
+    return ascii_table(rows)
+
+
+def ascii_chart(
+    series_list: Sequence[Series], width: int = 64, height: int = 16
+) -> str:
+    """A small log-y scatter chart; one letter per series.
+
+    Good enough to eyeball knees and cliffs in a terminal; the numeric
+    tables carry the precise values.
+    """
+    points = [
+        (i, y, chr(ord("A") + n))
+        for n, s in enumerate(series_list)
+        for i, y in enumerate(s.ys)
+        if y > 0
+    ]
+    if not points:
+        return ""
+    import math
+
+    xs = [p[0] for p in points]
+    ys = [math.log10(p[1]) for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if y_hi - y_lo < 1e-9:
+        y_hi = y_lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for (x, y, ch), ly in zip(points, ys):
+        col = 0 if x_hi == x_lo else round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = round((y_hi - ly) / (y_hi - y_lo) * (height - 1))
+        grid[row][col] = ch
+    legend = "  ".join(
+        f"{chr(ord('A') + n)}={s.label}" for n, s in enumerate(series_list)
+    )
+    body = "\n".join("".join(r) for r in grid)
+    return (
+        f"log10(cycles/iter) {10**y_hi:.0f} .. {10**y_lo:.1f} (top to bottom)\n"
+        + body
+        + "\n"
+        + legend
+    )

@@ -1,0 +1,59 @@
+"""Shared driver for the performance experiments (Figures 7-14).
+
+``sweep`` runs a set of code versions over a list of problem sizes on
+each machine and returns the per-machine series; a progress callback
+keeps long full-mode runs transparent.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.codes.base import CodeVersion
+from repro.execution.simulator import SimResult, simulate
+from repro.experiments.harness import Series
+from repro.machine.configs import MachineConfig
+
+__all__ = ["sweep", "overhead_point"]
+
+
+def sweep(
+    versions: Sequence[CodeVersion],
+    sizes_list: Sequence[Mapping[str, int]],
+    machines: Sequence[MachineConfig],
+    x_of: Callable[[Mapping[str, int]], int],
+    passes: int = 1,
+    progress: Callable[[str], None] | None = None,
+) -> dict[str, list[Series]]:
+    """``{machine.name: [Series per version]}`` of cycles/iteration."""
+    groups: dict[str, list[Series]] = {}
+    for machine in machines:
+        series_list: list[Series] = []
+        for version in versions:
+            xs, ys = [], []
+            for sizes in sizes_list:
+                r = simulate(version, sizes, machine, passes=passes)
+                xs.append(x_of(sizes))
+                ys.append(r.cycles_per_iteration)
+                if progress is not None:
+                    progress(
+                        f"{machine.name} {version.key} x={xs[-1]} "
+                        f"-> {ys[-1]:.1f} cyc/iter"
+                    )
+            series_list.append(Series(version.label, xs, ys))
+        groups[machine.name] = series_list
+    return groups
+
+
+def overhead_point(
+    versions: Iterable[CodeVersion],
+    sizes: Mapping[str, int],
+    machines: Sequence[MachineConfig],
+) -> dict[str, dict[str, SimResult]]:
+    """Steady-state (two-pass) in-cache measurements, Figures 7/8 style."""
+    out: dict[str, dict[str, SimResult]] = {}
+    for machine in machines:
+        out[machine.name] = {
+            v.key: simulate(v, sizes, machine, passes=2) for v in versions
+        }
+    return out

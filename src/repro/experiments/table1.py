@@ -1,0 +1,58 @@
+"""Table 1 — 5-point stencil temporary storage requirements.
+
+===================  ==========
+version              storage
+===================  ==========
+Natural              ``T * L``
+OV-Mapped            ``2 L``
+Storage Optimized    ``L + 3``
+===================  ==========
+
+Checked both as the stated formula and as the *actual allocation* of the
+mappings the executable versions use — the table is not transcribed, it
+is recomputed from the same objects the simulator runs.
+"""
+
+from __future__ import annotations
+
+from repro.codes import make_stencil5
+from repro.experiments.harness import ExperimentResult
+
+TITLE = "Table 1: 5-point stencil storage"
+
+
+def run(mode: str = "quick") -> ExperimentResult:
+    t_steps, length = (64, 4096) if mode == "full" else (8, 64)
+    sizes = {"T": t_steps, "L": length}
+    versions = make_stencil5()
+    result = ExperimentResult("table1", TITLE, mode)
+
+    natural = versions["natural"].mapping(sizes).size
+    ov = versions["ov"].mapping(sizes).size
+    ov_inter = versions["ov-interleaved"].mapping(sizes).size
+    optimized = versions["storage-optimized"].mapping(sizes).size
+
+    result.tables["storage"] = [
+        ["version", "paper formula", "paper value", "allocated"],
+        ["Natural", "T*L", str(t_steps * length), str(natural)],
+        ["OV-Mapped", "2L", str(2 * length), str(ov)],
+        ["OV-Mapped Interleaved", "2L", str(2 * length), str(ov_inter)],
+        ["Storage Optimized", "L+3", str(length + 3), str(optimized)],
+    ]
+
+    result.claim("natural allocates T*L", lambda: natural == t_steps * length)
+    result.claim("OV-mapped allocates 2L", lambda: ov == 2 * length)
+    result.claim(
+        "interleaved OV also allocates 2L", lambda: ov_inter == 2 * length
+    )
+    result.claim(
+        "storage-optimized allocates L+3", lambda: optimized == length + 3
+    )
+    result.claim(
+        "every formula matches the CodeVersion.storage declaration",
+        lambda: all(
+            versions[k].storage(sizes) == versions[k].mapping(sizes).size
+            for k in ("natural", "ov", "ov-interleaved", "storage-optimized")
+        ),
+    )
+    return result

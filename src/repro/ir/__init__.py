@@ -1,0 +1,30 @@
+"""A small loop intermediate representation.
+
+The paper's technique applies to *regular loops*: perfectly nested loops
+whose single assignment statement(s) read and write arrays through uniform
+affine subscripts, producing temporary values.  This package models exactly
+that class:
+
+- :mod:`repro.ir.affine` — affine index expressions over loop indices and
+  symbolic size parameters;
+- :mod:`repro.ir.ref` — array references with affine subscripts;
+- :mod:`repro.ir.stmt` — assignment statements ``A[f(q)] = op(B[g(q)]...)``;
+- :mod:`repro.ir.loop` — perfect loop nests with (symbolic) bounds;
+- :mod:`repro.ir.program` — a program: loop nest + body + array roles
+  (input / output / temporary), the unit all analyses and executors take.
+"""
+
+from repro.ir.affine import AffineExpr
+from repro.ir.loop import LoopNest
+from repro.ir.program import ArrayDecl, Program
+from repro.ir.ref import ArrayRef
+from repro.ir.stmt import Assignment
+
+__all__ = [
+    "AffineExpr",
+    "ArrayRef",
+    "Assignment",
+    "LoopNest",
+    "ArrayDecl",
+    "Program",
+]

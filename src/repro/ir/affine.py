@@ -1,0 +1,184 @@
+"""Affine expressions over loop indices and symbolic size parameters.
+
+An :class:`AffineExpr` is ``sum(coeff[name] * name) + const`` where names
+are loop index variables (``i``, ``j``) or size symbols (``n``, ``m``).
+Subscripts of array references, loop bounds, and dependence-distance
+computations are all affine; keeping them symbolic lets one ``Program``
+describe the loop for *all* problem sizes, with sizes bound only when the
+program is analysed, interpreted, or code-generated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Union
+
+__all__ = ["AffineExpr"]
+
+
+@dataclass(frozen=True)
+class AffineExpr:
+    """Immutable affine form ``sum(coeffs[v] * v) + const``."""
+
+    coeffs: tuple[tuple[str, int], ...] = field(default=())
+    const: int = 0
+
+    # -- constructors -------------------------------------------------------
+
+    @staticmethod
+    def var(name: str, coeff: int = 1) -> "AffineExpr":
+        """The expression ``coeff * name``."""
+        if coeff == 0:
+            return AffineExpr((), 0)
+        return AffineExpr(((name, coeff),), 0)
+
+    @staticmethod
+    def constant(value: int) -> "AffineExpr":
+        return AffineExpr((), int(value))
+
+    @staticmethod
+    def parse(source: Union["AffineExpr", str, int]) -> "AffineExpr":
+        """Coerce ``int``/``str``/``AffineExpr`` into an affine expression.
+
+        Strings support the grammar used throughout the examples:
+        ``"i-1"``, ``"n-i+j"``, ``"2*t + 3"``.  Only ``+``, ``-`` and
+        constant multiplication are allowed — anything else is not affine
+        and raises ``ValueError``.
+        """
+        if isinstance(source, AffineExpr):
+            return source
+        if isinstance(source, int):
+            return AffineExpr.constant(source)
+        return _parse_affine(source)
+
+    # -- algebra -------------------------------------------------------------
+
+    def _as_dict(self) -> dict[str, int]:
+        return dict(self.coeffs)
+
+    @staticmethod
+    def _from_dict(coeffs: Mapping[str, int], const: int) -> "AffineExpr":
+        items = tuple(sorted((k, v) for k, v in coeffs.items() if v != 0))
+        return AffineExpr(items, const)
+
+    def __add__(self, other: Union["AffineExpr", int]) -> "AffineExpr":
+        other = AffineExpr.parse(other)
+        coeffs = self._as_dict()
+        for name, c in other.coeffs:
+            coeffs[name] = coeffs.get(name, 0) + c
+        return AffineExpr._from_dict(coeffs, self.const + other.const)
+
+    def __sub__(self, other: Union["AffineExpr", int]) -> "AffineExpr":
+        return self + (AffineExpr.parse(other) * -1)
+
+    def __mul__(self, factor: int) -> "AffineExpr":
+        if not isinstance(factor, int):
+            raise TypeError("affine expressions only scale by integers")
+        coeffs = {name: c * factor for name, c in self.coeffs}
+        return AffineExpr._from_dict(coeffs, self.const * factor)
+
+    __rmul__ = __mul__
+
+    # -- queries ---------------------------------------------------------------
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        """Value under a binding of every variable that appears."""
+        total = self.const
+        for name, c in self.coeffs:
+            total += c * env[name]
+        return total
+
+    def coefficient(self, name: str) -> int:
+        for n, c in self.coeffs:
+            if n == name:
+                return c
+        return 0
+
+    @property
+    def variables(self) -> tuple[str, ...]:
+        return tuple(n for n, _ in self.coeffs)
+
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    def substitute(self, env: Mapping[str, int]) -> "AffineExpr":
+        """Partially bind some variables, leaving the rest symbolic."""
+        coeffs: dict[str, int] = {}
+        const = self.const
+        for name, c in self.coeffs:
+            if name in env:
+                const += c * env[name]
+            else:
+                coeffs[name] = coeffs.get(name, 0) + c
+        return AffineExpr._from_dict(coeffs, const)
+
+    def __str__(self) -> str:
+        parts: list[str] = []
+        for name, c in self.coeffs:
+            if c == 1:
+                term = name
+            elif c == -1:
+                term = f"-{name}"
+            else:
+                term = f"{c}*{name}"
+            if parts and not term.startswith("-"):
+                parts.append(f"+ {term}")
+            elif parts:
+                parts.append(f"- {term[1:]}")
+            else:
+                parts.append(term)
+        if self.const or not parts:
+            if parts:
+                sign = "+" if self.const >= 0 else "-"
+                parts.append(f"{sign} {abs(self.const)}")
+            else:
+                parts.append(str(self.const))
+        return " ".join(parts)
+
+
+def _parse_affine(source: str) -> AffineExpr:
+    """Parse ``"n - i + 2*j - 3"`` into an AffineExpr."""
+    text = source.replace(" ", "")
+    if not text:
+        raise ValueError("empty affine expression")
+    # Tokenise into signed terms.
+    terms: list[str] = []
+    current = ""
+    for ch in text:
+        if ch in "+-" and current:
+            terms.append(current)
+            current = ch if ch == "-" else ""
+        elif ch in "+-" and not current:
+            if ch == "-":
+                current = "-"
+        else:
+            current += ch
+    if current in ("", "-"):
+        raise ValueError(f"dangling sign in affine expression {source!r}")
+    terms.append(current)
+
+    expr = AffineExpr.constant(0)
+    for term in terms:
+        sign = 1
+        body = term
+        if body.startswith("-"):
+            sign = -1
+            body = body[1:]
+        if "*" in body:
+            left, _, right = body.partition("*")
+            if left.lstrip("-").isdigit():
+                coeff, name = int(left), right
+            elif right.lstrip("-").isdigit():
+                coeff, name = int(right), left
+            else:
+                raise ValueError(f"non-affine term {term!r} in {source!r}")
+            if not name.isidentifier():
+                raise ValueError(f"bad variable {name!r} in {source!r}")
+            expr = expr + AffineExpr.var(name, sign * coeff)
+        elif body.isdigit():
+            expr = expr + sign * int(body)
+        elif body.isidentifier():
+            expr = expr + AffineExpr.var(body, sign)
+        else:
+            raise ValueError(f"cannot parse term {term!r} in {source!r}")
+    return expr

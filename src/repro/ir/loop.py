@@ -1,0 +1,98 @@
+"""Perfect loop nests with symbolic bounds."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence, Union
+
+from repro.ir.affine import AffineExpr
+from repro.util.polyhedron import Polytope
+
+__all__ = ["LoopNest"]
+
+BoundLike = Union[AffineExpr, str, int]
+
+
+@dataclass(frozen=True)
+class LoopNest:
+    """``for indices[0] = lo0..hi0: for indices[1] = lo1..hi1: ...``
+
+    Bounds are inclusive and affine in the program's size symbols (only —
+    triangular nests, where an inner bound mentions an outer index, are
+    outside the regular-loop class the paper handles, and are rejected).
+    """
+
+    indices: tuple[str, ...]
+    bounds: tuple[tuple[AffineExpr, AffineExpr], ...]
+
+    @staticmethod
+    def of(
+        indices: Sequence[str],
+        bounds: Sequence[tuple[BoundLike, BoundLike]],
+    ) -> "LoopNest":
+        if len(indices) != len(bounds):
+            raise ValueError("one (lo, hi) pair per index required")
+        if len(set(indices)) != len(indices):
+            raise ValueError("duplicate loop index names")
+        parsed = tuple(
+            (AffineExpr.parse(lo), AffineExpr.parse(hi)) for lo, hi in bounds
+        )
+        nest = LoopNest(tuple(indices), parsed)
+        for lo, hi in parsed:
+            for expr in (lo, hi):
+                bad = set(expr.variables) & set(indices)
+                if bad:
+                    raise ValueError(
+                        f"bound {expr} mentions loop indices {sorted(bad)}; "
+                        "only rectangular (regular) nests are supported"
+                    )
+        return nest
+
+    @property
+    def depth(self) -> int:
+        return len(self.indices)
+
+    def concrete_bounds(
+        self, sizes: Mapping[str, int]
+    ) -> tuple[tuple[int, int], ...]:
+        """Inclusive integer bounds once size symbols are bound."""
+        out = []
+        for lo, hi in self.bounds:
+            lo_v, hi_v = lo.evaluate(sizes), hi.evaluate(sizes)
+            if lo_v > hi_v:
+                raise ValueError(
+                    f"empty loop range {lo_v}..{hi_v} under sizes {dict(sizes)}"
+                )
+            out.append((lo_v, hi_v))
+        return tuple(out)
+
+    def domain(self, sizes: Mapping[str, int]) -> Polytope:
+        """The ISG polytope of this nest for concrete sizes."""
+        return Polytope.from_loop_bounds(self.concrete_bounds(sizes))
+
+    def points(self, sizes: Mapping[str, int]) -> Iterator[tuple[int, ...]]:
+        """Iteration points in the original lexicographic order."""
+        ranges = [
+            range(lo, hi + 1) for lo, hi in self.concrete_bounds(sizes)
+        ]
+        return itertools.product(*ranges)
+
+    def iteration_count(self, sizes: Mapping[str, int]) -> int:
+        total = 1
+        for lo, hi in self.concrete_bounds(sizes):
+            total *= hi - lo + 1
+        return total
+
+    def env(self, point: Sequence[int]) -> dict[str, int]:
+        """Bind the nest's index names to one iteration point."""
+        if len(point) != self.depth:
+            raise ValueError("point depth mismatch")
+        return dict(zip(self.indices, point))
+
+    def __str__(self) -> str:
+        parts = [
+            f"for {name} = {lo}..{hi}"
+            for name, (lo, hi) in zip(self.indices, self.bounds)
+        ]
+        return "; ".join(parts)

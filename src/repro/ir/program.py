@@ -1,0 +1,102 @@
+"""Programs: a perfect loop nest plus its body and array declarations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence, Union
+
+from repro.ir.affine import AffineExpr
+from repro.ir.loop import LoopNest
+from repro.ir.stmt import Assignment
+
+__all__ = ["ArrayDecl", "Program"]
+
+
+@dataclass(frozen=True)
+class ArrayDecl:
+    """An array's declaration and its role at the loop boundary.
+
+    ``live_out`` marks arrays (or the border region of an array) whose
+    values are used after the loop; everything written but not live-out is
+    *temporary* — the storage the UOV technique is allowed to remap
+    (Section 2's array region analysis determines this in a compiler; here
+    the program states it and the analysis verifies consistency).
+    """
+
+    name: str
+    shape: tuple[AffineExpr, ...]
+    live_out: bool = False
+
+    @staticmethod
+    def of(
+        name: str,
+        *shape: Union[AffineExpr, str, int],
+        live_out: bool = False,
+    ) -> "ArrayDecl":
+        return ArrayDecl(
+            name, tuple(AffineExpr.parse(s) for s in shape), live_out=live_out
+        )
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    def concrete_shape(self, sizes: Mapping[str, int]) -> tuple[int, ...]:
+        return tuple(s.evaluate(sizes) for s in self.shape)
+
+
+@dataclass(frozen=True)
+class Program:
+    """A regular loop: perfect nest, assignments, array declarations.
+
+    ``size_symbols`` lists the runtime parameters (``n``, ``m``, ``L``,
+    ``T``) every analysis that needs concrete numbers must bind.
+    """
+
+    name: str
+    loop: LoopNest
+    body: tuple[Assignment, ...]
+    arrays: tuple[ArrayDecl, ...]
+    size_symbols: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        declared = {d.name for d in self.arrays}
+        for stmt in self.body:
+            used = {stmt.target.array, *(r.array for r in stmt.sources)}
+            missing = used - declared
+            if missing:
+                raise ValueError(
+                    f"statement {stmt} references undeclared arrays "
+                    f"{sorted(missing)}"
+                )
+        names = [d.name for d in self.arrays]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate array declarations")
+
+    def array(self, name: str) -> ArrayDecl:
+        for d in self.arrays:
+            if d.name == name:
+                return d
+        raise KeyError(name)
+
+    @property
+    def single_statement(self) -> Assignment:
+        """The assignment, for the single-statement programs the evaluation
+        uses (Section 3 treats multiple assignments one at a time)."""
+        if len(self.body) != 1:
+            raise ValueError(
+                f"program {self.name!r} has {len(self.body)} statements; "
+                "pick one explicitly"
+            )
+        return self.body[0]
+
+    def check_sizes(self, sizes: Mapping[str, int]) -> None:
+        missing = [s for s in self.size_symbols if s not in sizes]
+        if missing:
+            raise ValueError(f"unbound size symbols: {missing}")
+
+    def __str__(self) -> str:
+        lines = [f"program {self.name}:", f"  {self.loop}:"]
+        for stmt in self.body:
+            lines.append(f"    {stmt}")
+        return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""Array references with affine subscripts."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence, Union
+
+from repro.ir.affine import AffineExpr
+
+__all__ = ["ArrayRef"]
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """``array[sub_1, ..., sub_k]`` with each subscript affine.
+
+    The *uniform* references the paper's analysis assumes are those whose
+    subscripts are loop indices plus constants (``A[i-1, j]``);
+    :meth:`is_uniform_in` checks that property, and
+    :meth:`offset_from` extracts the constant offset vector that dependence
+    analysis turns into stencil vectors.
+    """
+
+    array: str
+    subscripts: tuple[AffineExpr, ...]
+
+    @staticmethod
+    def of(
+        array: str, *subscripts: Union[AffineExpr, str, int]
+    ) -> "ArrayRef":
+        return ArrayRef(array, tuple(AffineExpr.parse(s) for s in subscripts))
+
+    @property
+    def rank(self) -> int:
+        return len(self.subscripts)
+
+    def index(self, env: Mapping[str, int]) -> tuple[int, ...]:
+        """Concrete element index for one iteration binding."""
+        return tuple(s.evaluate(env) for s in self.subscripts)
+
+    def is_uniform_in(self, indices: Sequence[str]) -> bool:
+        """True when subscripts are ``(index_k + const)`` in nest order.
+
+        That is, subscript ``k`` must be exactly ``indices[k] + c_k`` —
+        the identity linear part that makes value-based dependence analysis
+        exact with constant distance vectors.
+        """
+        if len(self.subscripts) != len(indices):
+            return False
+        for k, sub in enumerate(self.subscripts):
+            for name, coeff in sub.coeffs:
+                if name != indices[k] or coeff != 1:
+                    return False
+            if sub.coefficient(indices[k]) != 1:
+                return False
+        return True
+
+    def offset_from(self, indices: Sequence[str]) -> tuple[int, ...]:
+        """The constant offset ``c`` with subscripts ``indices + c``.
+
+        Raises ``ValueError`` when the reference is not uniform.
+        """
+        if not self.is_uniform_in(indices):
+            raise ValueError(
+                f"{self} is not a uniform reference in indices {tuple(indices)}"
+            )
+        return tuple(s.const for s in self.subscripts)
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(s) for s in self.subscripts)
+        return f"{self.array}[{inner}]"

@@ -1,0 +1,55 @@
+"""Assignment statements: ``target = combine(*sources)``.
+
+One statement per storage-mapped value stream, as in Section 3: "our
+technique focuses on one assignment at a time".  ``combine`` is an
+arbitrary Python callable over the source values — the reproduction's
+codes use weighted averages (5-point stencil) and a max-plus scoring
+recurrence (protein string matching).  The callable participates only in
+interpretation; analyses look at the references alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.ir.ref import ArrayRef
+
+__all__ = ["Assignment"]
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """``target = combine(sources...)`` with an opaque combining function."""
+
+    target: ArrayRef
+    sources: tuple[ArrayRef, ...]
+    combine: Callable[..., float] = field(compare=False)
+    #: cost descriptor for the machine model: how many floating-point /
+    #: integer ops and data-dependent branches one evaluation performs.
+    flops: int = 0
+    int_ops: int = 0
+    branches: int = 0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.sources, tuple):
+            object.__setattr__(self, "sources", tuple(self.sources))
+
+    @property
+    def arrays_read(self) -> tuple[str, ...]:
+        return tuple(dict.fromkeys(ref.array for ref in self.sources))
+
+    @property
+    def array_written(self) -> str:
+        return self.target.array
+
+    def self_sources(self) -> tuple[ArrayRef, ...]:
+        """Reads of the same array the statement writes — the refs that
+        generate loop-carried value dependences."""
+        return tuple(
+            ref for ref in self.sources if ref.array == self.target.array
+        )
+
+    def __str__(self) -> str:
+        reads = ", ".join(str(s) for s in self.sources)
+        return f"{self.target} = f({reads})"

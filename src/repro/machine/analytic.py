@@ -1,0 +1,123 @@
+"""Closed-form stall predictions for streaming loop nests.
+
+A cross-check on the trace-driven simulator: for the *untiled, streaming*
+code versions the cache behaviour has a textbook closed form, and the
+tests require the simulator to land near it.  (Tiled and conflict-heavy
+configurations are exactly the cases with no clean closed form — that is
+why the simulator exists — so the model does not attempt them.)
+
+Each :class:`Stream` is a storage region walked at unit stride once per
+sweep (one time step).  Its cost per sweep is one miss per line, served
+by the level determined by the stream's **reuse distance** — the bytes
+touched between two visits to the same line:
+
+- ``reuse_bytes <= L1``: hits, free;
+- ``<= L2``: one ``l2_stall`` per line;
+- larger (or compulsory — lines never seen before, like the natural
+  version's fresh output rows): one ``memory_stall`` per line;
+- reuse distance beyond the TLB's reach adds ``tlb_stall`` per page;
+- a compulsory stream that has exhausted physical memory additionally
+  pays the write-back cost per fresh page (the streaming
+  "falls out of memory" term of Section 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.machine.configs import MachineConfig
+
+__all__ = ["Stream", "predict_streaming_stalls", "stencil5_streams"]
+
+ELEMENT_BYTES = 8
+
+
+@dataclass(frozen=True)
+class Stream:
+    """One region walked at unit stride, once per sweep.
+
+    ``bytes_per_sweep`` — how much of the region one sweep touches;
+    ``reuse_bytes`` — bytes touched between two visits to one of its
+    lines (``None`` = compulsory: the lines are never revisited);
+    ``total_bytes`` — the region's whole footprint, for the paging term.
+    """
+
+    name: str
+    bytes_per_sweep: int
+    reuse_bytes: int | None
+    total_bytes: int = 0
+
+
+def predict_streaming_stalls(
+    streams: list[Stream],
+    machine: MachineConfig,
+    iterations_per_sweep: int,
+    sweeps: int,
+) -> float:
+    """Predicted stall cycles per iteration for a streaming nest."""
+    if iterations_per_sweep <= 0 or sweeps <= 0:
+        raise ValueError("iteration structure must be positive")
+    if not streams:
+        raise ValueError("at least one stream is required")
+    line = machine.l1.line_bytes
+    page = machine.page_bytes
+    tlb_reach = machine.tlb_entries * page
+    per_sweep = 0.0
+    for s in streams:
+        lines = s.bytes_per_sweep / line
+        pages = s.bytes_per_sweep / page
+        if s.reuse_bytes is None:
+            per_line = machine.memory_stall
+            per_sweep += pages * machine.tlb_stall
+            if s.total_bytes > machine.memory_bytes:
+                # fresh pages beyond memory force dirty evictions
+                per_sweep += pages * machine.fault_stall / 2
+        elif s.reuse_bytes <= machine.l1.size_bytes:
+            per_line = 0.0
+        elif s.reuse_bytes <= machine.l2.size_bytes:
+            per_line = machine.l2_stall
+            if s.reuse_bytes > tlb_reach:
+                per_sweep += pages * machine.tlb_stall
+        else:
+            per_line = machine.memory_stall
+            if s.reuse_bytes > tlb_reach:
+                per_sweep += pages * machine.tlb_stall
+        per_sweep += lines * per_line
+    return per_sweep / iterations_per_sweep
+
+
+def stencil5_streams(
+    version_key: str, length: int, t_steps: int
+) -> tuple[list[Stream], int, int]:
+    """Stream decomposition of the untiled 5-point stencil versions.
+
+    Returns ``(streams, iterations_per_sweep, sweeps)``.
+
+    - **natural**: each sweep writes a fresh row (compulsory) and reads
+      the previous row (reuse distance: the two rows touched since it
+      was written, ~``2 L`` elements);
+    - **ov-mapped**: two class rows, each rewritten every other sweep —
+      reuse distance is the full ``2 L`` buffer;
+    - **storage-optimized**: one window of ``L + 3`` elements, reused
+      every sweep.
+    """
+    row = length * ELEMENT_BYTES
+    if version_key.startswith("natural"):
+        streams = [
+            Stream(
+                "write-row",
+                row,
+                None,
+                total_bytes=t_steps * row,
+            ),
+            Stream("read-row", row, reuse_bytes=2 * row),
+        ]
+    elif version_key.startswith("ov"):
+        streams = [
+            Stream("class-0", row, reuse_bytes=2 * row),
+            Stream("class-1", row, reuse_bytes=2 * row),
+        ]
+    else:  # storage-optimized
+        window = (length + 3) * ELEMENT_BYTES
+        streams = [Stream("window", window, reuse_bytes=window)]
+    return streams, length, t_steps

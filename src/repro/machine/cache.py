@@ -1,0 +1,93 @@
+"""A set-associative cache with true-LRU replacement.
+
+Addresses are *line numbers*, not bytes — the hierarchy divides by the
+line size once per access so the per-level lookups stay cheap (these inner
+loops dominate simulation time).  Each set is a Python dict used as an
+ordered set: hits are refreshed by delete-and-reinsert, evictions pop the
+oldest entry; both are O(1).
+"""
+
+from __future__ import annotations
+
+__all__ = ["Cache"]
+
+
+class Cache:
+    """One cache level.
+
+    Parameters
+    ----------
+    size_bytes / line_bytes / associativity:
+        Geometry; ``size_bytes`` must be a multiple of
+        ``line_bytes * associativity``.  ``associativity=1`` is a
+        direct-mapped cache, ``associativity=0`` means fully associative.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        size_bytes: int,
+        line_bytes: int,
+        associativity: int,
+    ):
+        if size_bytes <= 0 or line_bytes <= 0:
+            raise ValueError("cache sizes must be positive")
+        lines = size_bytes // line_bytes
+        if lines == 0:
+            raise ValueError("cache smaller than one line")
+        if associativity == 0:
+            associativity = lines
+        if lines % associativity:
+            raise ValueError(
+                f"{name}: {lines} lines not divisible by "
+                f"associativity {associativity}"
+            )
+        self.name = name
+        self.size_bytes = size_bytes
+        self.line_bytes = line_bytes
+        self.associativity = associativity
+        self.num_sets = lines // associativity
+        self._sets: list[dict[int, None]] = [dict() for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, line: int) -> bool:
+        """Touch a line; returns True on hit.  Misses allocate (the evicted
+        victim, if any, is silently dropped — a write-back bus model is not
+        needed for latency-shape experiments)."""
+        s = self._sets[line % self.num_sets]
+        if line in s:
+            # refresh LRU position
+            del s[line]
+            s[line] = None
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(s) >= self.associativity:
+            s.pop(next(iter(s)))
+        s[line] = None
+        return False
+
+    def contains(self, line: int) -> bool:
+        """Non-mutating lookup (used by tests)."""
+        return line in self._sets[line % self.num_sets]
+
+    def reset(self) -> None:
+        for s in self._sets:
+            s.clear()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"Cache({self.name!r}, {self.size_bytes}B, "
+            f"{self.line_bytes}B lines, {self.associativity}-way)"
+        )

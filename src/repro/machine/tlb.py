@@ -1,0 +1,54 @@
+"""A fully-associative LRU translation lookaside buffer.
+
+The paper's storage-optimized codes "fall out of cache, TLB, and
+eventually memory" — the TLB knee sits between the cache knees and the
+paging cliff, and this little model is what produces it.  Addresses are
+*page numbers*.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TLB"]
+
+
+class TLB:
+    """Fully-associative page-translation cache with LRU replacement."""
+
+    def __init__(self, name: str, entries: int, page_bytes: int):
+        if entries <= 0 or page_bytes <= 0:
+            raise ValueError("TLB geometry must be positive")
+        self.name = name
+        self.entries = entries
+        self.page_bytes = page_bytes
+        self._resident: dict[int, None] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, page: int) -> bool:
+        """Translate a page; returns True on hit."""
+        if page in self._resident:
+            del self._resident[page]
+            self._resident[page] = None
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(self._resident) >= self.entries:
+            self._resident.pop(next(iter(self._resident)))
+        self._resident[page] = None
+        return False
+
+    def reset(self) -> None:
+        self._resident.clear()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def __repr__(self) -> str:
+        return f"TLB({self.name!r}, {self.entries} entries, {self.page_bytes}B pages)"

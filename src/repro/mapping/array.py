@@ -1,0 +1,100 @@
+"""Natural array storage: row-major and column-major linearisation.
+
+These are the mappings of the *natural* code versions (full array
+expansion): a d-dimensional array of temporaries holding every intermediate
+value.  Section 4 of the paper gives both as dot products with a vector of
+constant strides; the op cost is ``(d-1)`` multiplies and ``(d-1)`` adds,
+which is the baseline the OV mapping's overhead is compared against.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.mapping.base import StorageMapping
+from repro.mapping.expr import Expr, affine
+
+__all__ = ["RowMajorMapping", "ColMajorMapping"]
+
+
+class _StridedMapping(StorageMapping):
+    """Common machinery: offset = strides . (point - origin)."""
+
+    def __init__(
+        self,
+        shape: Sequence[int],
+        origin: Sequence[int] | None = None,
+    ):
+        if not shape:
+            raise ValueError("array shape must have at least one dimension")
+        if any(s <= 0 for s in shape):
+            raise ValueError(f"array extents must be positive, got {tuple(shape)}")
+        self._shape = tuple(int(s) for s in shape)
+        self.dim = len(self._shape)
+        if origin is None:
+            origin = (0,) * self.dim
+        if len(origin) != self.dim:
+            raise ValueError("origin dimensionality mismatch")
+        self._origin = tuple(int(c) for c in origin)
+        self._strides = self._compute_strides()
+
+    def _compute_strides(self) -> tuple[int, ...]:
+        raise NotImplementedError
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self._shape
+
+    @property
+    def strides(self) -> tuple[int, ...]:
+        return self._strides
+
+    @property
+    def size(self) -> int:
+        n = 1
+        for s in self._shape:
+            n *= s
+        return n
+
+    def __call__(self, point: Sequence[int]) -> int:
+        self.check_point(point)
+        return sum(
+            st * (c - o) for st, c, o in zip(self._strides, point, self._origin)
+        )
+
+    def expression(self, variables: Sequence[str]) -> Expr:
+        if len(variables) != self.dim:
+            raise ValueError("variable list dimensionality mismatch")
+        constant = -sum(st * o for st, o in zip(self._strides, self._origin))
+        return affine(self._strides, variables, constant)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(shape={self._shape}, origin={self._origin})"
+        )
+
+
+class RowMajorMapping(_StridedMapping):
+    """C-style layout: the last subscript varies fastest.
+
+    ``(q1..qd) -> q1*(s2..sd) + q2*(s3..sd) + ... + qd`` (paper, Section 4).
+    """
+
+    def _compute_strides(self) -> tuple[int, ...]:
+        strides = [1] * self.dim
+        for k in range(self.dim - 2, -1, -1):
+            strides[k] = strides[k + 1] * self._shape[k + 1]
+        return tuple(strides)
+
+
+class ColMajorMapping(_StridedMapping):
+    """Fortran-style layout: the first subscript varies fastest.
+
+    ``(q1..qd) -> q1 + s1*q2 + s1*s2*q3 + ...`` (paper, Section 4).
+    """
+
+    def _compute_strides(self) -> tuple[int, ...]:
+        strides = [1] * self.dim
+        for k in range(1, self.dim):
+            strides[k] = strides[k - 1] * self._shape[k - 1]
+        return tuple(strides)

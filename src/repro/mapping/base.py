@@ -1,0 +1,95 @@
+"""The storage-mapping interface shared by all mapping families.
+
+A storage mapping is a function from an iteration point (or an array index
+point, for natural storage) to an integer offset in a one-dimensional
+buffer.  The interface deliberately exposes three views of the same object:
+
+- ``__call__`` — evaluate the mapping on one point (used by the
+  interpreter and the trace generator);
+- ``size`` — how many locations to allocate (the storage-requirement
+  tables of Section 5);
+- ``expression`` — the symbolic address computation, from which
+  ``op_cost`` derives the indexing-overhead numbers of Section 5.1.
+
+Mappings are immutable after construction.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+from repro.mapping.expr import Expr, OpTally
+
+__all__ = ["StorageMapping", "OpCounts"]
+
+# Public alias: benchmarks and docs talk about "op counts".
+OpCounts = OpTally
+
+
+class StorageMapping(abc.ABC):
+    """Abstract base: map integer points to offsets in a linear buffer."""
+
+    #: Number of coordinates a point must have.
+    dim: int
+
+    @abc.abstractmethod
+    def __call__(self, point: Sequence[int]) -> int:
+        """Offset of ``point`` in the buffer; always in ``[0, size)`` for
+        points inside the mapping's declared domain."""
+
+    @property
+    @abc.abstractmethod
+    def size(self) -> int:
+        """Number of storage locations this mapping allocates."""
+
+    @abc.abstractmethod
+    def expression(self, variables: Sequence[str]) -> Expr:
+        """Symbolic address expression over the given index variable names."""
+
+    def op_cost(self, variables: Sequence[str] | None = None) -> OpTally:
+        """Arithmetic operations per address computation.
+
+        The default derives the count from the simplified expression tree,
+        so mappings whose multiplies fold away (unit coefficients,
+        power-of-two strides left alone — we do not assume strength
+        reduction) automatically report the cheaper cost.
+        """
+        if variables is None:
+            variables = [f"q{k}" for k in range(self.dim)]
+        return self.expression(variables).op_counts()
+
+    def effective_op_cost(
+        self, variables: Sequence[str] | None = None
+    ) -> OpTally:
+        """Per-address cost after the optimisations generated code applies.
+
+        The paper notes (Section 4.2) that the ``mod`` overhead of
+        non-prime OV mappings is removed by loop unrolling; subclasses
+        whose mods are unrollable (or replaced by pointer rotation, for
+        the rolling buffer) override this.  The default is the plain
+        expression cost — natural array mappings have nothing to remove.
+        """
+        return self.op_cost(variables)
+
+    def compiled(self):
+        """A fast positional callable ``f(q0, q1, ...) -> offset``.
+
+        Built by evaluating the mapping's own generated source — the same
+        expression the code generators emit — so the compiled form is both
+        a speed path for the simulator's inner loops and a continuous
+        consistency check between the symbolic and direct evaluations
+        (property tests compare the two).
+        """
+        names = [f"q{k}" for k in range(self.dim)]
+        source = self.expression(names).to_python()
+        return eval(  # noqa: S307 - source comes from our own Expr printer
+            f"lambda {', '.join(names)}: {source}", {"__builtins__": {}}
+        )
+
+    def check_point(self, point: Sequence[int]) -> None:
+        if len(point) != self.dim:
+            raise ValueError(
+                f"point {tuple(point)} has dimension {len(point)}, "
+                f"mapping expects {self.dim}"
+            )

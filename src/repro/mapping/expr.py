@@ -1,0 +1,244 @@
+"""Address-expression IR with operation counting and code emission.
+
+The overhead argument of Sections 4 and 5.1 is an *operation count*
+argument: a natural d-dimensional array reference costs ``(d-1)`` multiplies
+and ``(d-1)`` adds; an OV-based mapping costs at most one multiply and two
+adds more; and constant folding often removes the multiplies entirely (the
+Figure 1(b) mapping ``(-1,1).q + n`` is one subtraction and one addition).
+
+To make those claims measurable rather than asserted, storage mappings
+produce their address computation as a small expression tree.  The tree is
+*simplified on construction* (mul by 0/1, add of 0, constant folding) so
+that :meth:`Expr.op_counts` reports what a reasonable compiler would emit,
+and :meth:`Expr.to_python` / :meth:`Expr.to_c` emit the exact source the
+code generators paste into loop bodies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence, Union
+
+__all__ = ["Expr", "Var", "Const", "Add", "Mul", "Mod", "OpTally", "affine"]
+
+
+@dataclass(frozen=True)
+class OpTally:
+    """Counts of arithmetic operations in an address expression."""
+
+    adds: int = 0
+    muls: int = 0
+    mods: int = 0
+
+    def __add__(self, other: "OpTally") -> "OpTally":
+        return OpTally(
+            self.adds + other.adds,
+            self.muls + other.muls,
+            self.mods + other.mods,
+        )
+
+    @property
+    def total(self) -> int:
+        return self.adds + self.muls + self.mods
+
+
+class Expr:
+    """Base class for address expressions (immutable)."""
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        raise NotImplementedError
+
+    def op_counts(self) -> OpTally:
+        raise NotImplementedError
+
+    def to_python(self) -> str:
+        raise NotImplementedError
+
+    def to_c(self) -> str:
+        # The generated grammar is common to both languages.
+        return self.to_python()
+
+    # Operator sugar keeps mapping construction readable.
+    def __add__(self, other: "Expr | int") -> "Expr":
+        return Add.make(self, _coerce(other))
+
+    def __radd__(self, other: int) -> "Expr":
+        return Add.make(_coerce(other), self)
+
+    def __mul__(self, other: "Expr | int") -> "Expr":
+        return Mul.make(self, _coerce(other))
+
+    def __rmul__(self, other: int) -> "Expr":
+        return Mul.make(_coerce(other), self)
+
+    def __mod__(self, other: int) -> "Expr":
+        return Mod.make(self, _coerce(other))
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A loop index variable."""
+
+    name: str
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return env[self.name]
+
+    def op_counts(self) -> OpTally:
+        return OpTally()
+
+    def to_python(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """An integer constant (sizes and shifts are folded in at build time)."""
+
+    value: int
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return self.value
+
+    def op_counts(self) -> OpTally:
+        return OpTally()
+
+    def to_python(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Add(Expr):
+    left: Expr
+    right: Expr
+
+    @staticmethod
+    def make(left: Expr, right: Expr) -> Expr:
+        if isinstance(left, Const) and isinstance(right, Const):
+            return Const(left.value + right.value)
+        if isinstance(left, Const) and left.value == 0:
+            return right
+        if isinstance(right, Const) and right.value == 0:
+            return left
+        return Add(left, right)
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return self.left.evaluate(env) + self.right.evaluate(env)
+
+    def op_counts(self) -> OpTally:
+        return self.left.op_counts() + self.right.op_counts() + OpTally(adds=1)
+
+    def to_python(self) -> str:
+        right = self.right
+        if isinstance(right, Const) and right.value < 0:
+            return f"{self.left.to_python()} - {-right.value}"
+        if isinstance(right, Mul) and isinstance(right.left, Const) and right.left.value == -1:
+            return f"{self.left.to_python()} - {right.right.to_python()}"
+        return f"{self.left.to_python()} + {right.to_python()}"
+
+
+@dataclass(frozen=True)
+class Mul(Expr):
+    left: Expr
+    right: Expr
+
+    @staticmethod
+    def make(left: Expr, right: Expr) -> Expr:
+        if isinstance(right, Const) and not isinstance(left, Const):
+            left, right = right, left  # canonical: constant first
+        if isinstance(left, Const):
+            if left.value == 0:
+                return Const(0)
+            if left.value == 1:
+                return right
+            if isinstance(right, Const):
+                return Const(left.value * right.value)
+            if left.value == -1:
+                # Negation is an add-class operation, not a multiply; keep
+                # the node (codegen prints "- x") but see op_counts below.
+                return Mul(left, right)
+        return Mul(left, right)
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return self.left.evaluate(env) * self.right.evaluate(env)
+
+    def op_counts(self) -> OpTally:
+        inner = self.left.op_counts() + self.right.op_counts()
+        if isinstance(self.left, Const):
+            if self.left.value == -1:
+                return inner  # negation folds into the surrounding add/sub
+            if abs(self.left.value) in (2, 4, 8):
+                # Small power-of-two scales fold into addressing modes
+                # (x86 SIB) or a single shift: charge an add-class op.
+                return inner + OpTally(adds=1)
+        return inner + OpTally(muls=1)
+
+    def to_python(self) -> str:
+        if isinstance(self.left, Const) and self.left.value == -1:
+            return f"-{_parenthesised(self.right)}"
+        return f"{_parenthesised(self.left)} * {_parenthesised(self.right)}"
+
+
+@dataclass(frozen=True)
+class Mod(Expr):
+    left: Expr
+    right: Expr
+
+    @staticmethod
+    def make(left: Expr, right: Expr) -> Expr:
+        if not isinstance(right, Const) or right.value <= 0:
+            raise ValueError("modulus must be a positive constant")
+        if right.value == 1:
+            return Const(0)
+        if isinstance(left, Const):
+            return Const(left.value % right.value)
+        return Mod(left, right)
+
+    def evaluate(self, env: Mapping[str, int]) -> int:
+        return self.left.evaluate(env) % self.right.evaluate(env)
+
+    def op_counts(self) -> OpTally:
+        return self.left.op_counts() + self.right.op_counts() + OpTally(mods=1)
+
+    def to_python(self) -> str:
+        return f"{_parenthesised(self.left)} % {self.right.to_python()}"
+
+
+def affine(
+    coefficients: Sequence[int],
+    variables: Sequence[str],
+    constant: int = 0,
+) -> Expr:
+    """Build the simplified expression ``sum(c_k * var_k) + constant``.
+
+    This is the ``mv . q + shift`` core of every storage mapping; the
+    simplifying constructors drop zero terms and unit multiplies so the op
+    count matches the paper's hand counts (e.g. Figure 1(b)).
+    """
+    if len(coefficients) != len(variables):
+        raise ValueError("coefficient/variable length mismatch")
+    expr: Expr = Const(constant)
+    # Accumulate non-zero terms left-to-right after the leading term so the
+    # printed form reads like the paper's formulas.
+    terms: list[Expr] = []
+    for c, name in zip(coefficients, variables):
+        if c != 0:
+            terms.append(Mul.make(Const(c), Var(name)))
+    if not terms:
+        return Const(constant)
+    expr = terms[0]
+    for t in terms[1:]:
+        expr = Add.make(expr, t)
+    return Add.make(expr, Const(constant))
+
+
+def _coerce(value: Union[Expr, int]) -> Expr:
+    if isinstance(value, Expr):
+        return value
+    return Const(int(value))
+
+
+def _parenthesised(e: Expr) -> str:
+    if isinstance(e, (Var, Const)):
+        return e.to_python()
+    return f"({e.to_python()})"

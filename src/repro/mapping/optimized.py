@@ -1,0 +1,150 @@
+"""Schedule-dependent minimal storage: the rolling buffer.
+
+The paper's "storage optimized" versions (Figure 1(c); Tables 1 and 2) keep
+only the values still live under one *fixed* schedule.  For a loop executed
+in lexicographic order, a value produced at ``p`` is last read at
+``p + v_max`` where ``v_max`` is the dependence reaching furthest forward in
+the flattened execution order; a circular buffer of
+
+    window = max_v (flattened distance of v) + 1
+
+locations therefore suffices, and no smaller buffer can work (the value
+at the head of the window is still live when the tail is written).
+
+For the paper's codes this reproduces the reported numbers:
+
+- Figure 1(c) stencil ``{(1,0),(0,1),(1,1)}`` over an inner extent ``m``:
+  distances ``{m, 1, m+1}`` -> ``m + 2`` locations;
+- 5-point stencil ``{(1,-2)..(1,2)}`` over an inner extent ``L``:
+  distances ``{L-2 .. L+2}`` -> ``L + 3`` locations;
+- protein string matching runs interchanged (inner loop over the first
+  string, extent ``n0``) with the published double-column variant's
+  ``2*n0 + 3`` window supplied as an explicit override (the generic
+  minimum would be ``n0 + 2``).
+
+The price (Section 1) is that the mapping's reuse distance equals its
+allocation: it introduces storage dependences across the whole window, so
+any schedule that is not within-window-compatible with the chosen order —
+tiling in particular — becomes illegal.  The legality checker in
+:mod:`repro.analysis.liveness` demonstrates exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.stencil import Stencil
+from repro.mapping.base import StorageMapping
+from repro.mapping.expr import Const, Expr, Mod, affine
+from repro.util.polyhedron import Polytope
+
+__all__ = ["RollingBufferMapping"]
+
+
+class RollingBufferMapping(StorageMapping):
+    """Minimal storage for one lexicographic-style schedule of a box ISG.
+
+    ``SM(q) = flatten(q) mod window`` where ``flatten`` enumerates the box
+    in the execution order given by ``perm`` (default: original nest
+    order, i.e. row-major) and ``window`` is the stencil's live-range span
+    under that order (or an explicit override; only ever *larger* windows
+    are safe and the constructor enforces that).
+    """
+
+    def __init__(
+        self,
+        stencil: Stencil,
+        isg: Polytope,
+        window: int | None = None,
+        perm: Sequence[int] | None = None,
+    ):
+        lower, upper = isg.bounding_box()
+        if stencil.dim != isg.dim:
+            raise ValueError("stencil and ISG dimensionality mismatch")
+        self.dim = stencil.dim
+        self._stencil = stencil
+        self._lower = lower
+        if perm is None:
+            perm = tuple(range(self.dim))
+        if sorted(perm) != list(range(self.dim)):
+            raise ValueError(f"{perm!r} is not a permutation")
+        self._perm = tuple(perm)
+        extents = [hi - lo + 1 for lo, hi in zip(lower, upper)]
+        # Strides so that the innermost (last in perm) axis is unit stride.
+        strides = [0] * self.dim
+        acc = 1
+        for axis in reversed(self._perm):
+            strides[axis] = acc
+            acc *= extents[axis]
+        self._strides = strides
+        minimal = self._span(stencil) + 1
+        if window is None:
+            window = minimal
+        elif window < minimal:
+            raise ValueError(
+                f"window {window} smaller than the live-range span "
+                f"{minimal}; values would be clobbered while live"
+            )
+        self._window = window
+
+    def _span(self, stencil: Stencil) -> int:
+        span = max(
+            sum(s * c for s, c in zip(self._strides, v))
+            for v in stencil.vectors
+        )
+        if span <= 0:
+            raise ValueError(
+                "stencil has no forward dependence under this order; "
+                "the chosen permutation is not a legal schedule"
+            )
+        return span
+
+    @staticmethod
+    def minimal_window(
+        stencil: Stencil,
+        isg: Polytope,
+        perm: Sequence[int] | None = None,
+    ) -> int:
+        """Live-range span + 1 under the (permuted) lexicographic order."""
+        probe = RollingBufferMapping(stencil, isg, window=None, perm=perm)
+        return probe.window
+
+    @property
+    def window(self) -> int:
+        return self._window
+
+    @property
+    def perm(self) -> tuple[int, ...]:
+        return self._perm
+
+    @property
+    def size(self) -> int:
+        return self._window
+
+    def flatten(self, point: Sequence[int]) -> int:
+        return sum(
+            s * (c - lo)
+            for s, c, lo in zip(self._strides, point, self._lower)
+        )
+
+    def __call__(self, point: Sequence[int]) -> int:
+        self.check_point(point)
+        return self.flatten(point) % self._window
+
+    def expression(self, variables: Sequence[str]) -> Expr:
+        constant = -sum(s * lo for s, lo in zip(self._strides, self._lower))
+        flat = affine(self._strides, variables, constant)
+        return Mod.make(flat, Const(self._window))
+
+    def effective_op_cost(self, variables=None):
+        """Hand-written rolling-buffer code keeps a cursor instead of
+        evaluating ``flatten(q) mod window``: one increment plus an
+        (amortised) wrap check per reference — Figure 1(c)'s pointer/scalar
+        shuffling.  This is why the paper calls the storage-optimized
+        versions' indexing overhead the lowest of all."""
+        from repro.mapping.expr import OpTally
+
+        return OpTally(adds=1, muls=0, mods=0)
+
+    def __repr__(self) -> str:
+        return f"RollingBufferMapping(window={self._window}, perm={self._perm})"

@@ -1,0 +1,203 @@
+"""Two-dimensional OV-based storage mapping (Sections 4.1–4.3).
+
+Given an occupancy vector ``ov = (i, j)`` over an ISG, the mapping is
+
+    SM(q) = mv . q + shift + modterm
+
+- **Prime OV** (``gcd(i, j) == 1``): ``mv = (-j, i)``.  Two points ``ov``
+  apart map to the same location (``ov . mv == 0``); by Bezout the image
+  hits consecutive integers, so with ``shift = -min(mv . q)`` over the ISG
+  the buffer is dense and its size is the projection count of Figure 6.
+
+- **Non-prime OV** (``g = gcd(i, j) > 1``): lattice points *along* the OV
+  fall into ``g`` distinct storage classes that ``mv`` alone cannot
+  separate (Section 4.2, Figure 5).  A Bezout functional ``beta`` with
+  ``beta . u == 1`` (``u = ov / g`` the primitive direction) indexes the
+  class as ``beta . q mod g``; the classes are laid out either
+
+  * ``interleaved`` — ``SM(q) = g*(mvp . q) + (beta . q mod g) + shift``
+    (for the paper's 5-point-stencil example ``ov = (2, 0)`` this is
+    exactly ``(0,2) . q + (q1 mod 2)``), or
+  * ``consecutive`` — ``SM(q) = (mvp . q) + (beta . q mod g)*L + shift``
+    with ``L`` the projection length (the paper's
+    ``(0,1) . q + (q1 mod 2)*L``).
+
+Both layouts allocate ``g * L`` locations; they differ in spatial locality
+(interleaving keeps the classes in the same cache lines, the consecutive
+layout keeps each class unit-stride), which is precisely the distinction
+the paper's "OV-Mapped" vs "OV-Mapped Interleaved" measurements probe.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.mapping.base import StorageMapping
+from repro.mapping.expr import Const, Expr, Mod, affine
+from repro.util.intmath import extended_gcd, vector_gcd
+from repro.util.polyhedron import Polytope
+from repro.util.vectors import as_vector, dot, is_zero
+
+__all__ = ["OVMapping2D"]
+
+
+class OVMapping2D(StorageMapping):
+    """Storage mapping directed by a 2-D occupancy vector over an ISG."""
+
+    def __init__(
+        self,
+        ov: Sequence[int],
+        isg: Polytope,
+        layout: str = "interleaved",
+    ):
+        ov = as_vector(ov)
+        if len(ov) != 2:
+            raise ValueError("OVMapping2D requires a two-dimensional OV")
+        if is_zero(ov):
+            raise ValueError("the zero vector cannot direct storage reuse")
+        if isg.dim != 2:
+            raise ValueError("OVMapping2D requires a two-dimensional ISG")
+        if layout not in ("interleaved", "consecutive"):
+            raise ValueError(f"unknown layout {layout!r}")
+        self.dim = 2
+        self._ov = ov
+        self._isg = isg
+        self._layout = layout
+        g = vector_gcd(ov)
+        self._g = g
+        u = (ov[0] // g, ov[1] // g)
+        self._u = u
+        # Primitive mapping vector perpendicular to the OV (paper: (-j, i)).
+        self._mvp = (-u[1], u[0])
+        lo, hi = isg.extent(self._mvp)
+        self._lo = lo
+        self._length = hi - lo + 1
+        if g == 1:
+            self._beta = (0, 0)  # no modterm needed
+        else:
+            # beta . u == 1: indexes position along the primitive direction.
+            _gg, x, y = extended_gcd(u[0], u[1])
+            self._beta = (x, y)
+
+    # -- identity -----------------------------------------------------------
+
+    @property
+    def ov(self) -> tuple[int, int]:
+        return self._ov
+
+    @property
+    def gcd(self) -> int:
+        """Number of storage classes along the OV (1 for a prime OV)."""
+        return self._g
+
+    @property
+    def layout(self) -> str:
+        return self._layout
+
+    @property
+    def mapping_vector(self) -> tuple[int, int]:
+        """The ``mv`` actually used in the dot product (layout-dependent).
+
+        Prime OVs and the consecutive layout use the primitive
+        perpendicular; the interleaved layout scales it by ``gcd`` so the
+        modterm can fill the gaps (Section 4.2).
+        """
+        if self._g > 1 and self._layout == "interleaved":
+            return (self._g * self._mvp[0], self._g * self._mvp[1])
+        return self._mvp
+
+    @property
+    def shift(self) -> int:
+        if self._g > 1 and self._layout == "interleaved":
+            return -self._g * self._lo
+        return -self._lo
+
+    @property
+    def size(self) -> int:
+        return self._g * self._length
+
+    # -- evaluation ----------------------------------------------------------
+
+    def __call__(self, point: Sequence[int]) -> int:
+        self.check_point(point)
+        base = dot(self._mvp, point) - self._lo
+        if self._g == 1:
+            return base
+        cls = dot(self._beta, point) % self._g
+        if self._layout == "interleaved":
+            return self._g * base + cls
+        return base + cls * self._length
+
+    def storage_class(self, point: Sequence[int]) -> int:
+        """Which of the ``gcd`` classes along the OV the point falls in."""
+        if self._g == 1:
+            return 0
+        return dot(self._beta, point) % self._g
+
+    # -- symbolic form ---------------------------------------------------------
+
+    def expression(self, variables: Sequence[str]) -> Expr:
+        if len(variables) != 2:
+            raise ValueError("OVMapping2D expressions take two variables")
+        if self._g == 1:
+            return affine(self._mvp, variables, -self._lo)
+        modterm = Mod.make(affine(self._beta, variables, 0), Const(self._g))
+        if self._layout == "interleaved":
+            mv = (self._g * self._mvp[0], self._g * self._mvp[1])
+            base = affine(mv, variables, -self._g * self._lo)
+            return base + modterm
+        base = affine(self._mvp, variables, -self._lo)
+        return base + modterm * self._length
+
+    def expression_with_class(self, variables: Sequence[str], cls: int) -> Expr:
+        """The mod-free address expression for a fixed storage class.
+
+        Used by the unrolling code generator: in an inner loop unrolled by
+        the modterm's period, each copy's class index is a compile-time
+        constant ``cls`` and the address reduces to this affine form.
+        """
+        if not 0 <= cls < self._g:
+            raise ValueError(f"class {cls} out of range for gcd {self._g}")
+        if self._g == 1:
+            return affine(self._mvp, variables, -self._lo)
+        if self._layout == "interleaved":
+            mv = (self._g * self._mvp[0], self._g * self._mvp[1])
+            return affine(mv, variables, -self._g * self._lo + cls)
+        return affine(self._mvp, variables, -self._lo + cls * self._length)
+
+    def effective_op_cost(self, variables=None):
+        """Cost with the modterm removed by unrolling (Section 4.2).
+
+        Along any legal schedule's inner loop, ``beta . q mod g`` cycles
+        with period ``g``; unrolling the inner loop ``g`` times turns the
+        modterm into per-copy constants, so generated code pays only the
+        affine part.  Prime OVs have no modterm to begin with.
+        """
+        from repro.mapping.expr import OpTally
+
+        base = self.op_cost(variables)
+        if self._g == 1:
+            return base
+        # Drop the modterm: its mod, the beta dot product it fed, and the
+        # add that folded it in.  Recompute from the mod-free expression.
+        names = (
+            list(variables)
+            if variables is not None
+            else [f"q{k}" for k in range(self.dim)]
+        )
+        from repro.mapping.expr import affine
+
+        if self._layout == "interleaved":
+            mv = (self._g * self._mvp[0], self._g * self._mvp[1])
+            expr = affine(mv, names, -self._g * self._lo)
+        else:
+            expr = affine(self._mvp, names, -self._lo)
+        counts = expr.op_counts()
+        # The unrolled copies still add the (now-constant) class offset.
+        return OpTally(adds=counts.adds + 1, muls=counts.muls, mods=0)
+
+    def __repr__(self) -> str:
+        return (
+            f"OVMapping2D(ov={self._ov}, layout={self._layout!r}, "
+            f"size={self.size})"
+        )

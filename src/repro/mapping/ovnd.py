@@ -1,0 +1,172 @@
+"""OV-based storage mapping in arbitrary dimension (extension of Section 4).
+
+The paper details the two-dimensional construction and notes the general
+requirements; this module supplies the general-d construction.  Let
+``g = gcd(ov)`` and ``u = ov / g`` the primitive direction.  A unimodular
+completion ``U`` of ``u`` (see :func:`repro.util.intmath.unimodular_completion`)
+satisfies ``U @ u = (1, 0, ..., 0)``; therefore for ``y = U @ q``:
+
+- rows ``1..d-1`` of ``U`` are invariant along ``u`` — they are the
+  (d-1)-dimensional analogue of the paper's perpendicular mapping vector;
+- row ``0`` advances by exactly 1 per step of ``u``, so
+  ``y0 mod g`` is the storage class along a non-prime OV (the modterm).
+
+Two points are storage-equivalent iff they differ by a multiple of ``ov``,
+i.e. ``y1..y(d-1)`` agree and ``y0`` agrees mod ``g`` — exactly the tuple
+this mapping linearises.  The perpendicular coordinates are allocated over
+their bounding box on the ISG (what generated code would allocate), giving
+size ``g * prod(extents)``; in 2-D this degenerates to the same size as
+:class:`repro.mapping.ov2d.OVMapping2D`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.mapping.base import StorageMapping
+from repro.mapping.expr import Const, Expr, Mod, affine
+from repro.util.intmath import unimodular_completion, vector_gcd
+from repro.util.polyhedron import Polytope
+from repro.util.vectors import as_vector, dot, is_zero
+
+__all__ = ["OVMappingND"]
+
+
+class OVMappingND(StorageMapping):
+    """General-dimension storage mapping directed by an occupancy vector."""
+
+    def __init__(
+        self,
+        ov: Sequence[int],
+        isg: Polytope,
+        layout: str = "interleaved",
+    ):
+        ov = as_vector(ov)
+        if is_zero(ov):
+            raise ValueError("the zero vector cannot direct storage reuse")
+        if len(ov) != isg.dim:
+            raise ValueError("OV and ISG dimensionality mismatch")
+        if layout not in ("interleaved", "consecutive"):
+            raise ValueError(f"unknown layout {layout!r}")
+        self.dim = len(ov)
+        self._ov = ov
+        self._isg = isg
+        self._layout = layout
+        g = vector_gcd(ov)
+        self._g = g
+        u = tuple(c // g for c in ov)
+        self._u = u
+        completion = unimodular_completion(u)
+        self._class_row = tuple(completion[0])  # advances 1 per step of u
+        self._perp_rows = tuple(tuple(r) for r in completion[1:])
+        self._extents = []
+        for row in self._perp_rows:
+            lo, hi = isg.extent(row)
+            self._extents.append((lo, hi - lo + 1))
+        # Row-major strides over the perpendicular box.
+        self._perp_strides = [1] * len(self._perp_rows)
+        for k in range(len(self._perp_rows) - 2, -1, -1):
+            self._perp_strides[k] = (
+                self._perp_strides[k + 1] * self._extents[k + 1][1]
+            )
+
+    @property
+    def ov(self) -> tuple[int, ...]:
+        return self._ov
+
+    @property
+    def gcd(self) -> int:
+        return self._g
+
+    @property
+    def size(self) -> int:
+        n = self._g
+        for _lo, length in self._extents:
+            n *= length
+        return n
+
+    @property
+    def perpendicular_size(self) -> int:
+        """Locations per storage class (the perpendicular box volume)."""
+        return self.size // self._g
+
+    def __call__(self, point: Sequence[int]) -> int:
+        self.check_point(point)
+        perp = 0
+        for row, (lo, _length), stride in zip(
+            self._perp_rows, self._extents, self._perp_strides
+        ):
+            perp += stride * (dot(row, point) - lo)
+        if self._g == 1:
+            return perp
+        cls = dot(self._class_row, point) % self._g
+        if self._layout == "interleaved":
+            return self._g * perp + cls
+        return perp + cls * self.perpendicular_size
+
+    def storage_class(self, point: Sequence[int]) -> int:
+        if self._g == 1:
+            return 0
+        return dot(self._class_row, point) % self._g
+
+    def expression(self, variables: Sequence[str]) -> Expr:
+        if len(variables) != self.dim:
+            raise ValueError("variable list dimensionality mismatch")
+        # Fold the perpendicular rows into one affine form:
+        # sum_k stride_k * (row_k . q - lo_k).
+        coeffs = [0] * self.dim
+        constant = 0
+        for row, (lo, _length), stride in zip(
+            self._perp_rows, self._extents, self._perp_strides
+        ):
+            for c in range(self.dim):
+                coeffs[c] += stride * row[c]
+            constant -= stride * lo
+        if self._g == 1:
+            return affine(coeffs, variables, constant)
+        modterm = Mod.make(
+            affine(self._class_row, variables, 0), Const(self._g)
+        )
+        if self._layout == "interleaved":
+            scaled = [self._g * c for c in coeffs]
+            return affine(scaled, variables, self._g * constant) + modterm
+        return (
+            affine(coeffs, variables, constant)
+            + modterm * self.perpendicular_size
+        )
+
+    def expression_with_class(self, variables: Sequence[str], cls: int) -> Expr:
+        """Mod-free address expression for a fixed storage class (see the
+        2-D counterpart; used by the unrolling code generator)."""
+        if not 0 <= cls < self._g:
+            raise ValueError(f"class {cls} out of range for gcd {self._g}")
+        coeffs = [0] * self.dim
+        constant = 0
+        for row, (lo, _length), stride in zip(
+            self._perp_rows, self._extents, self._perp_strides
+        ):
+            for c in range(self.dim):
+                coeffs[c] += stride * row[c]
+            constant -= stride * lo
+        if self._g == 1:
+            return affine(coeffs, variables, constant)
+        if self._layout == "interleaved":
+            scaled = [self._g * c for c in coeffs]
+            return affine(scaled, variables, self._g * constant + cls)
+        return affine(coeffs, variables, constant + cls * self.perpendicular_size)
+
+    def effective_op_cost(self, variables=None):
+        """Cost with the modterm removed by unrolling (Section 4.2)."""
+        from repro.mapping.expr import OpTally
+
+        if self._g == 1:
+            return self.op_cost(variables)
+        names = [f"q{k}" for k in range(self.dim)]
+        counts = self.expression_with_class(names, 0).op_counts()
+        return OpTally(adds=counts.adds + 1, muls=counts.muls, mods=0)
+
+    def __repr__(self) -> str:
+        return (
+            f"OVMappingND(ov={self._ov}, layout={self._layout!r}, "
+            f"size={self.size})"
+        )

@@ -1,0 +1,33 @@
+"""Loop schedules: execution orders over rectangular iteration spaces.
+
+The UOV's defining property is *schedule independence*: an OV-mapped loop
+stays correct under every legal reordering.  This package supplies the
+reorderings the paper discusses — the original lexicographic order, loop
+interchange, skewing, wavefronts, and (the one the evaluation centres on)
+rectangular tiling with an automatic legalising skew — plus a random-legal-
+schedule generator the property tests use to probe universality.
+"""
+
+from repro.schedule.base import Schedule
+from repro.schedule.exhaustive import all_legal_orders, count_legal_orders
+from repro.schedule.hierarchical import HierarchicalTiledSchedule
+from repro.schedule.lex import InterchangedSchedule, LexicographicSchedule
+from repro.schedule.random_legal import random_legal_order
+from repro.schedule.skew import SkewedSchedule, skew_matrix_2d
+from repro.schedule.tiling import TiledSchedule, required_skew
+from repro.schedule.wavefront import WavefrontSchedule
+
+__all__ = [
+    "Schedule",
+    "HierarchicalTiledSchedule",
+    "LexicographicSchedule",
+    "InterchangedSchedule",
+    "SkewedSchedule",
+    "skew_matrix_2d",
+    "WavefrontSchedule",
+    "TiledSchedule",
+    "required_skew",
+    "random_legal_order",
+    "all_legal_orders",
+    "count_legal_orders",
+]

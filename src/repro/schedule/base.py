@@ -1,0 +1,55 @@
+"""Schedule interface and shared helpers."""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator, Sequence
+
+from repro.core.stencil import Stencil
+from repro.util.vectors import IntVector
+
+__all__ = ["Schedule", "Bounds"]
+
+#: Inclusive per-dimension bounds of a rectangular ISG.
+Bounds = Sequence[tuple[int, int]]
+
+
+class Schedule(abc.ABC):
+    """A total execution order over the points of a rectangular ISG.
+
+    Schedules are *geometric* objects: they know nothing about programs or
+    storage.  ``order(bounds)`` yields every integer point of the box
+    exactly once, in execution order; ``is_legal_for`` checks the order
+    against a stencil's value dependences without materialising the
+    position map (each schedule implements its own algebraic check where
+    one exists, falling back to the generic dynamic check).
+    """
+
+    #: Human-readable name used in benchmark output.
+    name: str = "schedule"
+
+    @abc.abstractmethod
+    def order(self, bounds: Bounds) -> Iterator[IntVector]:
+        """Yield each point of the box exactly once, in execution order."""
+
+    def is_legal_for(self, stencil: Stencil, bounds: Bounds) -> bool:
+        """Does this order respect the stencil on the given box?
+
+        Subclasses with an algebraic legality criterion override this; the
+        default materialises the order (fine for test-sized boxes).
+        """
+        from repro.analysis.legality import is_schedule_legal
+
+        return is_schedule_legal(self.order(bounds), stencil)
+
+    @staticmethod
+    def check_bounds(bounds: Bounds) -> tuple[tuple[int, int], ...]:
+        checked = []
+        for lo, hi in bounds:
+            if lo > hi:
+                raise ValueError(f"empty bounds {lo}..{hi}")
+            checked.append((int(lo), int(hi)))
+        return tuple(checked)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"

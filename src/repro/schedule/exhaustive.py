@@ -1,0 +1,89 @@
+"""Exhaustive enumeration of every legal schedule of a tiny ISG.
+
+The UOV definition quantifies over *all* legal schedules; for iteration
+spaces of a handful of points the quantifier can be discharged literally:
+this module enumerates every linear extension of the value-dependence DAG
+by backtracking over the ready set.  The test suite uses it to prove —
+not sample — that
+
+- a claimed UOV's storage mapping survives **every** legal order, and
+- a claimed non-UOV fails on **some** legal order (the counterexample is
+  produced, not asserted abstractly).
+
+Linear-extension counts grow factorially, so callers cap the output with
+``limit``; the count itself (``count_legal_orders``) is exact and cheap
+for the box sizes the tests use.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Optional
+
+from repro.core.stencil import Stencil
+from repro.schedule.base import Bounds
+from repro.util.vectors import IntVector, add, sub
+
+__all__ = ["all_legal_orders", "count_legal_orders"]
+
+
+def all_legal_orders(
+    stencil: Stencil,
+    bounds: Bounds,
+    limit: Optional[int] = None,
+) -> Iterator[list[IntVector]]:
+    """Yield every topological order of the dependence DAG over a box.
+
+    Orders are produced in lexicographic order of their point sequences;
+    ``limit`` stops after that many (None = all of them — only sensible
+    for very small boxes)."""
+    points = [
+        tuple(p)
+        for p in itertools.product(
+            *[range(lo, hi + 1) for lo, hi in bounds]
+        )
+    ]
+    point_set = set(points)
+    indegree: dict[IntVector, int] = {}
+    for q in points:
+        indegree[q] = sum(
+            1 for v in stencil.vectors if sub(q, v) in point_set
+        )
+
+    produced = 0
+    order: list[IntVector] = []
+    ready = sorted(q for q in points if indegree[q] == 0)
+
+    def backtrack(ready: list[IntVector]):
+        nonlocal produced
+        if limit is not None and produced >= limit:
+            return
+        if len(order) == len(points):
+            produced += 1
+            yield list(order)
+            return
+        for k, q in enumerate(list(ready)):
+            order.append(q)
+            new_ready = ready[:k] + ready[k + 1 :]
+            unlocked = []
+            for v in stencil.vectors:
+                consumer = add(q, v)
+                if consumer in point_set:
+                    indegree[consumer] -= 1
+                    if indegree[consumer] == 0:
+                        unlocked.append(consumer)
+            yield from backtrack(sorted(new_ready + unlocked))
+            for v in stencil.vectors:
+                consumer = add(q, v)
+                if consumer in point_set:
+                    indegree[consumer] += 1
+            order.pop()
+            if limit is not None and produced >= limit:
+                return
+
+    yield from backtrack(ready)
+
+
+def count_legal_orders(stencil: Stencil, bounds: Bounds) -> int:
+    """Exact number of legal schedules of the box (linear extensions)."""
+    return sum(1 for _ in all_legal_orders(stencil, bounds))

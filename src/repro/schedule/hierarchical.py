@@ -1,0 +1,122 @@
+"""Two-level (hierarchical) tiling — the paper's Section 7 direction.
+
+*"We plan to study which characteristics of the entire memory hierarchy
+should be taken into account when doing multiple-level optimizations like
+hierarchical tiling [7, 8]."*
+
+:class:`HierarchicalTiledSchedule` nests rectangular tiles two deep over
+a (possibly skewed) iteration space: outer tiles sized for one memory
+level (L2), inner tiles for another (L1), points lexicographic within the
+innermost tile.  Legality is the same fully-permutable condition as
+single-level tiling — atomic rectangular blocks at any nesting depth are
+legal exactly when every (transformed) distance is componentwise
+non-negative — and the UOV guarantees the storage mapping survives the
+reordering, which is the entire reason hierarchical tiling composes with
+OV-mapped storage for free.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Sequence
+
+from repro.core.stencil import Stencil
+from repro.schedule.base import Bounds, Schedule
+from repro.schedule.skew import transformed_bounding_box
+from repro.util.intmath import ceil_div, matrix_inverse_unimodular, matvec
+from repro.util.vectors import IntVector
+
+__all__ = ["HierarchicalTiledSchedule"]
+
+
+class HierarchicalTiledSchedule(Schedule):
+    """Outer tiles over inner tiles over points, all lexicographic.
+
+    ``outer_tiles`` must be componentwise multiples of ``inner_tiles``
+    (ragged nesting would break outer-tile atomicity at the boundaries of
+    inner tiles — rejected at construction rather than silently
+    reordered).
+    """
+
+    def __init__(
+        self,
+        outer_tiles: Sequence[int],
+        inner_tiles: Sequence[int],
+        skew: Sequence[Sequence[int]] | None = None,
+    ):
+        self._outer = tuple(int(s) for s in outer_tiles)
+        self._inner = tuple(int(s) for s in inner_tiles)
+        if len(self._outer) != len(self._inner):
+            raise ValueError("tile vectors must share dimensionality")
+        if any(s <= 0 for s in self._outer + self._inner):
+            raise ValueError("tile sizes must be positive")
+        for o, i in zip(self._outer, self._inner):
+            if o % i:
+                raise ValueError(
+                    f"outer tile {o} is not a multiple of inner tile {i}"
+                )
+        d = len(self._outer)
+        if skew is None:
+            skew = [[1 if r == c else 0 for c in range(d)] for r in range(d)]
+        self._skew = tuple(tuple(int(c) for c in row) for row in skew)
+        self._inverse = matrix_inverse_unimodular(self._skew)
+        self.name = f"hier-tiled{self._outer}/{self._inner}"
+
+    @property
+    def outer_tiles(self) -> tuple[int, ...]:
+        return self._outer
+
+    @property
+    def inner_tiles(self) -> tuple[int, ...]:
+        return self._inner
+
+    @property
+    def skew(self):
+        return self._skew
+
+    def order(self, bounds: Bounds) -> Iterator[IntVector]:
+        bounds = self.check_bounds(bounds)
+        d = len(bounds)
+        if d != len(self._outer):
+            raise ValueError("bounds depth does not match tile sizes")
+        box = transformed_bounding_box(self._skew, bounds)
+        lows = [lo for lo, _ in box]
+        highs = [hi for _, hi in box]
+        outer_counts = [
+            ceil_div(hi - lo + 1, s)
+            for (lo, hi), s in zip(box, self._outer)
+        ]
+        identity = self._skew == tuple(
+            tuple(1 if r == c else 0 for c in range(d)) for r in range(d)
+        )
+        for outer in itertools.product(*[range(c) for c in outer_counts]):
+            o_lo = [lows[k] + outer[k] * self._outer[k] for k in range(d)]
+            o_hi = [
+                min(o_lo[k] + self._outer[k] - 1, highs[k]) for k in range(d)
+            ]
+            inner_counts = [
+                ceil_div(o_hi[k] - o_lo[k] + 1, self._inner[k])
+                for k in range(d)
+            ]
+            for inner in itertools.product(
+                *[range(c) for c in inner_counts]
+            ):
+                ranges = []
+                for k in range(d):
+                    start = o_lo[k] + inner[k] * self._inner[k]
+                    stop = min(start + self._inner[k] - 1, o_hi[k])
+                    ranges.append(range(start, stop + 1))
+                for y in itertools.product(*ranges):
+                    if identity:
+                        yield y
+                        continue
+                    q = matvec(self._inverse, y)
+                    if all(
+                        blo <= c <= bhi
+                        for c, (blo, bhi) in zip(q, bounds)
+                    ):
+                        yield q
+
+    def is_legal_for(self, stencil: Stencil, bounds: Bounds) -> bool:
+        transformed = [matvec(self._skew, v) for v in stencil.vectors]
+        return all(all(c >= 0 for c in v) for v in transformed)

@@ -1,0 +1,67 @@
+"""Wavefront (hyperplane) schedules.
+
+A wavefront schedule executes all points on the hyperplane ``w . q = t``
+"at once" (here: consecutively), for increasing ``t``.  It is the
+prototypical *parallel* schedule: with ``w . v > 0`` for every stencil
+vector, points within a front are mutually independent.  The UOV must stay
+legal under every such front ordering — the property tests lean on this —
+and a schedule-specific occupancy vector generally does not.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Sequence
+
+from repro.core.stencil import Stencil
+from repro.schedule.base import Bounds, Schedule
+from repro.util.vectors import IntVector, dot
+
+__all__ = ["WavefrontSchedule"]
+
+
+class WavefrontSchedule(Schedule):
+    """Order points by ``weights . q``, ties broken lexicographically.
+
+    ``reverse_ties=True`` breaks ties in reverse lexicographic order —
+    useful in tests to get a *different* legal schedule over the same
+    fronts (front ordering is the only constraint the dependences impose).
+    """
+
+    def __init__(self, weights: Sequence[int], reverse_ties: bool = False):
+        self._weights = tuple(int(w) for w in weights)
+        self._reverse_ties = reverse_ties
+        tie = "rev" if reverse_ties else "lex"
+        self.name = f"wavefront{self._weights}/{tie}"
+
+    @property
+    def weights(self) -> tuple[int, ...]:
+        return self._weights
+
+    def order(self, bounds: Bounds) -> Iterator[IntVector]:
+        bounds = self.check_bounds(bounds)
+        if len(bounds) != len(self._weights):
+            raise ValueError("bounds depth does not match weights")
+        ranges = [range(lo, hi + 1) for lo, hi in bounds]
+        points = list(itertools.product(*ranges))
+        if self._reverse_ties:
+            points.sort(key=lambda p: tuple(-c for c in p))
+        else:
+            points.sort()
+        points.sort(key=lambda p: dot(self._weights, p))
+        return iter(points)
+
+    def is_legal_for(self, stencil: Stencil, bounds: Bounds) -> bool:
+        # Strictly advancing fronts are legal regardless of tie order;
+        # ties need the tie-break itself to respect zero-front distances.
+        for v in stencil.vectors:
+            t = dot(self._weights, v)
+            if t < 0:
+                return False
+            if t == 0:
+                from repro.util.vectors import is_lex_positive
+
+                key = tuple(-c for c in v) if self._reverse_ties else v
+                if not is_lex_positive(key):
+                    return False
+        return True

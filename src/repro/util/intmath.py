@@ -1,0 +1,192 @@
+"""Integer arithmetic helpers: gcd chains and unimodular completions.
+
+The storage-mapping construction of Section 4 of the paper needs, for an
+occupancy vector ``ov``:
+
+- ``gcd`` of its components (to detect *non-prime* OVs, i.e. OVs passing
+  through interior lattice points);
+- in two dimensions, Bezout coefficients so that the mapping vector hits
+  consecutive storage locations;
+- in ``d`` dimensions (our extension of the paper's 2-D treatment), a
+  *unimodular completion*: an integer matrix ``U`` with ``|det U| = 1`` whose
+  first row dotted with ``ov`` gives ``gcd(ov)`` and whose remaining rows
+  annihilate ``ov``.  Such a ``U`` linearises the quotient lattice
+  ``Z^d / Z·ov`` and yields an integer storage mapping with the same
+  properties the paper proves for the 2-D case.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def extended_gcd(a: int, b: int) -> tuple[int, int, int]:
+    """Return ``(g, x, y)`` with ``g = gcd(a, b)`` and ``a*x + b*y = g``.
+
+    ``g`` is non-negative; the Bezout identity holds in every case,
+    including ``extended_gcd(0, 0) == (0, 1, 0)``.
+    """
+    old_r, r = a, b
+    old_x, x = 1, 0
+    old_y, y = 0, 1
+    while r != 0:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_x, x = x, old_x - q * x
+        old_y, y = y, old_y - q * y
+    if old_r < 0:
+        old_r, old_x, old_y = -old_r, -old_x, -old_y
+    return old_r, old_x, old_y
+
+
+def vector_gcd(v: Sequence[int]) -> int:
+    """Greatest common divisor of a vector's components (non-negative).
+
+    ``vector_gcd(ov) == 1`` exactly when ``ov`` is *prime* in the paper's
+    sense: it passes through no lattice point between its head and tail.
+    The gcd of the all-zero vector is 0.
+    """
+    g = 0
+    for c in v:
+        g = math.gcd(g, c)
+    return g
+
+
+def is_prime_vector(v: Sequence[int]) -> bool:
+    """True when the vector passes through no interior lattice points."""
+    return vector_gcd(v) == 1
+
+
+def unimodular_completion(v: Sequence[int]) -> list[list[int]]:
+    """Return a unimodular matrix ``U`` with ``U @ v = (g, 0, ..., 0)``.
+
+    ``g = vector_gcd(v)``.  ``U`` is a ``d x d`` integer matrix with
+    determinant ±1.  Row 0 of ``U`` is a Bezout row (``U[0]·v == g``); rows
+    1..d-1 span the sublattice of integer vectors orthogonal to the
+    *progress* of ``v`` in the quotient sense: ``U[k]·v == 0`` for ``k >= 1``.
+
+    The construction is a sequence of 2x2 extended-gcd eliminations (the
+    column Hermite normal form of the single column ``v``), so all entries
+    stay modest for realistic stencil vectors.
+
+    Raises ``ValueError`` for the zero vector, for which no completion
+    exists (every lattice point would be storage-equivalent).
+    """
+    d = len(v)
+    if d == 0 or all(c == 0 for c in v):
+        raise ValueError("unimodular completion of the zero vector is undefined")
+
+    # Start with U = identity, w = copy of v; repeatedly fold component k
+    # into component 0 with an extended-gcd rotation.
+    u = [[1 if i == j else 0 for j in range(d)] for i in range(d)]
+    w = list(v)
+    for k in range(1, d):
+        a, b = w[0], w[k]
+        if b == 0:
+            continue
+        g, x, y = extended_gcd(a, b)
+        # New row 0 = x*row0 + y*rowk ; new row k = (-b/g)*row0 + (a/g)*rowk.
+        # The 2x2 block [[x, y], [-b//g, a//g]] has determinant
+        # (x*a + y*b)/g = 1, so U stays unimodular.
+        p, q = -(b // g), a // g
+        row0 = [x * u[0][j] + y * u[k][j] for j in range(d)]
+        rowk = [p * u[0][j] + q * u[k][j] for j in range(d)]
+        u[0], u[k] = row0, rowk
+        w[0], w[k] = g, 0
+    if w[0] < 0:
+        u[0] = [-c for c in u[0]]
+        w[0] = -w[0]
+    return u
+
+
+def matrix_det_int(m: Sequence[Sequence[int]]) -> int:
+    """Exact integer determinant via fraction-free Bareiss elimination."""
+    n = len(m)
+    if n == 0:
+        return 1
+    a = [list(map(int, row)) for row in m]
+    if any(len(row) != n for row in a):
+        raise ValueError("determinant requires a square matrix")
+    sign = 1
+    prev = 1
+    for k in range(n - 1):
+        if a[k][k] == 0:
+            for i in range(k + 1, n):
+                if a[i][k] != 0:
+                    a[k], a[i] = a[i], a[k]
+                    sign = -sign
+                    break
+            else:
+                return 0
+        for i in range(k + 1, n):
+            for j in range(k + 1, n):
+                a[i][j] = (a[i][j] * a[k][k] - a[i][k] * a[k][j]) // prev
+        prev = a[k][k]
+    return sign * a[n - 1][n - 1]
+
+
+def matvec(m: Sequence[Sequence[int]], v: Sequence[int]) -> tuple[int, ...]:
+    """Integer matrix-vector product ``m @ v`` as a tuple."""
+    return tuple(sum(mi[j] * v[j] for j in range(len(v))) for mi in m)
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling of ``a / b`` for integers, exact for negative values too."""
+    if b == 0:
+        raise ZeroDivisionError("ceil_div by zero")
+    if b < 0:
+        a, b = -a, -b
+    return -((-a) // b)
+
+
+def floor_div(a: int, b: int) -> int:
+    """Floor of ``a / b`` for integers, exact for negative values too."""
+    if b == 0:
+        raise ZeroDivisionError("floor_div by zero")
+    if b < 0:
+        a, b = -a, -b
+    return a // b
+
+
+def matrix_inverse_unimodular(
+    m: Sequence[Sequence[int]],
+) -> list[list[int]]:
+    """Exact inverse of a unimodular integer matrix (determinant ±1).
+
+    Computed as the adjugate divided by the determinant; since the
+    determinant is ±1 the inverse is integral.  Raises ``ValueError`` when
+    the matrix is not unimodular.
+    """
+    n = len(m)
+    det = matrix_det_int(m)
+    if det not in (1, -1):
+        raise ValueError(f"matrix is not unimodular (det={det})")
+    if n == 1:
+        return [[det]]
+    adj = [[0] * n for _ in range(n)]
+    for i in range(n):
+        for j in range(n):
+            minor = [
+                [m[r][c] for c in range(n) if c != j]
+                for r in range(n)
+                if r != i
+            ]
+            cofactor = matrix_det_int(minor)
+            if (i + j) % 2:
+                cofactor = -cofactor
+            adj[j][i] = cofactor  # note the transpose
+    return [[a * det for a in row] for row in adj]
+
+
+def matmul_int(
+    a: Sequence[Sequence[int]], b: Sequence[Sequence[int]]
+) -> list[list[int]]:
+    """Integer matrix product ``a @ b``."""
+    rows, inner, cols = len(a), len(b), len(b[0])
+    if any(len(r) != inner for r in a):
+        raise ValueError("matrix dimension mismatch")
+    return [
+        [sum(a[i][k] * b[k][j] for k in range(inner)) for j in range(cols)]
+        for i in range(rows)
+    ]

@@ -1,0 +1,69 @@
+"""A stable priority queue with lazy reprioritisation.
+
+The branch-and-bound UOV search (Section 3.2.2 of the paper) repeatedly
+re-inserts iteration points whose ``PATHSET`` grew.  ``heapq`` has no
+decrease-key, so we use the standard lazy-deletion idiom: each push gets a
+monotonically increasing sequence number (for stable FIFO tie-breaking) and
+stale entries are skipped on pop.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Generic, Hashable, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+class PriorityQueue(Generic[T]):
+    """Min-priority queue over hashable items with updatable priorities.
+
+    ``push`` with a better (smaller) priority for an item already queued
+    supersedes the old entry; pushing with a worse priority is a no-op.
+    """
+
+    _REMOVED = object()
+
+    def __init__(self) -> None:
+        self._heap: list[list[Any]] = []
+        self._entries: dict[T, list[Any]] = {}
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __contains__(self, item: T) -> bool:
+        return item in self._entries
+
+    def push(self, item: T, priority: Any) -> bool:
+        """Queue ``item`` at ``priority``; returns True if the queue changed."""
+        entry = self._entries.get(item)
+        if entry is not None:
+            if entry[0] <= priority:
+                return False
+            entry[2] = self._REMOVED
+        new_entry = [priority, next(self._counter), item]
+        self._entries[item] = new_entry
+        heapq.heappush(self._heap, new_entry)
+        return True
+
+    def pop(self) -> tuple[T, Any]:
+        """Remove and return ``(item, priority)`` with the smallest priority."""
+        while self._heap:
+            priority, _, item = heapq.heappop(self._heap)
+            if item is not self._REMOVED:
+                del self._entries[item]
+                return item, priority
+        raise IndexError("pop from an empty priority queue")
+
+    def peek_priority(self) -> Any:
+        """Smallest live priority without removing it."""
+        while self._heap:
+            if self._heap[0][2] is not self._REMOVED:
+                return self._heap[0][0]
+            heapq.heappop(self._heap)
+        raise IndexError("peek on an empty priority queue")

@@ -1,0 +1,108 @@
+"""Operations on integer vectors represented as tuples.
+
+Iteration points, dependence-distance vectors, occupancy vectors, and
+mapping vectors are all plain ``tuple[int, ...]`` throughout the library:
+they hash, compare, and print naturally, which the search and the test
+suite rely on heavily.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+IntVector = tuple[int, ...]
+
+
+def as_vector(v: Iterable[int]) -> IntVector:
+    """Coerce an iterable of integers into a canonical tuple vector.
+
+    Raises ``TypeError`` for non-integral components (``bool`` is rejected
+    too: a truth value is never a meaningful iteration coordinate).
+    """
+    out = []
+    for c in v:
+        if isinstance(c, bool):
+            raise TypeError("a boolean is not a meaningful coordinate")
+        if not isinstance(c, int):
+            # numpy integer scalars are fine; duck-check via __index__
+            # (floats do not define it).
+            try:
+                c = c.__index__()
+            except AttributeError:
+                raise TypeError(
+                    f"vector component {c!r} is not an integer"
+                ) from None
+        out.append(int(c))
+    return tuple(out)
+
+
+def add(a: Sequence[int], b: Sequence[int]) -> IntVector:
+    """Componentwise ``a + b``."""
+    _check_dims(a, b)
+    return tuple(x + y for x, y in zip(a, b))
+
+
+def sub(a: Sequence[int], b: Sequence[int]) -> IntVector:
+    """Componentwise ``a - b``."""
+    _check_dims(a, b)
+    return tuple(x - y for x, y in zip(a, b))
+
+
+def neg(a: Sequence[int]) -> IntVector:
+    """Componentwise negation."""
+    return tuple(-x for x in a)
+
+
+def scale(k: int, a: Sequence[int]) -> IntVector:
+    """Scalar multiple ``k * a``."""
+    return tuple(k * x for x in a)
+
+
+def dot(a: Sequence[int], b: Sequence[int]) -> int:
+    """Inner product; the storage mapping is ``mv . q + shift + modterm``."""
+    _check_dims(a, b)
+    return sum(x * y for x, y in zip(a, b))
+
+
+def norm2(a: Sequence[int]) -> int:
+    """Squared Euclidean length — exact, so usable as a search priority."""
+    return sum(x * x for x in a)
+
+
+def norm(a: Sequence[int]) -> float:
+    """Euclidean length."""
+    return math.sqrt(norm2(a))
+
+
+def is_zero(a: Sequence[int]) -> bool:
+    """True for the all-zero vector."""
+    return all(x == 0 for x in a)
+
+
+def is_lex_positive(a: Sequence[int]) -> bool:
+    """Lexicographic positivity: first non-zero component is positive.
+
+    Every dependence distance of a sequential loop nest is lexicographically
+    positive (the producer iteration precedes the consumer); the ``Stencil``
+    class enforces this invariant on construction.
+    """
+    for x in a:
+        if x != 0:
+            return x > 0
+    return False
+
+
+def lex_leq(a: Sequence[int], b: Sequence[int]) -> bool:
+    """Lexicographic ``a <= b`` (tuple comparison, spelled out for intent)."""
+    return tuple(a) <= tuple(b)
+
+
+def manhattan(a: Sequence[int]) -> int:
+    """L1 norm; used as a cheap tie-breaker in search priorities."""
+    return sum(abs(x) for x in a)
+
+
+def _check_dims(a: Sequence[int], b: Sequence[int]) -> None:
+    if len(a) != len(b):
+        raise ValueError(f"dimension mismatch: {len(a)} vs {len(b)}")

@@ -1,0 +1,106 @@
+"""ASCII rendering of iteration-space structure (Figure 2 and friends).
+
+Draws a rectangular ISG with the paper's annotations:
+
+- ``q`` — the reference iteration point;
+- ``#`` — points in ``DONE(V, q)`` (must execute before ``q``);
+- ``D`` — points in ``DEAD(V, q)`` (their values are fully consumed once
+  ``q`` has read its inputs; each is the tail of a legal UOV ``q - p``);
+- ``.`` — other iteration points.
+
+Also renders storage mappings as a grid of location numbers — the
+fastest way to *see* that points an OV apart share a location and that
+the interleaved/consecutive layouts really differ the way Section 4.2
+says.
+
+These renderers are exercised by tests and the ``done_dead_sets``
+example; they are deliberately free of plotting dependencies so they run
+anywhere the library runs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.cone import dead_set, done_set
+from repro.core.stencil import Stencil
+from repro.mapping.base import StorageMapping
+from repro.util.polyhedron import Polytope
+
+__all__ = ["render_done_dead", "render_mapping", "render_stencil"]
+
+
+def render_stencil(stencil: Stencil) -> str:
+    """The stencil as arrows in a small grid around the consumer ``*``.
+
+    Rows are the first (outer) coordinate increasing downward; the
+    consumer sits at the bottom since all dependences are
+    lexicographically positive."""
+    if stencil.dim != 2:
+        raise ValueError("stencil rendering is two-dimensional")
+    max0 = max(v[0] for v in stencil.vectors)
+    min1 = min(min(v[1] for v in stencil.vectors), 0)
+    max1 = max(max(v[1] for v in stencil.vectors), 0)
+    rows = []
+    producers = {(-v[0], -v[1]) for v in stencil.vectors}
+    for r in range(-max0, 1):
+        cells = []
+        for c in range(min(-max1, min1, -0), max(-min1, max1) + 1):
+            if (r, c) == (0, 0):
+                cells.append("*")
+            elif (r, c) in producers:
+                cells.append("o")
+            else:
+                cells.append("·")
+        rows.append(" ".join(cells))
+    return "\n".join(rows)
+
+
+def render_done_dead(
+    stencil: Stencil,
+    q: Sequence[int],
+    bounds: Sequence[tuple[int, int]],
+) -> str:
+    """Figure 2: DONE (#) and DEAD (D) sets around a point q."""
+    if stencil.dim != 2:
+        raise ValueError("DONE/DEAD rendering is two-dimensional")
+    region = Polytope.from_loop_bounds(bounds)
+    q = tuple(q)
+    done = done_set(stencil, q, region)
+    dead = dead_set(stencil, q, region, done=done)
+    (lo0, hi0), (lo1, hi1) = bounds
+    lines = []
+    for i in range(lo0, hi0 + 1):
+        cells = []
+        for j in range(lo1, hi1 + 1):
+            p = (i, j)
+            if p == q:
+                cells.append("q")
+            elif p in dead:
+                cells.append("D")
+            elif p in done:
+                cells.append("#")
+            else:
+                cells.append(".")
+        lines.append(" ".join(cells))
+    legend = (
+        "q = reference point   # = DONE (executes before q)   "
+        "D = DEAD (q - D are the legal UOVs)   . = other"
+    )
+    return "\n".join(lines) + "\n" + legend
+
+
+def render_mapping(
+    mapping: StorageMapping,
+    bounds: Sequence[tuple[int, int]],
+    width: int = 4,
+) -> str:
+    """The mapping as a grid of storage locations over a 2-D box."""
+    if mapping.dim != 2:
+        raise ValueError("mapping rendering is two-dimensional")
+    (lo0, hi0), (lo1, hi1) = bounds
+    lines = []
+    for i in range(lo0, hi0 + 1):
+        cells = [str(mapping((i, j))).rjust(width) for j in range(lo1, hi1 + 1)]
+        lines.append("".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,78 @@
+"""Value-based dependence analysis: stencil extraction."""
+
+import pytest
+
+from repro.analysis.dependence import (
+    UniformityError,
+    extract_stencil,
+    flow_distances,
+)
+from repro.codes import make_jacobi, make_psm, make_simple2d, make_stencil5
+from repro.ir import ArrayDecl, ArrayRef, Assignment, LoopNest, Program
+
+
+class TestExtraction:
+    @pytest.mark.parametrize(
+        "maker", [make_simple2d, make_stencil5, make_psm, make_jacobi]
+    )
+    def test_extracted_stencil_matches_declared(self, maker):
+        code = next(iter(maker().values())).code
+        assert extract_stencil(code.program) == code.stencil
+
+    def test_fig1_distances(self):
+        code = next(iter(make_simple2d().values())).code
+        stmt = code.program.single_statement
+        distances = flow_distances(stmt, ("i", "j"))
+        assert set(distances) == {(1, 0), (0, 1), (1, 1)}
+
+    def test_input_only_reads_dropped(self):
+        # A statement reading only *forward* offsets of its own array
+        # consumes loop inputs, not loop-carried values.
+        stmt = Assignment(
+            target=ArrayRef.of("A", "i", "j"),
+            sources=(ArrayRef.of("A", "i+1", "j"),),
+            combine=lambda a: a,
+        )
+        assert flow_distances(stmt, ("i", "j")) == []
+
+    def test_no_carried_dependence_is_error(self):
+        stmt = Assignment(
+            target=ArrayRef.of("A", "i"),
+            sources=(ArrayRef.of("B", "i"),),
+            combine=lambda b: b,
+        )
+        program = Program(
+            name="copy",
+            loop=LoopNest.of(("i",), [(0, 9)]),
+            body=(stmt,),
+            arrays=(ArrayDecl.of("A", 10), ArrayDecl.of("B", 10)),
+        )
+        with pytest.raises(ValueError):
+            extract_stencil(program)
+
+    def test_self_read_same_iteration_rejected(self):
+        stmt = Assignment(
+            target=ArrayRef.of("A", "i"),
+            sources=(ArrayRef.of("A", "i"),),
+            combine=lambda a: a,
+        )
+        with pytest.raises(ValueError):
+            flow_distances(stmt, ("i",))
+
+    def test_non_uniform_write_rejected(self):
+        stmt = Assignment(
+            target=ArrayRef.of("A", "n-i"),
+            sources=(ArrayRef.of("A", "i-1"),),
+            combine=lambda a: a,
+        )
+        with pytest.raises(UniformityError):
+            flow_distances(stmt, ("i",))
+
+    def test_non_uniform_read_rejected(self):
+        stmt = Assignment(
+            target=ArrayRef.of("A", "i"),
+            sources=(ArrayRef.of("A", "2*i"),),
+            combine=lambda a: a,
+        )
+        with pytest.raises(UniformityError):
+            flow_distances(stmt, ("i",))

@@ -1,0 +1,68 @@
+"""Array region analysis."""
+
+import pytest
+
+from repro.analysis.regions import Box, analyse_regions
+from repro.codes import make_simple2d, make_stencil5
+
+
+class TestBox:
+    def test_basic(self):
+        b = Box((0, 0), (3, 4))
+        assert b.count() == 20
+        assert b.contains((3, 4)) and not b.contains((4, 0))
+        assert b.shifted((1, -1)) == Box((1, -1), (4, 3))
+
+    def test_union_hull(self):
+        a = Box((0, 0), (2, 2))
+        b = Box((1, 1), (4, 3))
+        assert a.union_hull(b) == Box((0, 0), (4, 3))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Box((2,), (1,))
+
+
+class TestRegions:
+    def test_simple2d(self):
+        program = next(iter(make_simple2d().values())).code.program
+        sizes = {"n": 5, "m": 7}
+        summary = analyse_regions(program, sizes)["A"]
+        # Written region: the whole interior.
+        assert summary.written == Box((1, 1), (5, 7))
+        # Read region reaches one row/column back.
+        assert summary.read == Box((0, 0), (5, 7))
+        # Imported: row 0 and column 0 (read, never written first).
+        assert (0, 3) in summary.imported
+        assert (3, 0) in summary.imported
+        assert (2, 2) not in summary.imported
+        # All interior values are temporaries (not live out).
+        assert not summary.live_out
+        assert summary.temporary_count == 5 * 7
+
+    def test_stencil5_imports_row_zero_and_guards(self):
+        program = next(iter(make_stencil5().values())).code.program
+        sizes = {"T": 4, "L": 10}
+        summary = analyse_regions(program, sizes)["A"]
+        # Row zero is imported across the reach of the stencil.
+        assert (0, 5) in summary.imported
+        # Out-of-range columns are imported at every time step (the
+        # constant boundary of the real code).
+        assert (2, -1) in summary.imported
+        assert (2, 10) in summary.imported
+        # Interior values are written before read.
+        assert (2, 5) not in summary.imported
+
+    def test_unbound_sizes_rejected(self):
+        program = next(iter(make_stencil5().values())).code.program
+        with pytest.raises(ValueError):
+            analyse_regions(program, {"T": 4})
+
+    def test_imported_count_matches_enumeration(self):
+        program = next(iter(make_simple2d().values())).code.program
+        summary = analyse_regions(program, {"n": 3, "m": 3})["A"]
+        # border row (0,0..3) and column (1..3, 0): 4 + 3 elements
+        expected = {(0, j) for j in range(4)} | {
+            (i, 0) for i in range(1, 4)
+        }
+        assert summary.imported == frozenset(expected)

@@ -1,0 +1,117 @@
+"""The benchmark codes: storage formulas, version structure, equivalence."""
+
+import pytest
+
+from repro.analysis.dependence import extract_stencil
+from repro.analysis.legality import check_uov_applicability
+from repro.codes import make_jacobi, make_psm, make_simple2d, make_stencil5
+from repro.core import find_optimal_uov, is_uov
+from repro.execution import verify_versions
+
+CODES = {
+    "simple2d": (make_simple2d, {"n": 7, "m": 9}),
+    "stencil5": (make_stencil5, {"T": 5, "L": 18}),
+    "psm": (make_psm, {"n0": 8, "n1": 10}),
+    "jacobi": (make_jacobi, {"T": 5, "L": 14}),
+}
+
+
+@pytest.mark.parametrize("name", CODES)
+class TestEveryCode:
+    def test_all_versions_equivalent(self, name):
+        maker, sizes = CODES[name]
+        verify_versions(maker().values(), sizes, seed=2)
+
+    def test_ir_stencil_matches(self, name):
+        maker, _ = CODES[name]
+        code = next(iter(maker().values())).code
+        assert extract_stencil(code.program) == code.stencil
+
+    def test_applicability(self, name):
+        maker, sizes = CODES[name]
+        code = next(iter(maker().values())).code
+        assert check_uov_applicability(code.program, sizes)
+
+    def test_storage_formula_matches_allocation(self, name):
+        maker, sizes = CODES[name]
+        for key, version in maker().items():
+            declared = version.storage(sizes)
+            allocated = version.mapping(sizes).size
+            assert declared == allocated, (key, declared, allocated)
+
+    def test_schedules_are_legal(self, name):
+        maker, sizes = CODES[name]
+        for key, version in maker().items():
+            sched = version.schedule(sizes)
+            assert sched.is_legal_for(
+                version.code.stencil, version.bounds(sizes)
+            ), key
+
+    def test_untilable_versions_marked(self, name):
+        maker, _ = CODES[name]
+        versions = maker()
+        assert not versions["storage-optimized"].tilable
+        assert all(
+            v.tilable for k, v in versions.items() if k != "storage-optimized"
+        )
+
+
+class TestDeclaredUovs:
+    def test_stencil5_uov_is_optimal(self):
+        code = next(iter(make_stencil5().values())).code
+        result = find_optimal_uov(code.stencil)
+        assert result.ov == (2, 0) and result.optimal
+
+    def test_jacobi_uov_is_optimal(self):
+        code = next(iter(make_jacobi().values())).code
+        result = find_optimal_uov(code.stencil)
+        assert result.ov == (2, 0)
+
+    def test_simple2d_uov_is_optimal(self):
+        code = next(iter(make_simple2d().values())).code
+        assert find_optimal_uov(code.stencil).ov == (1, 1)
+
+    def test_psm_paper_uov_is_initial_not_optimal(self):
+        from repro.codes.psm import PSM_OPTIMAL_UOV, PSM_PAPER_UOV
+
+        code = next(iter(make_psm().values())).code
+        assert code.stencil.initial_uov == PSM_PAPER_UOV
+        assert is_uov(PSM_PAPER_UOV, code.stencil)
+        assert find_optimal_uov(code.stencil).ov == PSM_OPTIMAL_UOV
+
+
+class TestPaperStorageNumbers:
+    def test_table1(self):
+        sizes = {"T": 16, "L": 100}
+        v = make_stencil5()
+        assert v["natural"].storage(sizes) == 1600
+        assert v["ov"].storage(sizes) == 200
+        assert v["ov-interleaved"].storage(sizes) == 200
+        assert v["storage-optimized"].storage(sizes) == 103
+
+    def test_table2(self):
+        sizes = {"n0": 50, "n1": 60}
+        v = make_psm()
+        assert v["natural"].storage(sizes) == 3000
+        assert v["ov"].storage(sizes) == 2 * (50 + 60 - 1)
+        assert v["ov-optimal"].storage(sizes) == 109
+        assert v["storage-optimized"].storage(sizes) == 103
+
+    def test_fig1(self):
+        sizes = {"n": 10, "m": 20}
+        v = make_simple2d()
+        assert v["natural"].storage(sizes) == 200
+        assert v["ov"].storage(sizes) == 29
+        assert v["storage-optimized"].storage(sizes) == 22
+
+
+class TestTileParameterisation:
+    def test_tile_sizes_flow_from_size_binding(self):
+        version = make_stencil5()["ov-tiled"]
+        sched = version.schedule({"T": 8, "L": 32, "tile_h": 2, "tile_w": 5})
+        assert sched.tile_sizes == (2, 5)
+
+    def test_default_tiles(self):
+        version = make_psm()["ov-tiled"]
+        sched = version.schedule({"n0": 8, "n1": 8})
+        assert sched.tile_sizes == (48, 48)

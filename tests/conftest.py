@@ -1,0 +1,37 @@
+"""Shared fixtures: the paper's stencils and ISGs, reused across the suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.stencil import Stencil
+from repro.util.polyhedron import Polytope
+
+
+@pytest.fixture
+def fig1_stencil() -> Stencil:
+    """Figure 1's 3-point recurrence stencil."""
+    return Stencil([(1, 0), (0, 1), (1, 1)])
+
+
+@pytest.fixture
+def stencil5() -> Stencil:
+    """The 5-point 1-D stencil over time (Section 5)."""
+    return Stencil([(1, -2), (1, -1), (1, 0), (1, 1), (1, 2)])
+
+
+@pytest.fixture
+def fig2_stencil() -> Stencil:
+    """The Figure 2/3 stencil, reconstructed from the Figure 3 numbers."""
+    return Stencil([(1, 0), (1, 1), (1, -1)])
+
+
+@pytest.fixture
+def fig3_isg() -> Polytope:
+    """Figure 3's parallelogram ISG with the implied fourth vertex."""
+    return Polytope([(1, 1), (1, 6), (10, 9), (10, 4)])
+
+
+@pytest.fixture
+def small_box() -> Polytope:
+    return Polytope.from_box((0, 0), (7, 9))

@@ -1,0 +1,112 @@
+"""Common UOVs across multiple loop nests (Section 7 future work)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.multiloop import (
+    common_uov_exists_direction,
+    find_common_uov,
+    is_common_uov,
+)
+from repro.core.stencil import Stencil
+from repro.core.uov import is_uov
+from repro.util.polyhedron import Polytope
+
+from .test_stencil import lex_positive_vectors
+
+
+class TestMembership:
+    def test_known_common(self, stencil5):
+        jacobi = Stencil([(1, -1), (1, 0), (1, 1)])
+        assert is_common_uov((2, 0), [stencil5, jacobi])
+        # (2,0) is the optimum for each individually, so also jointly.
+
+    def test_not_common(self, fig1_stencil, stencil5):
+        # (1,1) is fig1's UOV but not the 5-point stencil's.
+        assert is_uov((1, 1), fig1_stencil)
+        assert not is_uov((1, 1), stencil5)
+        assert not is_common_uov((1, 1), [fig1_stencil, stencil5])
+
+    def test_single_stencil_degenerates(self, fig1_stencil):
+        assert is_common_uov((1, 1), [fig1_stencil])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            is_common_uov((1, 1), [])
+        with pytest.raises(ValueError):
+            find_common_uov([])
+
+
+class TestExistence:
+    def test_disjoint_cones_have_no_common_uov(self):
+        a = Stencil([(1, 0)])
+        b = Stencil([(0, 1)])
+        assert not common_uov_exists_direction([a, b])
+        assert find_common_uov([a, b]) is None
+
+    def test_overlapping_cones(self, stencil5):
+        jacobi = Stencil([(1, -1), (1, 0), (1, 1)])
+        assert common_uov_exists_direction([stencil5, jacobi])
+
+    def test_direction_check_is_not_sufficient(self):
+        # cones [(1,0),(1,1)] and [(1,1),(1,2)] share exactly the (1,1)
+        # ray, so the direction check passes — yet no common UOV exists:
+        # any UOV of the first stencil must be (1,0) plus a cone element,
+        # which pushes it strictly off the shared ray.
+        a = Stencil([(1, 0), (1, 1)])
+        b = Stencil([(1, 1), (1, 2)])
+        assert common_uov_exists_direction([a, b])
+        assert find_common_uov([a, b], max_norm2=64) is None
+
+
+class TestSearch:
+    def test_shortest_common(self, stencil5):
+        jacobi = Stencil([(1, -1), (1, 0), (1, 1)])
+        result = find_common_uov([stencil5, jacobi])
+        assert result is not None
+        assert result.ov == (2, 0)
+        assert result.optimal
+
+    def test_common_at_least_as_long_as_individual_optima(
+        self, fig1_stencil
+    ):
+        psm = Stencil([(1, 0), (0, 1), (1, 1)])  # same stencil family
+        both = find_common_uov([fig1_stencil, psm])
+        assert both.ov == (1, 1)
+
+    def test_with_isg_storage_objective(self, fig2_stencil, fig3_isg):
+        # A single stencil through the common-UOV path must agree with
+        # the dedicated search (Figure 3's answer).
+        result = find_common_uov([fig2_stencil], isg=fig3_isg)
+        assert result.ov == (3, 1)
+        assert result.storage == 16
+
+    def test_dim_mismatch_rejected(self, fig1_stencil):
+        with pytest.raises(ValueError):
+            find_common_uov(
+                [fig1_stencil, Stencil([(1, 0, 0)])]
+            )
+        with pytest.raises(ValueError):
+            find_common_uov(
+                [fig1_stencil], isg=Polytope.from_box((0, 0, 0), (1, 1, 1))
+            )
+
+    def test_radius_miss_returns_none(self):
+        # Cones intersect (both contain (1,0)-ish directions) but every
+        # common UOV is longer than the tiny radius allows.
+        a = Stencil([(1, -3), (1, 3)])
+        b = Stencil([(1, 0)])
+        assert find_common_uov([a, b], max_norm2=1) is None
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(lex_positive_vectors(max_abs=2), min_size=1, max_size=2),
+        st.lists(lex_positive_vectors(max_abs=2), min_size=1, max_size=2),
+    )
+    def test_found_common_is_really_common(self, va, vb):
+        a, b = Stencil(va), Stencil(vb)
+        result = find_common_uov([a, b], max_norm2=64)
+        if result is not None:
+            assert is_uov(result.ov, a)
+            assert is_uov(result.ov, b)

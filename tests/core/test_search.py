@@ -1,0 +1,126 @@
+"""Branch-and-bound UOV search (Section 3.2)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.core.search import find_optimal_uov
+from repro.core.stencil import Stencil
+from repro.core.storage_metric import storage_for_ov
+from repro.core.uov import enumerate_uovs, is_uov
+from repro.util.polyhedron import Polytope
+from repro.util.vectors import norm2
+
+from .test_stencil import lex_positive_vectors
+
+
+class TestKnownResults:
+    def test_fig1_shortest(self, fig1_stencil):
+        r = find_optimal_uov(fig1_stencil)
+        assert r.ov == (1, 1)
+        assert r.optimal
+        assert r.objective == 2.0
+
+    def test_stencil5_shortest(self, stencil5):
+        r = find_optimal_uov(stencil5)
+        assert r.ov == (2, 0)
+        assert r.optimal
+
+    def test_fig3_storage_objective(self, fig2_stencil, fig3_isg):
+        r = find_optimal_uov(fig2_stencil, isg=fig3_isg)
+        assert r.storage == 16
+        assert r.ov == (3, 1)
+        assert r.optimal
+
+    def test_fig3_shortest_differs_from_storage_optimum(
+        self, fig2_stencil, fig3_isg
+    ):
+        shortest = find_optimal_uov(fig2_stencil)
+        assert shortest.ov == (2, 0)
+        # The shortest UOV needs more storage on the Figure-3 ISG than
+        # the storage-optimal one — the point of Figure 3.
+        assert storage_for_ov(shortest.ov, fig3_isg) > 16
+
+
+class TestResultContract:
+    def test_result_is_always_a_uov(self, stencil5):
+        r = find_optimal_uov(stencil5, max_nodes=1)
+        assert is_uov(r.ov, stencil5)
+        assert not r.optimal  # budget exhausted immediately
+        assert r.ov == stencil5.initial_uov
+
+    def test_candidates_are_all_uovs(self, fig1_stencil):
+        r = find_optimal_uov(fig1_stencil)
+        assert all(is_uov(w, fig1_stencil) for w in r.candidates)
+        assert r.ov in r.candidates
+
+    def test_str_rendering(self, fig1_stencil):
+        text = str(find_optimal_uov(fig1_stencil))
+        assert "UOV (1, 1)" in text and "optimal" in text
+
+    def test_objective_validation(self, fig1_stencil):
+        with pytest.raises(ValueError):
+            find_optimal_uov(fig1_stencil, objective="nonsense")
+        with pytest.raises(ValueError):
+            find_optimal_uov(fig1_stencil, objective="storage")  # no ISG
+
+    def test_isg_dim_mismatch(self, fig1_stencil):
+        with pytest.raises(ValueError):
+            find_optimal_uov(
+                fig1_stencil, isg=Polytope.from_box((0, 0, 0), (1, 1, 1))
+            )
+
+    def test_stats_are_populated(self, stencil5):
+        r = find_optimal_uov(stencil5)
+        assert r.nodes_visited > 0
+        assert r.nodes_pushed >= r.nodes_visited // 2
+
+
+class TestOptimalityAgainstEnumeration:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(lex_positive_vectors(max_abs=2), min_size=1, max_size=3)
+    )
+    def test_shortest_matches_exhaustive(self, vectors):
+        s = Stencil(vectors)
+        r = find_optimal_uov(s)
+        assert r.optimal
+        # exhaustive check within the incumbent's radius: nothing shorter.
+        shorter = [
+            w
+            for w in enumerate_uovs(s, max_norm2=int(r.objective))
+            if norm2(w) < r.objective
+        ]
+        assert shorter == [], f"search missed shorter UOVs {shorter}"
+        assert is_uov(r.ov, s)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.lists(lex_positive_vectors(max_abs=2), min_size=1, max_size=3),
+        st.integers(2, 6),
+        st.integers(2, 6),
+    )
+    def test_storage_objective_never_worse_than_initial(
+        self, vectors, n, m
+    ):
+        s = Stencil(vectors)
+        isg = Polytope.from_box((0, 0), (n, m))
+        r = find_optimal_uov(s, isg=isg)
+        assert r.storage <= storage_for_ov(s.initial_uov, isg)
+        assert is_uov(r.ov, s)
+
+
+class TestThreeDimensional:
+    def test_3d_diagonal_stencil(self):
+        s = Stencil([(1, 0, 0), (0, 1, 0), (0, 0, 1), (1, 1, 1)])
+        r = find_optimal_uov(s)
+        assert r.optimal
+        assert r.ov == (1, 1, 1)
+        assert is_uov(r.ov, s)
+
+    def test_3d_initial_seed(self):
+        s = Stencil([(1, 0, 0), (1, 1, 0)])
+        r = find_optimal_uov(s)
+        assert is_uov(r.ov, s)
+        assert r.objective <= norm2(s.initial_uov)

@@ -1,0 +1,107 @@
+"""Stencil invariants and derived quantities."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.stencil import Stencil
+
+
+def lex_positive_vectors(dim=2, max_abs=3):
+    vec = st.tuples(
+        *[st.integers(-max_abs, max_abs) for _ in range(dim)]
+    )
+    return vec.filter(
+        lambda v: next((c for c in v if c != 0), 0) > 0
+    )
+
+
+def stencils(dim=2):
+    return st.lists(
+        lex_positive_vectors(dim), min_size=1, max_size=4
+    ).map(Stencil)
+
+
+class TestValidation:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Stencil([])
+
+    def test_rejects_zero_vector(self):
+        with pytest.raises(ValueError):
+            Stencil([(0, 0)])
+
+    def test_rejects_lex_negative(self):
+        with pytest.raises(ValueError):
+            Stencil([(1, 0), (-1, 2)])
+        with pytest.raises(ValueError):
+            Stencil([(0, -1)])
+
+    def test_rejects_mixed_dims(self):
+        with pytest.raises(ValueError):
+            Stencil([(1, 0), (1, 0, 0)])
+
+    def test_dedup_and_sort(self):
+        s = Stencil([(1, 1), (1, 0), (1, 1)])
+        assert s.vectors == ((1, 0), (1, 1))
+        assert len(s) == 2
+
+    def test_equality_and_hash(self):
+        assert Stencil([(1, 0), (0, 1)]) == Stencil([(0, 1), (1, 0)])
+        assert hash(Stencil([(1, 0)])) == hash(Stencil([(1, 0)]))
+
+
+class TestInitialUov:
+    def test_fig1(self, fig1_stencil):
+        assert fig1_stencil.initial_uov == (2, 2)
+
+    def test_stencil5(self, stencil5):
+        assert stencil5.initial_uov == (5, 0)
+
+    @given(stencils())
+    def test_is_sum_of_vectors(self, s):
+        total = tuple(sum(v[k] for v in s.vectors) for k in range(s.dim))
+        assert s.initial_uov == total
+
+
+class TestPositivityWeights:
+    @given(stencils())
+    def test_strictly_positive_on_every_vector(self, s):
+        w = s.positivity_weights
+        for v in s.vectors:
+            assert sum(a * b for a, b in zip(w, v)) > 0
+
+    @given(stencils(dim=3))
+    def test_three_dimensional(self, s):
+        w = s.positivity_weights
+        for v in s.vectors:
+            assert sum(a * b for a, b in zip(w, v)) > 0
+
+
+class TestExtremeVectors:
+    def test_interior_vector_dropped(self):
+        # (1,0) = ((1,1) + (1,-1)) / 2 is inside the cone.
+        s = Stencil([(1, 1), (1, -1), (1, 0)])
+        assert set(s.extreme_vectors) == {(1, 1), (1, -1)}
+
+    def test_all_extreme(self, fig1_stencil):
+        # (1,1) is NOT a conic combination of (1,0),(0,1)?  It is:
+        # (1,1) = (1,0)+(0,1), so only the axis vectors are extreme.
+        assert set(fig1_stencil.extreme_vectors) == {(1, 0), (0, 1)}
+
+    def test_stencil5_extremes(self, stencil5):
+        assert set(stencil5.extreme_vectors) == {(1, -2), (1, 2)}
+
+    def test_single_vector(self):
+        assert Stencil([(2, 1)]).extreme_vectors == ((2, 1),)
+
+
+class TestTransform:
+    def test_skew_keeps_legality(self, stencil5):
+        skewed = stencil5.transformed([[1, 0], [2, 1]])
+        assert all(all(c >= 0 for c in v) for v in skewed.vectors)
+
+    def test_illegal_transform_rejected(self, fig1_stencil):
+        # Reversing the outer loop makes (1,0) lex-negative.
+        with pytest.raises(ValueError):
+            fig1_stencil.transformed([[-1, 0], [0, 1]])

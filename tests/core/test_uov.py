@@ -1,0 +1,146 @@
+"""UOV membership, certificates, and the semantic ground truth.
+
+The heart of the suite: the algebraic membership test of Section 3.1 is
+pitted against dynamic legality over many random legal schedules — a UOV
+must survive every one of them.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stencil import Stencil
+from repro.core.uov import (
+    enumerate_uovs,
+    initial_uov,
+    is_legal_for_schedule,
+    is_uov,
+    uov_certificates,
+)
+from repro.schedule.random_legal import random_legal_order
+
+from .test_stencil import lex_positive_vectors, stencils
+
+
+class TestKnownUovs:
+    def test_fig1(self, fig1_stencil):
+        assert is_uov((1, 1), fig1_stencil)
+        assert is_uov((2, 2), fig1_stencil)
+        assert is_uov((2, 1), fig1_stencil)
+        assert not is_uov((1, 0), fig1_stencil)
+        assert not is_uov((0, 1), fig1_stencil)
+        assert not is_uov((0, 0), fig1_stencil)
+
+    def test_stencil5(self, stencil5):
+        assert is_uov((2, 0), stencil5)
+        assert is_uov((5, 0), stencil5)  # the initial UOV
+        assert not is_uov((1, 0), stencil5)
+        assert not is_uov((1, 1), stencil5)
+        assert not is_uov((1, 2), stencil5)
+
+    def test_fig3(self, fig2_stencil):
+        assert is_uov((3, 0), fig2_stencil)
+        assert is_uov((3, 1), fig2_stencil)
+        assert is_uov((2, 0), fig2_stencil)
+        assert not is_uov((1, 0), fig2_stencil)
+
+    def test_dimension_mismatch(self, fig1_stencil):
+        with pytest.raises(ValueError):
+            is_uov((1, 1, 1), fig1_stencil)
+
+
+class TestInitialUov:
+    @given(stencils())
+    def test_initial_uov_is_always_a_uov(self, s):
+        assert is_uov(initial_uov(s), s)
+
+    @given(stencils(dim=3))
+    def test_initial_uov_3d(self, s):
+        assert is_uov(initial_uov(s), s)
+
+
+class TestCertificates:
+    def test_rows_reconstruct_ov(self, fig1_stencil):
+        ov = (2, 1)
+        rows = uov_certificates(ov, fig1_stencil)
+        assert rows is not None
+        for v, cert in rows.items():
+            total = [v[0], v[1]]
+            for u, c in cert.items():
+                total[0] += c * u[0]
+                total[1] += c * u[1]
+            assert tuple(total) == ov, f"row {v} does not rebuild {ov}"
+
+    def test_none_for_non_uov(self, fig1_stencil):
+        assert uov_certificates((1, 0), fig1_stencil) is None
+
+    def test_positive_diagonal_interpretation(self, fig1_stencil):
+        # The paper's system: ov = sum a_ij v_j with a_ii >= 1 per row;
+        # our row for v is a certificate for ov - v, i.e. a_ii - 1 >= 0.
+        rows = uov_certificates((2, 2), fig1_stencil)
+        assert set(rows) == set(fig1_stencil.vectors)
+
+
+class TestEnumeration:
+    def test_fig1_enumeration(self, fig1_stencil):
+        found = enumerate_uovs(fig1_stencil, max_norm2=8)
+        assert found[0] == (1, 1)  # shortest first
+        assert (2, 2) in found
+        assert all(is_uov(w, fig1_stencil) for w in found)
+
+    def test_negative_radius_rejected(self, fig1_stencil):
+        with pytest.raises(ValueError):
+            enumerate_uovs(fig1_stencil, max_norm2=-1)
+
+    def test_no_uov_within_tiny_radius(self, stencil5):
+        assert enumerate_uovs(stencil5, max_norm2=1) == []
+
+
+class TestSemanticGroundTruth:
+    """UOV <=> legal under every schedule; checked by sampling."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(lex_positive_vectors(max_abs=2), min_size=1, max_size=3),
+        st.integers(0, 10**6),
+    )
+    def test_uovs_survive_random_schedules(self, vectors, seed):
+        s = Stencil(vectors)
+        rng = random.Random(seed)
+        bounds = [(0, 4), (0, 4)]
+        uovs = enumerate_uovs(s, max_norm2=13)
+        orders = [
+            random_legal_order(s, bounds, rng) for _ in range(4)
+        ]
+        for w in uovs:
+            for order in orders:
+                assert is_legal_for_schedule(w, s, order), (
+                    f"claimed UOV {w} of {s} violated by a legal schedule"
+                )
+
+    def test_non_uov_fails_some_schedule(self, fig1_stencil):
+        # (1,0) is not universal: an interchange-like order breaks it.
+        rng = random.Random(7)
+        bounds = [(0, 5), (0, 5)]
+        assert not is_uov((1, 0), fig1_stencil)
+        violated = any(
+            not is_legal_for_schedule(
+                (1, 0),
+                fig1_stencil,
+                random_legal_order(fig1_stencil, bounds, rng),
+            )
+            for _ in range(20)
+        )
+        assert violated
+
+    def test_lex_order_tolerates_schedule_specific_ov(self, stencil5):
+        # (1, 2) is NOT universal for the 5-point stencil but IS legal for
+        # plain lexicographic execution: the value at (t-1, x-2) has been
+        # fully consumed once (t, x) runs left to right.
+        points = [
+            (t, x) for t in range(1, 7) for x in range(0, 12)
+        ]
+        assert not is_uov((1, 2), stencil5)
+        assert is_legal_for_schedule((1, 2), stencil5, points)

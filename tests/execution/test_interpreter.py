@@ -1,0 +1,138 @@
+"""The interpreter against independent numpy oracles.
+
+The oracles below compute each benchmark with plain 2-D numpy arrays and
+no storage mapping at all — a fully independent implementation path.  If
+the interpreter, the mappings, and the schedules conspire to be wrong in
+compatible ways, these tests are the ones that would catch it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codes import make_jacobi, make_psm, make_simple2d, make_stencil5
+from repro.codes.psm import PSM_GAP
+from repro.codes.stencil5 import STENCIL5_WEIGHTS
+from repro.execution import execute
+
+
+def stencil5_oracle(sizes, ctx):
+    t_steps, length = sizes["T"], sizes["L"]
+    buf = ctx["input"].copy()  # length + 4 with guard cells
+    prev = buf.copy()
+    cur = np.empty_like(prev)
+    for _t in range(t_steps):
+        cur[:2] = prev[:2]
+        cur[-2:] = prev[-2:]
+        for x in range(length):
+            window = prev[x : x + 5]
+            cur[x + 2] = (
+                STENCIL5_WEIGHTS[0] * window[0]
+                + STENCIL5_WEIGHTS[1] * window[1]
+                + STENCIL5_WEIGHTS[2] * window[2]
+                + STENCIL5_WEIGHTS[3] * window[3]
+                + STENCIL5_WEIGHTS[4] * window[4]
+            )
+        prev, cur = cur.copy(), prev
+    return prev[2:-2]
+
+
+def psm_oracle(sizes, ctx):
+    n0, n1 = sizes["n0"], sizes["n1"]
+    weights, s0, s1 = ctx["weights"], ctx["s0"], ctx["s1"]
+    h = np.zeros((n0 + 1, n1 + 1))
+    for i in range(1, n0 + 1):
+        for j in range(1, n1 + 1):
+            h[i, j] = max(
+                h[i - 1, j - 1] + weights[s0[i], s1[j]],
+                h[i - 1, j] - PSM_GAP,
+                h[i, j - 1] - PSM_GAP,
+                0.0,
+            )
+    return h[1:, n1]
+
+
+def simple2d_oracle(sizes, ctx):
+    n, m = sizes["n"], sizes["m"]
+    a = np.zeros((n + 1, m + 1))
+    a[0, :] = ctx["row0"]
+    a[:, 0] = 0.5
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            a[i, j] = 0.3 * a[i - 1, j] + 0.3 * a[i, j - 1] + 0.4 * a[i - 1, j - 1]
+    return a[n, 1:]
+
+
+class TestAgainstOracles:
+    @pytest.mark.parametrize(
+        "key",
+        [
+            "natural",
+            "ov",
+            "ov-tiled",
+            "ov-interleaved",
+            "storage-optimized",
+        ],
+    )
+    def test_stencil5(self, key):
+        sizes = {"T": 7, "L": 23}
+        version = make_stencil5()[key]
+        result = execute(version, sizes, seed=3)
+        expected = stencil5_oracle(sizes, result.ctx)
+        assert np.array_equal(result.output_values(), expected)
+
+    @pytest.mark.parametrize(
+        "key", ["natural", "ov", "ov-tiled", "ov-optimal", "storage-optimized"]
+    )
+    def test_psm(self, key):
+        sizes = {"n0": 9, "n1": 12}
+        version = make_psm()[key]
+        result = execute(version, sizes, seed=5)
+        expected = psm_oracle(sizes, result.ctx)
+        assert np.array_equal(result.output_values(), expected)
+
+    @pytest.mark.parametrize("key", ["natural", "ov", "storage-optimized"])
+    def test_simple2d(self, key):
+        sizes = {"n": 8, "m": 11}
+        version = make_simple2d()[key]
+        result = execute(version, sizes, seed=7)
+        expected = simple2d_oracle(sizes, result.ctx)
+        assert np.array_equal(result.output_values(), expected)
+
+
+class TestExecutionContract:
+    def test_value_outside_domain_rejected(self):
+        version = make_jacobi()["ov"]
+        result = execute(version, {"T": 3, "L": 8})
+        with pytest.raises(ValueError):
+            result.value((99, 0))
+
+    def test_check_legality_accepts_good_pairs(self):
+        version = make_stencil5()["ov-tiled"]
+        execute(version, {"T": 4, "L": 12}, check_legality=True)
+
+    def test_check_legality_rejects_bad_pairs(self):
+        """Force the storage-optimized mapping under a tiled schedule."""
+        from dataclasses import replace
+
+        from repro.schedule import TiledSchedule, required_skew
+
+        versions = make_stencil5()
+        so = versions["storage-optimized"]
+        stencil = so.code.stencil
+        bad = replace(
+            so,
+            schedule_factory=lambda s: TiledSchedule(
+                (2, 4), skew=required_skew(stencil)
+            ),
+            tiled=True,
+        )
+        with pytest.raises(ValueError, match="illegal"):
+            execute(bad, {"T": 4, "L": 12}, check_legality=True)
+
+    def test_seed_reproducibility(self):
+        version = make_psm()["ov"]
+        a = execute(version, {"n0": 6, "n1": 6}, seed=9).output_values()
+        b = execute(version, {"n0": 6, "n1": 6}, seed=9).output_values()
+        c = execute(version, {"n0": 6, "n1": 6}, seed=10).output_values()
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)

@@ -1,0 +1,182 @@
+"""Multiple assignments: disjoint per-statement storage (Section 3)."""
+
+import numpy as np
+import pytest
+
+from repro.execution.multi import execute_multi, plan_storage
+from repro.ir import ArrayDecl, ArrayRef, Assignment, LoopNest, Program
+from repro.schedule import (
+    LexicographicSchedule,
+    TiledSchedule,
+    WavefrontSchedule,
+)
+
+
+def coupled_program() -> Program:
+    """Two coupled recurrences over one nest.
+
+    A's reduced ISG carries {(1,0),(1,1)}; B's carries {(0,1)}; B also
+    reads A's same-row value (a cross-array, non-carried edge) and A
+    reads B's previous-row value (cross-array, carried (1,0)).
+    """
+    a_stmt = Assignment(
+        target=ArrayRef.of("A", "i", "j"),
+        sources=(
+            ArrayRef.of("A", "i-1", "j"),
+            ArrayRef.of("A", "i-1", "j-1"),
+            ArrayRef.of("B", "i-1", "j"),
+        ),
+        combine=lambda a, b, c: 0.0,
+    )
+    b_stmt = Assignment(
+        target=ArrayRef.of("B", "i", "j"),
+        sources=(
+            ArrayRef.of("B", "i", "j-1"),
+            ArrayRef.of("A", "i", "j"),
+        ),
+        combine=lambda a, b: 0.0,
+    )
+    return Program(
+        name="coupled",
+        loop=LoopNest.of(("i", "j"), [(1, "n"), (1, "m")]),
+        body=(a_stmt, b_stmt),
+        arrays=(ArrayDecl.of("A", "n+1", "m+1"), ArrayDecl.of("B", "n+1", "m+1")),
+        size_symbols=("n", "m"),
+    )
+
+
+def reference(n, m, inputs):
+    """Independent numpy oracle with full 2-D arrays."""
+    a = np.zeros((n + 1, m + 1))
+    b = np.zeros((n + 1, m + 1))
+    a[0, :] = inputs["A_row"]
+    b[0, :] = inputs["B_row"]
+    a[:, 0] = 0.125
+    b[:, 0] = 0.25
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            a[i, j] = (
+                0.4 * a[i - 1, j] + 0.3 * a[i - 1, j - 1] + 0.3 * b[i - 1, j]
+            )
+            b[i, j] = 0.5 * b[i, j - 1] + 0.5 * a[i, j]
+    return a, b
+
+
+SIZES = {"n": 9, "m": 12}
+
+
+def make_runtime(seed=0):
+    rng = np.random.default_rng(seed)
+    inputs = {
+        "A_row": rng.uniform(size=SIZES["m"] + 1),
+        "B_row": rng.uniform(size=SIZES["m"] + 1),
+    }
+
+    def input_values(array, p):
+        i, j = p
+        if j <= 0:
+            return 0.125 if array == "A" else 0.25
+        return float(inputs[f"{array}_row"][j])
+
+    combines = {
+        "A": lambda v, q: 0.4 * v[0] + 0.3 * v[1] + 0.3 * v[2],
+        "B": lambda v, q: 0.5 * v[0] + 0.5 * v[1],
+    }
+    return inputs, input_values, combines
+
+
+class TestPlanning:
+    def test_disjoint_stencils_and_uovs(self):
+        plan = plan_storage(coupled_program(), SIZES)
+        a_plan = plan.plan_for("A")
+        b_plan = plan.plan_for("B")
+        # A's consumers: its own reads (B's same-iteration read is a
+        # zero-distance edge, ordered by body position).
+        assert set(a_plan.stencil.vectors) == {(1, 0), (1, 1)}
+        # B's consumers include A's read of B[i-1, j]: the (1,0) edge.
+        # Without it, B's buffer would recycle values A still needs —
+        # the load-bearing subtlety of multi-assignment storage.
+        assert set(b_plan.stencil.vectors) == {(0, 1), (1, 0)}
+        # Neither (1,0) nor (1,1) is universal for {(1,0),(1,1)}; the
+        # optimum is their sum.  For B's {(0,1),(1,0)} it is (1,1).
+        assert a_plan.uov == (2, 1)
+        assert b_plan.uov == (1, 1)
+
+    def test_union_stencil_includes_cross_array_edges(self):
+        plan = plan_storage(coupled_program(), SIZES)
+        # A reads B[i-1,j]: cross-array carried distance (1,0).
+        assert (1, 0) in plan.union_stencil.vectors
+
+    def test_total_storage_is_sum_of_disjoint_buffers(self):
+        plan = plan_storage(coupled_program(), SIZES)
+        assert plan.total_storage == sum(
+            p.mapping.size for p in plan.statements
+        )
+        assert plan.plan_for("A").mapping is not plan.plan_for("B").mapping
+
+    def test_statement_without_carried_values_rejected(self):
+        stmt = Assignment(
+            target=ArrayRef.of("A", "i", "j"),
+            sources=(ArrayRef.of("C", "i", "j"),),
+            combine=lambda c: c,
+        )
+        program = Program(
+            name="copy2",
+            loop=LoopNest.of(("i", "j"), [(1, 3), (1, 3)]),
+            body=(stmt,),
+            arrays=(ArrayDecl.of("A", 4, 4), ArrayDecl.of("C", 4, 4)),
+        )
+        with pytest.raises(ValueError):
+            plan_storage(program, {})
+
+
+class TestExecution:
+    @pytest.mark.parametrize(
+        "schedule",
+        [
+            LexicographicSchedule(),
+            WavefrontSchedule((1, 1)),
+            TiledSchedule((3, 4)),
+        ],
+        ids=lambda s: s.name,
+    )
+    def test_matches_oracle_under_any_legal_schedule(self, schedule):
+        program = coupled_program()
+        plan = plan_storage(program, SIZES)
+        inputs, input_values, combines = make_runtime()
+        buffers = execute_multi(
+            plan, SIZES, schedule, input_values, combines
+        )
+        a_ref, b_ref = reference(SIZES["n"], SIZES["m"], inputs)
+        a_map = plan.plan_for("A").mapping.compiled()
+        b_map = plan.plan_for("B").mapping.compiled()
+        n, m = SIZES["n"], SIZES["m"]
+        # last row of A and last column of B survive in their buffers
+        for j in range(1, m + 1):
+            assert buffers["A"][a_map(n, j)] == a_ref[n, j]
+        for i in range(1, n + 1):
+            assert buffers["B"][b_map(i, m)] == b_ref[i, m]
+
+    def test_illegal_schedule_rejected(self):
+        from repro.schedule import InterchangedSchedule
+
+        program = coupled_program()
+        plan = plan_storage(program, SIZES)
+        _, input_values, combines = make_runtime()
+        # interchange breaks A's cross/own (1,1)-style dependences?  The
+        # union stencil contains (1,1); permuted it stays lex-positive —
+        # but (1,0) permutes to (0,1), fine too.  Use a genuinely illegal
+        # order: reversed wavefront.
+        class Reversed(LexicographicSchedule):
+            name = "reversed"
+
+            def order(self, bounds):
+                return reversed(list(super().order(bounds)))
+
+            def is_legal_for(self, stencil, bounds):
+                return False
+
+        with pytest.raises(ValueError, match="violates"):
+            execute_multi(
+                plan, SIZES, Reversed(), input_values, combines
+            )

@@ -1,0 +1,121 @@
+"""Address tracing and the trace-driven simulator."""
+
+import pytest
+
+from repro.codes import make_psm, make_stencil5
+from repro.execution.simulator import simulate
+from repro.execution.trace import (
+    ELEMENT_BYTES,
+    TraceLayout,
+    line_trace,
+    trace_length,
+)
+from repro.machine import PENTIUM_PRO
+
+
+class TestLayout:
+    def test_regions_do_not_overlap(self):
+        version = make_psm()["ov"]
+        sizes = {"n0": 30, "n1": 30}
+        layout = TraceLayout.for_version(version, sizes)
+        storage_end = (
+            layout.storage_base
+            + version.mapping(sizes).size * ELEMENT_BYTES
+        )
+        assert layout.input_base >= storage_end
+        assert layout.table_base > layout.input_base
+
+
+class TestTrace:
+    def test_uncollapsed_length(self):
+        version = make_stencil5()["ov"]
+        sizes = {"T": 3, "L": 10}
+        trace = list(
+            line_trace(version, sizes, line_bytes=32, collapse=False)
+        )
+        assert len(trace) == trace_length(version, sizes)
+        # 5 loads + 1 store per iteration, 30 iterations
+        assert len(trace) == 6 * 30
+
+    def test_psm_includes_table_reads(self):
+        version = make_psm()["natural"]
+        sizes = {"n0": 4, "n1": 4}
+        assert trace_length(version, sizes) == (3 + 3 + 1) * 16
+
+    def test_collapse_preserves_simulation(self):
+        """Collapsing consecutive identical lines is exact for every
+        LRU level: same misses, same stalls (only access counts drop)."""
+        version = make_stencil5()["ov"]
+        sizes = {"T": 4, "L": 32}
+        machine = PENTIUM_PRO.scaled(64)
+
+        def run(collapse):
+            h = machine.build_hierarchy()
+            for line in line_trace(
+                version, sizes, machine.l1.line_bytes, collapse=collapse
+            ):
+                h.access_line(line)
+            return h
+
+        full = run(False)
+        collapsed = run(True)
+        assert full.l1.misses == collapsed.l1.misses
+        assert full.l2.misses == collapsed.l2.misses
+        assert full.stall_cycles == collapsed.stall_cycles
+
+    def test_trace_is_deterministic(self):
+        version = make_psm()["ov"]
+        sizes = {"n0": 6, "n1": 6}
+        a = list(line_trace(version, sizes, 32, seed=1))
+        b = list(line_trace(version, sizes, 32, seed=1))
+        assert a == b
+
+
+class TestSimulator:
+    def test_result_fields(self):
+        version = make_stencil5()["ov"]
+        sizes = {"T": 4, "L": 64}
+        r = simulate(version, sizes, PENTIUM_PRO.scaled(64))
+        assert r.iterations == 4 * 64
+        assert r.cycles_per_iteration == pytest.approx(
+            r.compute_cycles + r.stall_cycles_per_iteration
+        )
+        assert r.storage_elements == 2 * 64
+        assert "cyc/iter" in str(r)
+
+    def test_warm_pass_reduces_stalls(self):
+        version = make_stencil5()["ov"]
+        sizes = {"T": 4, "L": 32}
+        cold = simulate(version, sizes, PENTIUM_PRO, passes=1)
+        warm = simulate(version, sizes, PENTIUM_PRO, passes=2)
+        assert (
+            warm.stall_cycles_per_iteration
+            < cold.stall_cycles_per_iteration
+        )
+        # in-cache problem: steady state is virtually stall-free
+        assert warm.stall_cycles_per_iteration < 1.0
+
+    def test_tiled_version_charges_overhead(self):
+        versions = make_stencil5()
+        sizes = {"T": 4, "L": 32}
+        flat = simulate(versions["ov"], sizes, PENTIUM_PRO, passes=2)
+        tiled = simulate(versions["ov-tiled"], sizes, PENTIUM_PRO, passes=2)
+        assert tiled.compute_cycles == pytest.approx(
+            flat.compute_cycles + PENTIUM_PRO.cost.tile_overhead_cycles
+        )
+
+    def test_invalid_passes(self):
+        version = make_stencil5()["ov"]
+        with pytest.raises(ValueError):
+            simulate(version, {"T": 2, "L": 8}, PENTIUM_PRO, passes=0)
+
+    def test_larger_problem_never_cheaper_memory(self):
+        """Cycles/iter grows (weakly) with problem size for the untiled
+        streaming versions: the knee structure of Figures 9-11."""
+        version = make_stencil5()["ov"]
+        machine = PENTIUM_PRO.scaled(64)
+        cpis = [
+            simulate(version, {"T": 8, "L": length}, machine).cycles_per_iteration
+            for length in (64, 512, 4096)
+        ]
+        assert cpis[0] <= cpis[1] * 1.02 <= cpis[2] * 1.05

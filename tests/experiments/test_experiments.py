@@ -1,0 +1,88 @@
+"""Every experiment runs in quick mode and its paper-claims hold."""
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.harness import (
+    Claim,
+    ExperimentResult,
+    Series,
+    ascii_chart,
+    ascii_table,
+)
+
+CHEAP = ["overview", "fig1", "fig3", "fig5", "table1", "table2", "npc"]
+OVERHEAD = ["fig7", "fig8"]
+SCALING = ["fig9_11", "fig12_14"]
+
+
+@pytest.mark.parametrize("name", CHEAP)
+def test_cheap_experiments_pass(name):
+    import importlib
+
+    module = importlib.import_module(f"repro.experiments.{name}")
+    result = module.run("quick")
+    failing = [c for c in result.claims if not c.holds]
+    assert not failing, "\n".join(str(c) for c in failing)
+    assert result.render()
+
+
+@pytest.mark.parametrize("name", OVERHEAD)
+def test_overhead_experiments_pass(name):
+    import importlib
+
+    module = importlib.import_module(f"repro.experiments.{name}")
+    result = module.run("quick")
+    failing = [c for c in result.claims if not c.holds]
+    assert not failing, "\n".join(str(c) for c in failing)
+
+
+@pytest.mark.parametrize("name", SCALING)
+def test_scaling_experiments_pass(name):
+    import importlib
+
+    module = importlib.import_module(f"repro.experiments.{name}")
+    result = module.run("quick")
+    failing = [c for c in result.claims if not c.holds]
+    assert not failing, "\n".join(str(c) for c in failing)
+    # the rendering includes per-machine tables and a chart
+    text = result.render()
+    assert "cycles/iteration" in text
+    assert "```" in text
+
+
+def test_registry_is_complete():
+    import importlib
+
+    for name in ALL_EXPERIMENTS:
+        module = importlib.import_module(f"repro.experiments.{name}")
+        assert hasattr(module, "run")
+        assert hasattr(module, "TITLE")
+
+
+class TestHarnessPieces:
+    def test_ascii_table(self):
+        text = ascii_table([["a", "bb"], ["1", "2"]])
+        assert "| a | bb |" in text
+        assert ascii_table([]) == ""
+
+    def test_series(self):
+        s = Series("x", [1, 2, 3], [10.0, 20.0, 30.0])
+        assert s.y_at(2) == 20.0
+        assert s.final == 30.0
+
+    def test_chart_renders(self):
+        s = [Series("a", [1, 2], [10.0, 100.0]), Series("b", [1, 2], [5.0, 5.0])]
+        chart = ascii_chart(s)
+        assert "A=a" in chart and "B=b" in chart
+        assert ascii_chart([]) == ""
+
+    def test_claim_records_exceptions_as_failures(self):
+        result = ExperimentResult("x", "t", "quick")
+        result.claim("boom", lambda: 1 / 0)
+        assert not result.ok
+        assert "error" in result.claims[0].detail
+
+    def test_claim_str(self):
+        assert "[PASS] yes" in str(Claim("yes", True))
+        assert "[FAIL] no (why)" in str(Claim("no", False, "why"))

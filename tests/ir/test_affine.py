@@ -1,0 +1,91 @@
+"""Affine expressions: parsing, algebra, evaluation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir.affine import AffineExpr
+
+
+class TestParsing:
+    def test_simple_forms(self):
+        assert AffineExpr.parse("i").evaluate({"i": 3}) == 3
+        assert AffineExpr.parse("i-1").evaluate({"i": 3}) == 2
+        assert AffineExpr.parse("n-i+j").evaluate(
+            {"n": 10, "i": 4, "j": 1}
+        ) == 7
+        assert AffineExpr.parse("2*t + 3").evaluate({"t": 5}) == 13
+        assert AffineExpr.parse("t*2").evaluate({"t": 5}) == 10
+        assert AffineExpr.parse(7).evaluate({}) == 7
+        assert AffineExpr.parse("-i").evaluate({"i": 2}) == -2
+
+    def test_idempotent_on_affine(self):
+        e = AffineExpr.parse("n - i")
+        assert AffineExpr.parse(e) is e
+
+    def test_rejects_nonlinear(self):
+        with pytest.raises(ValueError):
+            AffineExpr.parse("i*j")
+        with pytest.raises(ValueError):
+            AffineExpr.parse("")
+        with pytest.raises(ValueError):
+            AffineExpr.parse("i-")
+        with pytest.raises(ValueError):
+            AffineExpr.parse("i + 2*")
+
+    def test_repeated_variable_collapses(self):
+        e = AffineExpr.parse("i + i + 1")
+        assert e.coefficient("i") == 2
+        assert e.const == 1
+
+
+class TestAlgebra:
+    def test_add_sub(self):
+        a = AffineExpr.parse("i + 1")
+        b = AffineExpr.parse("j - 1")
+        assert (a + b).evaluate({"i": 2, "j": 5}) == 7
+        assert (a - b).evaluate({"i": 2, "j": 5}) == -1
+
+    def test_scalar_multiply(self):
+        e = AffineExpr.parse("2*i - 3") * 4
+        assert e.coefficient("i") == 8 and e.const == -12
+        with pytest.raises(TypeError):
+            AffineExpr.parse("i") * 1.5
+
+    def test_zero_coefficients_vanish(self):
+        e = AffineExpr.parse("i") - AffineExpr.parse("i")
+        assert e.is_constant() and e.const == 0
+        assert e.variables == ()
+
+    @given(
+        st.integers(-9, 9),
+        st.integers(-9, 9),
+        st.integers(-9, 9),
+        st.integers(-9, 9),
+    )
+    def test_evaluation_is_linear(self, a, b, i, j):
+        e = AffineExpr.var("i", a) + AffineExpr.var("j", b)
+        assert e.evaluate({"i": i, "j": j}) == a * i + b * j
+
+
+class TestSubstitution:
+    def test_partial_binding(self):
+        e = AffineExpr.parse("n - i + j")
+        bound = e.substitute({"n": 100})
+        assert bound.variables == ("i", "j")
+        assert bound.evaluate({"i": 40, "j": 2}) == 62
+
+    def test_full_binding_becomes_constant(self):
+        e = AffineExpr.parse("2*i + 1").substitute({"i": 3})
+        assert e.is_constant() and e.const == 7
+
+
+class TestPrinting:
+    def test_round_trip_through_str(self):
+        for text in ["i - 1", "n - i + j", "2*i + 3", "-i + 4"]:
+            e = AffineExpr.parse(text)
+            again = AffineExpr.parse(str(e).replace(" ", ""))
+            assert again == e, (text, str(e))
+
+    def test_constant_zero(self):
+        assert str(AffineExpr.constant(0)) == "0"

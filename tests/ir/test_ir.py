@@ -1,0 +1,143 @@
+"""Array refs, loop nests, and programs."""
+
+import pytest
+
+from repro.ir import ArrayDecl, ArrayRef, Assignment, LoopNest, Program
+
+
+class TestArrayRef:
+    def test_uniform_detection(self):
+        ref = ArrayRef.of("A", "i-1", "j")
+        assert ref.is_uniform_in(("i", "j"))
+        assert ref.offset_from(("i", "j")) == (-1, 0)
+
+    def test_non_uniform_cases(self):
+        assert not ArrayRef.of("A", "j", "i").is_uniform_in(("i", "j"))
+        assert not ArrayRef.of("A", "2*i", "j").is_uniform_in(("i", "j"))
+        assert not ArrayRef.of("A", "n-i", "j").is_uniform_in(("i", "j"))
+        assert not ArrayRef.of("A", "i").is_uniform_in(("i", "j"))
+
+    def test_offset_from_rejects_non_uniform(self):
+        with pytest.raises(ValueError):
+            ArrayRef.of("A", "j", "i").offset_from(("i", "j"))
+
+    def test_index_evaluation(self):
+        ref = ArrayRef.of("W", "i+2", "j-3")
+        assert ref.index({"i": 5, "j": 10}) == (7, 7)
+
+    def test_str(self):
+        assert str(ArrayRef.of("A", "i-1", "j")) == "A[i - 1, j]"
+
+
+class TestLoopNest:
+    def test_points_lexicographic(self):
+        nest = LoopNest.of(("i", "j"), [(0, 1), (0, "m")])
+        pts = list(nest.points({"m": 1}))
+        assert pts == [(0, 0), (0, 1), (1, 0), (1, 1)]
+        assert nest.iteration_count({"m": 1}) == 4
+
+    def test_symbolic_bounds(self):
+        nest = LoopNest.of(("t", "x"), [(1, "T"), (0, "L-1")])
+        assert nest.concrete_bounds({"T": 3, "L": 10}) == ((1, 3), (0, 9))
+
+    def test_empty_range_rejected(self):
+        nest = LoopNest.of(("i",), [(5, "n")])
+        with pytest.raises(ValueError):
+            nest.concrete_bounds({"n": 3})
+
+    def test_triangular_nest_rejected(self):
+        with pytest.raises(ValueError):
+            LoopNest.of(("i", "j"), [(0, 5), (0, "i")])
+
+    def test_duplicate_indices_rejected(self):
+        with pytest.raises(ValueError):
+            LoopNest.of(("i", "i"), [(0, 5), (0, 5)])
+
+    def test_env(self):
+        nest = LoopNest.of(("i", "j"), [(0, 3), (0, 3)])
+        assert nest.env((1, 2)) == {"i": 1, "j": 2}
+        with pytest.raises(ValueError):
+            nest.env((1, 2, 3))
+
+    def test_domain_polytope(self):
+        nest = LoopNest.of(("i", "j"), [(1, 4), (2, "m")])
+        domain = nest.domain({"m": 5})
+        assert domain.bounding_box() == ((1, 2), (4, 5))
+
+
+class TestAssignment:
+    def _stmt(self):
+        return Assignment(
+            target=ArrayRef.of("A", "i", "j"),
+            sources=(
+                ArrayRef.of("A", "i-1", "j"),
+                ArrayRef.of("B", "i", "j"),
+            ),
+            combine=lambda a, b: a + b,
+        )
+
+    def test_reads_and_writes(self):
+        stmt = self._stmt()
+        assert stmt.array_written == "A"
+        assert stmt.arrays_read == ("A", "B")
+        assert len(stmt.self_sources()) == 1
+
+    def test_str(self):
+        assert "A[i, j] = f(" in str(self._stmt())
+
+
+class TestProgram:
+    def test_undeclared_array_rejected(self):
+        stmt = Assignment(
+            target=ArrayRef.of("A", "i"),
+            sources=(ArrayRef.of("B", "i"),),
+            combine=lambda b: b,
+        )
+        with pytest.raises(ValueError):
+            Program(
+                name="bad",
+                loop=LoopNest.of(("i",), [(0, 5)]),
+                body=(stmt,),
+                arrays=(ArrayDecl.of("A", 6),),
+            )
+
+    def test_duplicate_decl_rejected(self):
+        stmt = Assignment(
+            target=ArrayRef.of("A", "i"),
+            sources=(),
+            combine=lambda: 0.0,
+        )
+        with pytest.raises(ValueError):
+            Program(
+                name="bad",
+                loop=LoopNest.of(("i",), [(0, 5)]),
+                body=(stmt,),
+                arrays=(ArrayDecl.of("A", 6), ArrayDecl.of("A", 6)),
+            )
+
+    def test_single_statement_accessor(self):
+        from repro.codes import make_stencil5
+
+        code = next(iter(make_stencil5().values())).code
+        assert code.program.single_statement.array_written == "A"
+
+    def test_check_sizes(self):
+        from repro.codes import make_psm
+
+        program = next(iter(make_psm().values())).code.program
+        with pytest.raises(ValueError):
+            program.check_sizes({"n0": 5})
+        program.check_sizes({"n0": 5, "n1": 6})
+
+    def test_array_lookup(self):
+        from repro.codes import make_stencil5
+
+        program = next(iter(make_stencil5().values())).code.program
+        assert program.array("A").name == "A"
+        with pytest.raises(KeyError):
+            program.array("Z")
+
+    def test_concrete_shape(self):
+        decl = ArrayDecl.of("A", "T+1", "L", live_out=True)
+        assert decl.concrete_shape({"T": 7, "L": 10}) == (8, 10)
+        assert decl.rank == 2 and decl.live_out

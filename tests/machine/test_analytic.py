@@ -1,0 +1,98 @@
+"""Analytic streaming model vs the trace-driven simulator.
+
+Where a closed form exists (untiled streaming versions), the simulator
+must land near it; large disagreement in either direction would mean one
+of the two is wrong.
+"""
+
+import pytest
+
+from repro.codes import make_stencil5
+from repro.execution import simulate
+from repro.machine import PENTIUM_PRO
+from repro.machine.analytic import (
+    Stream,
+    predict_streaming_stalls,
+    stencil5_streams,
+)
+
+
+class TestModelBasics:
+    def test_in_cache_predicts_zero(self):
+        machine = PENTIUM_PRO
+        streams = [Stream("buf", 1024, reuse_bytes=1024)]  # inside L1
+        assert (
+            predict_streaming_stalls(streams, machine, 128, 8) == 0.0
+        )
+
+    def test_out_of_l1_charges_l2(self):
+        machine = PENTIUM_PRO
+        streams = [Stream("buf", 64 * 1024, reuse_bytes=64 * 1024)]
+        per_iter = predict_streaming_stalls(streams, machine, 8192, 4)
+        expected = (64 * 1024 / 32) * machine.l2_stall / 8192
+        assert per_iter == pytest.approx(expected, rel=0.3)
+
+    def test_compulsory_charges_memory(self):
+        machine = PENTIUM_PRO
+        streams = [Stream("fresh", 32 * 1024, reuse_bytes=None)]
+        per_iter = predict_streaming_stalls(streams, machine, 4096, 2)
+        assert per_iter > (32 * 1024 / 32) * machine.memory_stall / 4096 * 0.9
+
+    def test_bad_structure_rejected(self):
+        with pytest.raises(ValueError):
+            predict_streaming_stalls([], PENTIUM_PRO, 1, 1)
+        with pytest.raises(ValueError):
+            predict_streaming_stalls(
+                [Stream("x", 8, reuse_bytes=None)], PENTIUM_PRO, 0, 1
+            )
+
+
+class TestAgainstSimulator:
+    @pytest.mark.parametrize(
+        "key", ["ov", "storage-optimized", "natural"]
+    )
+    def test_streaming_stencil_versions(self, key):
+        """Prediction within a factor of two of simulation across the
+        cache regimes (exact agreement is not expected: the model
+        ignores boundary effects, the input region, and associativity)."""
+        machine = PENTIUM_PRO.scaled(32)
+        versions = make_stencil5()
+        t_steps = 8
+        for length in (512, 4096):
+            sizes = {"T": t_steps, "L": length}
+            sim = simulate(versions[key], sizes, machine)
+            streams, per_sweep, sweeps = stencil5_streams(
+                key, length, t_steps
+            )
+            predicted = predict_streaming_stalls(
+                streams, machine, per_sweep, sweeps
+            )
+            measured = sim.stall_cycles_per_iteration
+            if measured < 1.0 and predicted < 1.0:
+                continue  # both agree the problem is cache-resident
+            assert predicted == pytest.approx(measured, rel=1.0), (
+                key,
+                length,
+                predicted,
+                measured,
+            )
+
+    def test_model_orders_versions_like_simulator(self):
+        """Even where magnitudes drift, the model must order the
+        versions' memory behaviour the same way the simulator does."""
+        machine = PENTIUM_PRO.scaled(32)
+        versions = make_stencil5()
+        sizes = {"T": 8, "L": 4096}
+        sims = {}
+        preds = {}
+        for key in ("ov", "storage-optimized"):
+            sims[key] = simulate(
+                versions[key], sizes, machine
+            ).stall_cycles_per_iteration
+            streams, per_sweep, sweeps = stencil5_streams(key, 4096, 8)
+            preds[key] = predict_streaming_stalls(
+                streams, machine, per_sweep, sweeps
+            )
+        assert (sims["ov"] >= sims["storage-optimized"]) == (
+            preds["ov"] >= preds["storage-optimized"]
+        )

@@ -1,0 +1,104 @@
+"""Set-associative LRU cache model."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.cache import Cache
+
+
+def reference_lru(accesses, num_sets, ways):
+    """Independent list-based LRU model; returns the hit/miss sequence."""
+    sets = [[] for _ in range(num_sets)]
+    results = []
+    for line in accesses:
+        s = sets[line % num_sets]
+        if line in s:
+            s.remove(line)
+            s.append(line)
+            results.append(True)
+        else:
+            results.append(False)
+            if len(s) >= ways:
+                s.pop(0)
+            s.append(line)
+    return results
+
+
+class TestGeometry:
+    def test_direct_mapped(self):
+        c = Cache("L1", 128, 32, 1)
+        assert c.num_sets == 4 and c.associativity == 1
+
+    def test_fully_associative(self):
+        c = Cache("L1", 128, 32, 0)
+        assert c.num_sets == 1 and c.associativity == 4
+
+    def test_bad_geometry(self):
+        with pytest.raises(ValueError):
+            Cache("x", 96, 32, 2)  # 3 lines not divisible by 2 ways
+        with pytest.raises(ValueError):
+            Cache("x", 16, 32, 1)  # smaller than a line
+        with pytest.raises(ValueError):
+            Cache("x", 0, 32, 1)
+
+
+class TestBehaviour:
+    def test_hit_after_miss(self):
+        c = Cache("L1", 128, 32, 2)
+        assert not c.access(5)
+        assert c.access(5)
+        assert c.hits == 1 and c.misses == 1
+
+    def test_lru_eviction_order(self):
+        c = Cache("L1", 64, 32, 2)  # one set, two ways
+        c.access(0)
+        c.access(2)  # same set (even lines)
+        c.access(0)  # refresh 0: LRU is now 2
+        c.access(4)  # evicts 2
+        assert c.contains(0)
+        assert not c.contains(2)
+
+    def test_conflict_misses_direct_mapped(self):
+        c = Cache("L1", 64, 32, 1)  # 2 sets
+        c.access(0)
+        c.access(2)  # same set as 0 -> evicts it
+        assert not c.access(0)  # conflict miss despite capacity
+
+    def test_reset(self):
+        c = Cache("L1", 128, 32, 2)
+        c.access(1)
+        c.reset()
+        assert c.accesses == 0 and not c.contains(1)
+
+    def test_miss_rate(self):
+        c = Cache("L1", 128, 32, 4)
+        for line in [1, 1, 1, 2]:
+            c.access(line)
+        assert c.miss_rate == pytest.approx(0.5)
+        assert Cache("e", 128, 32, 1).miss_rate == 0.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.integers(0, 40), max_size=200),
+    st.sampled_from([(4, 1), (2, 2), (1, 4), (4, 2)]),
+)
+def test_matches_reference_model(accesses, geometry):
+    num_sets, ways = geometry
+    cache = Cache("t", num_sets * ways * 32, 32, ways)
+    got = [cache.access(a) for a in accesses]
+    assert got == reference_lru(accesses, num_sets, ways)
+    assert cache.hits == sum(got)
+    assert cache.misses == len(got) - sum(got)
+
+
+@given(st.lists(st.integers(0, 100), max_size=150))
+def test_capacity_invariant(accesses):
+    cache = Cache("t", 4 * 2 * 32, 32, 2)
+    for a in accesses:
+        cache.access(a)
+    for s in cache._sets:
+        assert len(s) <= cache.associativity

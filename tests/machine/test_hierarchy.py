@@ -1,0 +1,180 @@
+"""TLB and the full memory hierarchy: knees and cliffs."""
+
+import pytest
+
+from repro.machine.cache import Cache
+from repro.machine.hierarchy import MemoryHierarchy
+from repro.machine.tlb import TLB
+
+
+def small_hierarchy(memory_bytes=4 * 4096, minor=5):
+    return MemoryHierarchy(
+        l1=Cache("L1", 4 * 32, 32, 1),
+        l2=Cache("L2", 16 * 32, 32, 2),
+        tlb=TLB("TLB", 2, 4096),
+        memory_bytes=memory_bytes,
+        l2_stall=10,
+        memory_stall=100,
+        tlb_stall=30,
+        fault_stall=100000,
+        minor_fault_stall=minor,
+        writeback_stall=50000,
+    )
+
+
+class TestTLB:
+    def test_lru(self):
+        tlb = TLB("t", 2, 4096)
+        assert not tlb.access(0)
+        assert not tlb.access(1)
+        assert tlb.access(0)
+        assert not tlb.access(2)  # evicts 1 (LRU)
+        assert not tlb.access(1)
+        assert tlb.miss_rate == pytest.approx(4 / 5)
+
+    def test_bad_geometry(self):
+        with pytest.raises(ValueError):
+            TLB("t", 0, 4096)
+
+
+class TestLevels:
+    def test_l1_hit_is_free(self):
+        h = small_hierarchy()
+        h.access_line(0)
+        assert h.access_line(0) == 0
+
+    def test_l2_hit_cost(self):
+        h = small_hierarchy()
+        h.access_line(0)
+        # push line 0 out of the 4-line L1 with same-set conflicts
+        h.access_line(4)  # direct-mapped: set 0 conflict
+        stall = h.access_line(0)
+        # back from L2 (10), maybe TLB is warm (page 0 resident)
+        assert stall == 10
+
+    def test_first_touch_is_minor_fault(self):
+        h = small_hierarchy()
+        stall = h.access_line(0)
+        assert stall == 30 + 100 + 5  # TLB + memory + minor fault
+        assert h.minor_faults == 1 and h.page_faults == 0
+
+    def test_refetch_after_eviction_is_major_fault(self):
+        h = small_hierarchy(memory_bytes=2 * 4096)
+        lines_per_page = 4096 // 32
+        # touch 3 pages: page 0 evicted when page 2 arrives
+        for page in range(3):
+            h.access_line(page * lines_per_page)
+        assert h.writebacks == 1
+        stall = h.access_line(0)  # page 0 must come back from disk
+        assert stall >= 100000
+        assert h.page_faults == 1
+
+    def test_streaming_allocation_pays_writebacks(self):
+        h = small_hierarchy(memory_bytes=2 * 4096)
+        lines_per_page = 4096 // 32
+        before = h.stall_cycles
+        for page in range(10):
+            h.access_line(page * lines_per_page)
+        # 10 pages through a 2-page memory: 8 evictions, all charged
+        assert h.writebacks == 8
+        assert h.page_faults == 0  # never re-touched
+
+    def test_reset(self):
+        h = small_hierarchy()
+        h.access_line(0)
+        h.reset()
+        assert h.stall_cycles == 0
+        assert h.stats().accesses == 0
+
+    def test_mixed_line_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryHierarchy(
+                l1=Cache("L1", 128, 32, 1),
+                l2=Cache("L2", 256, 64, 1),
+                tlb=TLB("t", 4, 4096),
+                memory_bytes=4096,
+                l2_stall=1,
+                memory_stall=1,
+                tlb_stall=1,
+                fault_stall=1,
+            )
+
+    def test_page_not_multiple_of_line_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryHierarchy(
+                l1=Cache("L1", 128, 32, 1),
+                l2=Cache("L2", 256, 32, 1),
+                tlb=TLB("t", 4, 100),
+                memory_bytes=4096,
+                l2_stall=1,
+                memory_stall=1,
+                tlb_stall=1,
+                fault_stall=1,
+            )
+
+    def test_byte_interface(self):
+        h = small_hierarchy()
+        h.access(0)
+        assert h.access(8) == 0  # same 32-byte line
+
+    def test_run_line_trace_stats(self):
+        h = small_hierarchy()
+        stats = h.run_line_trace([0, 0, 1, 4, 0])
+        assert stats.accesses == 5
+        assert stats.stall_cycles == h.stall_cycles
+        assert stats.l1_misses == h.l1.misses
+
+
+class TestScaledConfigs:
+    def test_scaling_preserves_structure(self):
+        from repro.machine import PENTIUM_PRO
+
+        scaled = PENTIUM_PRO.scaled(32)
+        assert scaled.l1.line_bytes == PENTIUM_PRO.l1.line_bytes
+        assert scaled.l1.size_bytes < PENTIUM_PRO.l1.size_bytes
+        assert scaled.memory_bytes < PENTIUM_PRO.memory_bytes
+        assert scaled.cost == PENTIUM_PRO.cost
+        assert scaled.scale_factor == 32
+        assert PENTIUM_PRO.scaled(1) is PENTIUM_PRO
+
+    def test_scaling_never_degenerates(self):
+        from repro.machine import MACHINES
+
+        for m in MACHINES:
+            tiny = m.scaled(10**6)
+            h = tiny.build_hierarchy()  # must still construct
+            assert tiny.tlb_entries >= 8
+            assert h.memory_pages >= 4
+
+    def test_bad_factor(self):
+        from repro.machine import ULTRA_2
+
+        with pytest.raises(ValueError):
+            ULTRA_2.scaled(0)
+
+
+class TestCostModel:
+    def test_iteration_cost_breakdown(self):
+        from repro.machine.cost import CostModel
+        from repro.mapping.expr import OpTally
+
+        cm = CostModel(issue_width=2.0)
+        cost = cm.iteration_cost(
+            flops=4,
+            int_ops=2,
+            branches=1,
+            loads=3,
+            stores=1,
+            address_ops=OpTally(adds=2, muls=1),
+        )
+        assert cost.arithmetic == (4 * 2.0 + 2 * 1.0) / 2
+        assert cost.addressing == (2 * 1.0 + 1 * 4.0) / 2
+        assert cost.memory_issue == 2.0
+        assert cost.branches == 4.0  # not divided by issue width
+        assert cost.total == pytest.approx(
+            cost.arithmetic
+            + cost.addressing
+            + cost.memory_issue
+            + cost.branches
+            + cost.base
+        )

@@ -1,0 +1,79 @@
+"""Natural array mappings against numpy's own linearisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mapping.array import ColMajorMapping, RowMajorMapping
+
+
+class TestRowMajor:
+    def test_matches_numpy_ravel(self):
+        shape = (4, 5, 3)
+        m = RowMajorMapping(shape)
+        ref = np.arange(np.prod(shape)).reshape(shape)
+        for idx in np.ndindex(shape):
+            assert m(idx) == ref[idx]
+
+    def test_origin_offset(self):
+        m = RowMajorMapping((3, 4), origin=(1, 1))
+        assert m((1, 1)) == 0
+        assert m((1, 2)) == 1
+        assert m((2, 1)) == 4
+
+    def test_expression_matches_call(self):
+        m = RowMajorMapping((6, 7), origin=(1, 0))
+        f = m.compiled()
+        for i in range(1, 7):
+            for j in range(7):
+                assert f(i, j) == m((i, j))
+
+    def test_op_cost_is_d_minus_1_muls_and_adds(self):
+        m = RowMajorMapping((5, 6, 7))
+        ops = m.op_cost()
+        assert ops.muls + ops.adds >= 2  # strides 42 and 7: two muls
+        assert ops.mods == 0
+
+
+class TestColMajor:
+    def test_matches_numpy_fortran_order(self):
+        shape = (4, 5)
+        m = ColMajorMapping(shape)
+        ref = np.arange(20).reshape(shape, order="F")
+        for idx in np.ndindex(shape):
+            assert m(idx) == ref[idx]
+
+    def test_first_axis_unit_stride(self):
+        m = ColMajorMapping((10, 10))
+        assert m((1, 0)) - m((0, 0)) == 1
+        assert m((0, 1)) - m((0, 0)) == 10
+
+
+class TestValidation:
+    def test_bad_shape(self):
+        with pytest.raises(ValueError):
+            RowMajorMapping(())
+        with pytest.raises(ValueError):
+            RowMajorMapping((0, 5))
+
+    def test_origin_mismatch(self):
+        with pytest.raises(ValueError):
+            RowMajorMapping((3, 3), origin=(0,))
+
+    def test_point_dim_check(self):
+        with pytest.raises(ValueError):
+            RowMajorMapping((3, 3))((1, 2, 3))
+
+
+@given(
+    st.lists(st.integers(1, 6), min_size=1, max_size=3),
+)
+def test_bijective_over_box(shape):
+    m = RowMajorMapping(shape)
+    seen = set()
+    for idx in np.ndindex(tuple(shape)):
+        loc = m(idx)
+        assert 0 <= loc < m.size
+        seen.add(loc)
+    assert len(seen) == m.size

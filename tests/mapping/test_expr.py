@@ -1,0 +1,105 @@
+"""Address-expression IR: simplification, op counting, printing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mapping.expr import Add, Const, Mod, Mul, OpTally, Var, affine
+
+
+class TestSimplification:
+    def test_add_zero(self):
+        assert Add.make(Var("x"), Const(0)) == Var("x")
+        assert Add.make(Const(0), Var("x")) == Var("x")
+
+    def test_mul_identity_and_zero(self):
+        assert Mul.make(Const(1), Var("x")) == Var("x")
+        assert Mul.make(Const(0), Var("x")) == Const(0)
+        assert Mul.make(Var("x"), Const(1)) == Var("x")
+
+    def test_constant_folding(self):
+        assert Add.make(Const(2), Const(3)) == Const(5)
+        assert Mul.make(Const(2), Const(3)) == Const(6)
+        assert Mod.make(Const(7), Const(3)) == Const(1)
+
+    def test_mod_one_is_zero(self):
+        assert Mod.make(Var("x"), Const(1)) == Const(0)
+
+    def test_mod_requires_positive_constant(self):
+        with pytest.raises(ValueError):
+            Mod.make(Var("x"), Const(0))
+        with pytest.raises(ValueError):
+            Mod.make(Var("x"), Var("y"))
+
+
+class TestOpCounts:
+    def test_fig1b_mapping_cost(self):
+        # (-1,1).q + n: one subtraction, one addition, no multiplies.
+        e = affine((-1, 1), ("i", "j"), 8)
+        assert e.op_counts() == OpTally(adds=2, muls=0, mods=0)
+
+    def test_general_2d_array_cost(self):
+        # row-major (s2, 1): one multiply, one add.
+        e = affine((13, 1), ("i", "j"), 0)
+        assert e.op_counts() == OpTally(adds=1, muls=1, mods=0)
+
+    def test_power_of_two_scale_counts_as_add(self):
+        e = affine((2, 0), ("i", "j"), 0)
+        assert e.op_counts().muls == 0
+        e8 = affine((8, 1), ("i", "j"), 0)
+        assert e8.op_counts() == OpTally(adds=2, muls=0)
+        e16 = affine((16, 1), ("i", "j"), 0)
+        assert e16.op_counts().muls == 1
+
+    def test_mod_counted(self):
+        e = affine((1, 0), ("i", "j"), 0) % 2
+        assert e.op_counts().mods == 1
+
+    def test_tally_arithmetic(self):
+        t = OpTally(adds=1) + OpTally(muls=2, mods=1)
+        assert t == OpTally(adds=1, muls=2, mods=1)
+        assert t.total == 4
+
+
+class TestPrinting:
+    def test_negative_coefficients_print_as_subtraction(self):
+        assert affine((-1, 1), ("i", "j"), 0).to_python() == "-i + j"
+        assert affine((1, -1), ("i", "j"), 0).to_python() == "i - j"
+
+    def test_negative_constant(self):
+        assert affine((1,), ("x",), -3).to_python() == "x - 3"
+
+    def test_mod_precedence(self):
+        e = affine((0, 2), ("t", "x"), 0) + (affine((1, 0), ("t", "x"), 0) % 2)
+        # Python and C give % higher precedence than +, so this is exact.
+        assert e.to_python() == "2 * x + t % 2"
+
+    def test_c_matches_python_for_our_grammar(self):
+        e = affine((3, -1), ("a", "b"), 7) % 5
+        assert e.to_c() == e.to_python()
+
+
+@given(
+    st.tuples(st.integers(-9, 9), st.integers(-9, 9)),
+    st.integers(-20, 20),
+    st.tuples(st.integers(0, 30), st.integers(0, 30)),
+)
+def test_printed_source_evaluates_identically(coeffs, const, point):
+    """to_python() is executable and agrees with evaluate()."""
+    e = affine(coeffs, ("i", "j"), const)
+    env = {"i": point[0], "j": point[1]}
+    via_eval = eval(e.to_python(), {}, dict(env))
+    assert via_eval == e.evaluate(env)
+
+
+@given(
+    st.tuples(st.integers(-5, 5), st.integers(-5, 5)),
+    st.integers(2, 7),
+    st.tuples(st.integers(0, 20), st.integers(0, 20)),
+)
+def test_mod_expression_source_matches(coeffs, modulus, point):
+    if coeffs == (0, 0):
+        return
+    e = affine(coeffs, ("i", "j"), 0) % modulus
+    env = {"i": point[0], "j": point[1]}
+    assert eval(e.to_python(), {}, dict(env)) == e.evaluate(env)

@@ -1,0 +1,182 @@
+"""Schedules: coverage, ordering, legality criteria."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stencil import Stencil
+from repro.schedule import (
+    InterchangedSchedule,
+    LexicographicSchedule,
+    SkewedSchedule,
+    TiledSchedule,
+    WavefrontSchedule,
+    random_legal_order,
+    required_skew,
+    skew_matrix_2d,
+)
+
+ALL_SCHEDULES = [
+    LexicographicSchedule(),
+    InterchangedSchedule((1, 0)),
+    SkewedSchedule([[1, 0], [1, 1]]),
+    SkewedSchedule([[1, 0], [3, 1]]),
+    WavefrontSchedule((1, 1)),
+    WavefrontSchedule((2, 1), reverse_ties=True),
+    TiledSchedule((2, 3)),
+    TiledSchedule((3, 2), skew=[[1, 0], [2, 1]]),
+    TiledSchedule((None, 4)),
+]
+
+
+class TestCoverage:
+    """Every schedule must enumerate the box exactly once."""
+
+    @pytest.mark.parametrize(
+        "schedule", ALL_SCHEDULES, ids=lambda s: s.name
+    )
+    def test_permutation_of_box(self, schedule):
+        bounds = [(1, 5), (-2, 4)]
+        points = list(schedule.order(bounds))
+        expected = set(
+            itertools.product(range(1, 6), range(-2, 5))
+        )
+        assert len(points) == len(expected)
+        assert set(points) == expected
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(0, 4),
+        st.integers(0, 4),
+        st.integers(1, 4),
+        st.integers(1, 4),
+    )
+    def test_tiled_coverage_random_boxes(self, hi0, hi1, th, tw):
+        schedule = TiledSchedule((th, tw), skew=[[1, 0], [1, 1]])
+        bounds = [(0, hi0), (0, hi1)]
+        points = list(schedule.order(bounds))
+        assert sorted(points) == sorted(
+            itertools.product(range(hi0 + 1), range(hi1 + 1))
+        )
+
+
+class TestOrdering:
+    def test_interchange_runs_inner_axis_first(self):
+        sched = InterchangedSchedule((1, 0))
+        pts = list(sched.order([(0, 1), (0, 2)]))
+        assert pts[:2] == [(0, 0), (1, 0)]  # j fixed, i advancing
+
+    def test_wavefront_fronts_advance(self):
+        sched = WavefrontSchedule((1, 1))
+        pts = list(sched.order([(0, 2), (0, 2)]))
+        sums = [a + b for a, b in pts]
+        assert sums == sorted(sums)
+
+    def test_wavefront_reverse_ties(self):
+        fwd = list(WavefrontSchedule((1, 1)).order([(0, 2), (0, 2)]))
+        rev = list(
+            WavefrontSchedule((1, 1), reverse_ties=True).order(
+                [(0, 2), (0, 2)]
+            )
+        )
+        assert fwd != rev
+        assert set(fwd) == set(rev)
+
+    def test_tiles_are_contiguous(self):
+        sched = TiledSchedule((2, 2))
+        tiles = list(sched.tiles([(0, 3), (0, 3)]))
+        assert len(tiles) == 4
+        assert all(len(t) == 4 for t in tiles)
+        # within a tile, points are within the tile box
+        for tile in tiles:
+            i0 = min(p[0] for p in tile)
+            j0 = min(p[1] for p in tile)
+            assert all(
+                i0 <= p[0] <= i0 + 1 and j0 <= p[1] <= j0 + 1
+                for p in tile
+            )
+
+
+class TestSkew:
+    def test_skew_matrix_2d(self):
+        assert skew_matrix_2d(2) == [[1, 0], [2, 1]]
+
+    def test_required_skew_stencil5(self, stencil5):
+        assert required_skew(stencil5) == [[1, 0], [2, 1]]
+
+    def test_required_skew_identity_when_permutable(self, fig1_stencil):
+        assert required_skew(fig1_stencil) == [[1, 0], [0, 1]]
+
+    def test_required_skew_3d(self):
+        s = Stencil([(1, 0, -1), (1, -1, 0), (0, 1, 0)])
+        matrix = required_skew(s)
+        from repro.util.intmath import matvec
+
+        for v in s.vectors:
+            assert all(c >= 0 for c in matvec(matrix, v))
+
+    def test_required_skew_impossible(self):
+        # A dimension with a negative component but no strictly positive
+        # earlier dimension across the offenders.
+        s = Stencil([(0, 1, -1), (1, 0, -1)])
+        with pytest.raises(ValueError):
+            required_skew(s)
+
+    def test_skewed_schedule_legality(self, stencil5):
+        sched = SkewedSchedule(skew_matrix_2d(2))
+        assert sched.is_legal_for(stencil5, [(1, 4), (0, 9)])
+        bad = SkewedSchedule(skew_matrix_2d(1))  # not enough skew
+        # (1,-2) -> (1,-1): still lexicographically positive, so legal as
+        # a sequential order (skewing never breaks lex-positivity with
+        # positive factors on a positive leading dimension).
+        assert bad.is_legal_for(stencil5, [(1, 4), (0, 9)])
+
+
+class TestValidation:
+    def test_bad_permutation(self):
+        with pytest.raises(ValueError):
+            InterchangedSchedule((0, 0))
+
+    def test_bad_tile_size(self):
+        with pytest.raises(ValueError):
+            TiledSchedule((0, 2))
+
+    def test_bounds_mismatch(self):
+        with pytest.raises(ValueError):
+            list(LexicographicSchedule().order([(2, 1)]))
+        with pytest.raises(ValueError):
+            list(InterchangedSchedule((1, 0)).order([(0, 1)]))
+        with pytest.raises(ValueError):
+            list(WavefrontSchedule((1, 1)).order([(0, 1)]))
+
+    def test_non_unimodular_skew_rejected(self):
+        with pytest.raises(ValueError):
+            SkewedSchedule([[2, 0], [0, 1]])
+
+
+class TestRandomLegalOrder:
+    def test_is_always_legal(self, fig1_stencil):
+        from repro.analysis.legality import is_schedule_legal
+
+        rng = random.Random(3)
+        for _ in range(10):
+            order = random_legal_order(fig1_stencil, [(0, 4), (0, 4)], rng)
+            assert is_schedule_legal(order, fig1_stencil)
+
+    def test_produces_distinct_orders(self, fig1_stencil):
+        rng = random.Random(4)
+        orders = {
+            tuple(random_legal_order(fig1_stencil, [(0, 3), (0, 3)], rng))
+            for _ in range(10)
+        }
+        assert len(orders) > 1
+
+    def test_covers_box(self, stencil5):
+        rng = random.Random(5)
+        order = random_legal_order(stencil5, [(1, 4), (0, 6)], rng)
+        assert sorted(order) == sorted(
+            itertools.product(range(1, 5), range(7))
+        )

@@ -1,0 +1,109 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestFind:
+    def test_find_shortest(self, capsys):
+        assert main(["find", "--stencil", "1,0;0,1;1,1"]) == 0
+        out = capsys.readouterr().out
+        assert "UOV (1, 1)" in out
+        assert "initial UOV: (2, 2)" in out
+
+    def test_find_with_bounds(self, capsys):
+        assert (
+            main(
+                [
+                    "find",
+                    "--stencil",
+                    "1,0;1,1;1,-1",
+                    "--bounds",
+                    "1,1;1,6;10,9;10,4",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "UOV (3, 1)" in out
+        assert "16 locations" in out
+
+    def test_find_with_node_budget(self, capsys):
+        assert (
+            main(["find", "--stencil", "1,-2;1,-1;1,0;1,1;1,2",
+                  "--max-nodes", "1"])
+            == 0
+        )
+        assert "best-so-far" in capsys.readouterr().out
+
+
+class TestMap:
+    def test_map_2d(self, capsys):
+        assert main(["map", "--ov", "2,0", "--box", "1,0:8,9"]) == 0
+        out = capsys.readouterr().out
+        assert "interleaved" in out and "consecutive" in out
+        assert "q0 % 2" in out
+
+    def test_map_3d(self, capsys):
+        assert main(["map", "--ov", "1,1,1", "--box", "0,0,0:4,4,4"]) == 0
+        assert "SM(" in capsys.readouterr().out
+
+
+class TestCodegen:
+    def test_python_output(self, capsys):
+        assert (
+            main(["codegen", "stencil5", "ov", "--sizes", "T=3,L=8"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "def run(" in out
+
+    def test_c_output(self, capsys):
+        assert (
+            main(
+                [
+                    "codegen",
+                    "psm",
+                    "ov-tiled",
+                    "--sizes",
+                    "n0=5,n1=5",
+                    "--lang",
+                    "c",
+                ]
+            )
+            == 0
+        )
+        assert "void run(" in capsys.readouterr().out
+
+    def test_unknown_code(self, capsys):
+        assert main(["codegen", "nope", "ov", "--sizes", "T=1,L=2"]) == 2
+
+    def test_unknown_version(self, capsys):
+        assert (
+            main(["codegen", "stencil5", "nope", "--sizes", "T=1,L=2"]) == 2
+        )
+
+
+class TestParsing:
+    def test_bad_stencil_text(self):
+        with pytest.raises(SystemExit):
+            main(["find"])  # missing required argument
+
+
+class TestCommon:
+    def test_shared_uov_found(self, capsys):
+        assert (
+            main(
+                [
+                    "common",
+                    "--stencils",
+                    "1,-2;1,-1;1,0;1,1;1,2 | 1,-1;1,0;1,1",
+                ]
+            )
+            == 0
+        )
+        assert "common UOV: (2, 0)" in capsys.readouterr().out
+
+    def test_no_common_uov(self, capsys):
+        assert main(["common", "--stencils", "1,0 | 0,1"]) == 1
+        assert "no common UOV" in capsys.readouterr().out

@@ -1,0 +1,138 @@
+"""Integer math: extended gcd, unimodular completions, exact determinants."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.intmath import (
+    ceil_div,
+    extended_gcd,
+    floor_div,
+    is_prime_vector,
+    matmul_int,
+    matrix_det_int,
+    matrix_inverse_unimodular,
+    matvec,
+    unimodular_completion,
+    vector_gcd,
+)
+
+ints = st.integers(min_value=-50, max_value=50)
+
+
+class TestExtendedGcd:
+    @given(ints, ints)
+    def test_bezout_identity(self, a, b):
+        g, x, y = extended_gcd(a, b)
+        assert g == math.gcd(a, b)
+        assert a * x + b * y == g
+
+    def test_zero_zero(self):
+        g, x, y = extended_gcd(0, 0)
+        assert g == 0 and 0 * x + 0 * y == 0
+
+    def test_negative_inputs_give_nonnegative_gcd(self):
+        g, x, y = extended_gcd(-12, -18)
+        assert g == 6
+        assert -12 * x + -18 * y == 6
+
+
+class TestVectorGcd:
+    def test_known(self):
+        assert vector_gcd((2, 0)) == 2
+        assert vector_gcd((3, 1)) == 1
+        assert vector_gcd((6, -9, 15)) == 3
+        assert vector_gcd((0, 0)) == 0
+
+    def test_prime_vector(self):
+        assert is_prime_vector((1, 1))
+        assert is_prime_vector((3, 1))
+        assert not is_prime_vector((2, 0))
+        assert not is_prime_vector((2, 2))
+
+    @given(st.lists(ints, min_size=1, max_size=4))
+    def test_divides_every_component(self, v):
+        g = vector_gcd(v)
+        if g:
+            assert all(c % g == 0 for c in v)
+        else:
+            assert all(c == 0 for c in v)
+
+
+class TestUnimodularCompletion:
+    @given(
+        st.lists(ints, min_size=1, max_size=4).filter(
+            lambda v: any(c != 0 for c in v)
+        )
+    )
+    def test_completion_properties(self, v):
+        u = unimodular_completion(v)
+        assert matrix_det_int(u) in (1, -1)
+        image = matvec(u, v)
+        g = vector_gcd(v)
+        assert image[0] == g
+        assert all(c == 0 for c in image[1:])
+
+    def test_zero_vector_rejected(self):
+        with pytest.raises(ValueError):
+            unimodular_completion((0, 0, 0))
+
+    def test_primitive_vector_first_row_is_bezout(self):
+        u = unimodular_completion((3, 5))
+        assert matvec(u, (3, 5)) == (1, 0)
+
+
+class TestDeterminantAndInverse:
+    def test_det_known(self):
+        assert matrix_det_int([[1, 2], [3, 4]]) == -2
+        assert matrix_det_int([[2, 0, 0], [0, 3, 0], [0, 0, 4]]) == 24
+        assert matrix_det_int([[1, 1], [1, 1]]) == 0
+        assert matrix_det_int([]) == 1
+
+    def test_det_with_zero_pivot(self):
+        assert matrix_det_int([[0, 1], [1, 0]]) == -1
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            matrix_det_int([[1, 2, 3], [4, 5, 6]])
+
+    @given(
+        st.lists(
+            st.lists(st.integers(-3, 3), min_size=3, max_size=3),
+            min_size=3,
+            max_size=3,
+        )
+    )
+    def test_inverse_when_unimodular(self, m):
+        det = matrix_det_int(m)
+        if det not in (1, -1):
+            with pytest.raises(ValueError):
+                matrix_inverse_unimodular(m)
+            return
+        inv = matrix_inverse_unimodular(m)
+        identity = matmul_int(m, inv)
+        assert identity == [
+            [1 if i == j else 0 for j in range(3)] for i in range(3)
+        ]
+
+    def test_skew_inverse(self):
+        assert matrix_inverse_unimodular([[1, 0], [2, 1]]) == [
+            [1, 0],
+            [-2, 1],
+        ]
+
+
+class TestDivisionHelpers:
+    @given(ints, ints.filter(lambda b: b != 0))
+    def test_ceil_floor_consistency(self, a, b):
+        assert floor_div(a, b) <= a / b <= ceil_div(a, b)
+        assert ceil_div(a, b) - floor_div(a, b) in (0, 1)
+        assert floor_div(a, b) == a // b if b > 0 else True
+
+    def test_zero_divisor(self):
+        with pytest.raises(ZeroDivisionError):
+            ceil_div(1, 0)
+        with pytest.raises(ZeroDivisionError):
+            floor_div(1, 0)

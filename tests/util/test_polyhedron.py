@@ -1,0 +1,131 @@
+"""Polytope geometry: extents, projections, widths, containment."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.polyhedron import Polytope
+
+
+class TestConstruction:
+    def test_from_box_corners(self):
+        p = Polytope.from_box((0, 0), (3, 5))
+        assert set(p.vertices) == {(0, 0), (0, 5), (3, 0), (3, 5)}
+        assert p.dim == 2
+
+    def test_empty_box_rejected(self):
+        with pytest.raises(ValueError):
+            Polytope.from_box((2, 0), (1, 5))
+
+    def test_mixed_dims_rejected(self):
+        with pytest.raises(ValueError):
+            Polytope([(1, 2), (1, 2, 3)])
+
+    def test_no_vertices_rejected(self):
+        with pytest.raises(ValueError):
+            Polytope([])
+
+    def test_equality_ignores_vertex_order(self):
+        a = Polytope([(0, 0), (1, 1), (2, 0)])
+        b = Polytope([(2, 0), (0, 0), (1, 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestExtentAndProjection:
+    def test_extent_along_axis(self):
+        p = Polytope.from_box((1, 2), (4, 9))
+        assert p.extent((1, 0)) == (1, 4)
+        assert p.extent((0, 1)) == (2, 9)
+        assert p.extent((-1, 1)) == (2 - 4, 9 - 1)
+
+    def test_projection_count_is_figure6(self):
+        # Figure 6: mv=(-1,1) over extreme points (0,m),(n,0) -> n+m+1.
+        n, m = 7, 11
+        p = Polytope.from_box((0, 0), (n, m))
+        assert p.projection_count((-1, 1)) == n + m + 1
+
+    @given(
+        st.integers(0, 8),
+        st.integers(0, 8),
+        st.integers(-3, 3),
+        st.integers(-3, 3),
+    )
+    def test_projection_count_matches_enumeration(self, n, m, a, b):
+        if a == 0 and b == 0:
+            return
+        p = Polytope.from_box((0, 0), (n, m))
+        values = {
+            a * i + b * j for i in range(n + 1) for j in range(m + 1)
+        }
+        # The formula counts the integer interval; for coprime (a, b) every
+        # value is attained when the box is large enough, and the interval
+        # always contains the attained set.
+        lo, hi = p.extent((a, b))
+        assert min(values) == lo and max(values) == hi
+        assert p.projection_count((a, b)) == hi - lo + 1
+        assert len(values) <= hi - lo + 1
+        # Unit coefficients (the mapping vectors our 2-D OV mappings
+        # produce for the paper's examples) attain every integer.
+        if abs(a) <= 1 and abs(b) <= 1:
+            assert len(values) == hi - lo + 1
+
+
+class TestWidths:
+    def test_rectangle_min_width_is_short_side(self):
+        p = Polytope.from_box((0, 0), (10, 3))
+        assert math.isclose(p.min_width(), 3.0)
+
+    def test_width_along_diagonal(self):
+        p = Polytope.from_box((0, 0), (4, 4))
+        assert math.isclose(p.width((1, 1)), 8 / math.sqrt(2))
+
+    def test_zero_direction_rejected(self):
+        p = Polytope.from_box((0, 0), (1, 1))
+        with pytest.raises(ValueError):
+            p.width((0, 0))
+
+    def test_parallelogram_min_width(self, fig3_isg):
+        # The Figure 3 parallelogram is thinner across its slanted sides
+        # than along either axis.
+        assert fig3_isg.min_width() < 5.0
+
+
+class TestContainment:
+    def test_box_contains(self):
+        p = Polytope.from_box((0, 0), (3, 3))
+        assert p.contains((2, 3))
+        assert not p.contains((4, 0))
+        assert not p.contains((-1, 2))
+
+    def test_parallelogram_contains(self, fig3_isg):
+        assert fig3_isg.contains((5, 5))
+        assert fig3_isg.contains((1, 1))
+        assert not fig3_isg.contains((1, 9))  # outside the slanted edge
+        assert not fig3_isg.contains((10, 2))
+
+    def test_degenerate_segment(self):
+        p = Polytope([(0, 0), (3, 3)])
+        assert p.contains((1, 1))
+        assert not p.contains((1, 2))
+
+    def test_single_point(self):
+        p = Polytope([(2, 2)])
+        assert p.contains((2, 2))
+        assert not p.contains((2, 3))
+
+    def test_3d_falls_back_to_box(self):
+        p = Polytope.from_box((0, 0, 0), (2, 2, 2))
+        assert p.contains((1, 1, 1))
+        assert not p.contains((3, 0, 0))
+
+
+class TestCounts:
+    def test_integer_point_count_box(self):
+        p = Polytope.from_box((1, 1), (3, 4))
+        assert p.integer_point_count() == 3 * 4
+
+    def test_bounding_box(self, fig3_isg):
+        assert fig3_isg.bounding_box() == ((1, 1), (10, 9))

@@ -1,0 +1,90 @@
+"""Priority queue with lazy reprioritisation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.priorityqueue import PriorityQueue
+
+
+class TestBasics:
+    def test_pops_in_priority_order(self):
+        q = PriorityQueue()
+        q.push("c", 3)
+        q.push("a", 1)
+        q.push("b", 2)
+        assert [q.pop()[0] for _ in range(3)] == ["a", "b", "c"]
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            PriorityQueue().pop()
+
+    def test_contains_and_len(self):
+        q = PriorityQueue()
+        q.push("x", 1)
+        assert "x" in q and len(q) == 1 and bool(q)
+        q.pop()
+        assert "x" not in q and not q
+
+    def test_fifo_tie_break(self):
+        q = PriorityQueue()
+        q.push("first", 1)
+        q.push("second", 1)
+        assert q.pop()[0] == "first"
+
+    def test_peek_priority(self):
+        q = PriorityQueue()
+        q.push("a", 5)
+        q.push("b", 2)
+        assert q.peek_priority() == 2
+        assert len(q) == 2  # peek does not remove
+
+
+class TestReprioritisation:
+    def test_better_priority_supersedes(self):
+        q = PriorityQueue()
+        q.push("x", 10)
+        assert q.push("x", 1)
+        q.push("y", 5)
+        assert q.pop() == ("x", 1)
+        assert q.pop() == ("y", 5)
+
+    def test_worse_priority_is_noop(self):
+        q = PriorityQueue()
+        q.push("x", 1)
+        assert not q.push("x", 10)
+        assert q.pop() == ("x", 1)
+
+    def test_reinsert_after_pop(self):
+        q = PriorityQueue()
+        q.push("x", 1)
+        q.pop()
+        assert q.push("x", 2)
+        assert q.pop() == ("x", 2)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 20), st.integers(-50, 50)), max_size=60
+    )
+)
+def test_matches_reference_model(operations):
+    """Against a dict-based reference: final pop order must agree."""
+    q = PriorityQueue()
+    model: dict[int, int] = {}
+    counter = 0
+    order: dict[int, int] = {}
+    for item, priority in operations:
+        if item not in model or priority < model[item]:
+            # An improving push creates a fresh heap entry, so the item's
+            # FIFO rank among equal priorities is that of the *latest*
+            # successful push.
+            model[item] = priority
+            order[item] = counter
+        q.push(item, priority)
+        counter += 1
+    popped = []
+    while q:
+        popped.append(q.pop())
+    expected = sorted(model.items(), key=lambda kv: (kv[1], order[kv[0]]))
+    assert popped == expected

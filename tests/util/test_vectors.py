@@ -1,0 +1,81 @@
+"""Integer-vector helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.vectors import (
+    add,
+    as_vector,
+    dot,
+    is_lex_positive,
+    is_zero,
+    lex_leq,
+    manhattan,
+    neg,
+    norm,
+    norm2,
+    scale,
+    sub,
+)
+
+vec = st.lists(st.integers(-20, 20), min_size=1, max_size=4).map(tuple)
+
+
+class TestBasics:
+    @given(vec)
+    def test_add_sub_roundtrip(self, v):
+        w = tuple(c + 1 for c in v)
+        assert sub(add(v, w), w) == v
+
+    @given(vec)
+    def test_neg_is_scale_minus_one(self, v):
+        assert neg(v) == scale(-1, v)
+
+    @given(vec)
+    def test_norm2_matches_dot(self, v):
+        assert norm2(v) == dot(v, v)
+        assert abs(norm(v) ** 2 - norm2(v)) < 1e-6
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            add((1, 2), (1, 2, 3))
+        with pytest.raises(ValueError):
+            dot((1,), (1, 2))
+
+
+class TestLexOrder:
+    def test_lex_positive(self):
+        assert is_lex_positive((1, -5))
+        assert is_lex_positive((0, 0, 2))
+        assert not is_lex_positive((0, 0))
+        assert not is_lex_positive((-1, 10))
+        assert not is_lex_positive((0, -1, 5))
+
+    @given(vec)
+    def test_nonzero_vector_sign(self, v):
+        if is_zero(v):
+            assert not is_lex_positive(v) and not is_lex_positive(neg(v))
+        else:
+            assert is_lex_positive(v) != is_lex_positive(neg(v))
+
+    @given(vec, vec)
+    def test_lex_leq_total_order(self, a, b):
+        if len(a) == len(b):
+            assert lex_leq(a, b) or lex_leq(b, a)
+
+
+class TestCoercion:
+    def test_as_vector_accepts_numpy_scalars(self):
+        import numpy as np
+
+        assert as_vector(np.array([1, 2], dtype=np.int64)) == (1, 2)
+
+    def test_as_vector_rejects_floats_and_bools(self):
+        with pytest.raises(TypeError):
+            as_vector((1.5, 2))
+        with pytest.raises(TypeError):
+            as_vector((True, 1))
+
+    def test_manhattan(self):
+        assert manhattan((3, -4)) == 7
