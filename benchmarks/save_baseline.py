@@ -1,0 +1,79 @@
+"""Refresh BENCH_baseline.json from a fresh benchmark run.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python benchmarks/save_baseline.py [pytest args...]
+
+Runs the benchmark suite under ``--benchmark-only``, then distills the
+pytest-benchmark JSON into a small committed baseline — median/mean/
+stddev seconds per benchmark plus the machine context — that reviewers
+and CI can diff against.  Absolute times are machine-dependent; the
+committed numbers exist to make *relative* drift (a benchmark suddenly
+2x its baseline ratio to the others) visible in review, not to gate on
+wall-clock equality.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE = REPO_ROOT / "BENCH_baseline.json"
+
+
+def main(argv: list[str]) -> int:
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        raw_path = Path(tmp.name)
+    try:
+        code = subprocess.call(
+            [
+                sys.executable,
+                "-m",
+                "pytest",
+                "benchmarks",
+                "--benchmark-only",
+                f"--benchmark-json={raw_path}",
+                *argv,
+            ],
+            cwd=REPO_ROOT,
+        )
+        if code != 0:
+            print(f"benchmark run failed (exit {code}); baseline not written")
+            return code
+        raw = json.loads(raw_path.read_text())
+    finally:
+        raw_path.unlink(missing_ok=True)
+
+    import numpy
+
+    baseline = {
+        "context": {
+            "python": platform.python_version(),
+            "numpy": numpy.__version__,
+            "machine": raw.get("machine_info", {}).get("machine", ""),
+            "datetime": raw.get("datetime", ""),
+        },
+        "benchmarks": {
+            bench["fullname"]: {
+                "median_s": round(bench["stats"]["median"], 6),
+                "mean_s": round(bench["stats"]["mean"], 6),
+                "stddev_s": round(bench["stats"]["stddev"], 6),
+                "rounds": bench["stats"]["rounds"],
+            }
+            for bench in sorted(
+                raw["benchmarks"], key=lambda b: b["fullname"]
+            )
+        },
+    }
+    BASELINE.write_text(json.dumps(baseline, indent=2) + "\n")
+    print(f"wrote {BASELINE} ({len(baseline['benchmarks'])} benchmarks)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

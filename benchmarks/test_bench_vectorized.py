@@ -1,0 +1,75 @@
+"""The vectorized engine's speedup and exactness at benchmark scale.
+
+The acceptance bar for the batched wavefront engine: at least 10x over
+the scalar interpreter on stencil5 at N=512, with ``np.array_equal``
+storage — not approximately, bit for bit.  The benchmark fixtures time
+each engine separately so ``--benchmark-only`` runs track both numbers;
+the plain test asserts the ratio so a plain run catches regressions.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.execution import execute, execute_vectorized
+from repro.execution.trace import line_trace
+
+N512 = {"T": 512, "L": 512}
+BENCH_SIZES = {"T": 128, "L": 128}  # per-round sizes for the timed fixtures
+
+
+@pytest.fixture(scope="module")
+def stencil5_ov(stencil5_versions):
+    return stencil5_versions["ov"]
+
+
+def test_speedup_10x_at_n512(stencil5_ov):
+    t0 = time.perf_counter()
+    scalar = execute(stencil5_ov, N512)
+    t_scalar = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    vectorized = execute_vectorized(stencil5_ov, N512, fallback=False)
+    t_vector = time.perf_counter() - t0
+
+    assert np.array_equal(scalar.storage, vectorized.storage)
+    assert np.array_equal(
+        scalar.output_values(), vectorized.output_values()
+    )
+    speedup = t_scalar / t_vector
+    assert speedup >= 10.0, (
+        f"vectorized engine only {speedup:.1f}x faster "
+        f"({t_scalar:.3f}s scalar vs {t_vector:.3f}s vectorized)"
+    )
+
+
+def test_bench_scalar_interpreter(benchmark, stencil5_ov):
+    result = benchmark.pedantic(
+        execute, args=(stencil5_ov, BENCH_SIZES), rounds=3, iterations=1
+    )
+    assert result.storage.size == stencil5_ov.mapping(BENCH_SIZES).size
+
+
+def test_bench_vectorized_engine(benchmark, stencil5_ov):
+    result = benchmark.pedantic(
+        execute_vectorized,
+        args=(stencil5_ov, BENCH_SIZES),
+        kwargs={"fallback": False},
+        rounds=3,
+        iterations=1,
+    )
+    reference = execute(stencil5_ov, BENCH_SIZES)
+    assert np.array_equal(result.storage, reference.storage)
+
+
+def test_bench_batched_trace(benchmark, stencil5_ov):
+    def run():
+        return sum(
+            1 for _ in line_trace(stencil5_ov, BENCH_SIZES, 32, batched=True)
+        )
+
+    lines = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert lines == sum(
+        1 for _ in line_trace(stencil5_ov, BENCH_SIZES, 32, batched=False)
+    )

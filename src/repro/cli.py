@@ -144,6 +144,9 @@ def _cmd_experiments(args) -> int:
     from repro.experiments.report import main as report_main
 
     argv = ["--mode", args.mode, "--out", args.out]
+    argv += ["--jobs", str(args.jobs), "--cache-dir", args.cache_dir]
+    if args.no_cache:
+        argv.append("--no-cache")
     return report_main(argv)
 
 
@@ -191,6 +194,23 @@ def main(argv=None) -> int:
     p_exp = sub.add_parser("experiments", help="run the paper's evaluation")
     p_exp.add_argument("--mode", choices=("quick", "full"), default="quick")
     p_exp.add_argument("--out", default="EXPERIMENTS.md")
+    p_exp.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="simulation worker processes (default 1: in-process)",
+    )
+    p_exp.add_argument(
+        "--cache-dir",
+        default=".sim-cache",
+        help="simulation result cache directory (default .sim-cache)",
+    )
+    p_exp.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the simulation result cache",
+    )
     p_exp.set_defaults(func=_cmd_experiments)
 
     args = parser.parse_args(argv)

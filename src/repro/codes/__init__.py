@@ -25,8 +25,45 @@ from repro.codes.stencil5 import make_stencil5
 __all__ = [
     "Code",
     "CodeVersion",
+    "MAKERS",
+    "get_version",
+    "get_versions",
     "make_simple2d",
     "make_stencil5",
     "make_psm",
     "make_jacobi",
 ]
+
+#: Name -> factory registry.  The parallel experiment harness ships only
+#: ``(code name, version key)`` across process boundaries (CodeVersion
+#: closures do not pickle) and rebuilds the version here; the factories
+#: are deterministic, so the rebuilt version is identical.
+MAKERS = {
+    "simple2d": make_simple2d,
+    "stencil5": make_stencil5,
+    "psm": make_psm,
+    "jacobi": make_jacobi,
+}
+
+
+def get_versions(code_name: str) -> dict[str, CodeVersion]:
+    """All versions of the named benchmark code."""
+    try:
+        maker = MAKERS[code_name]
+    except KeyError:
+        raise KeyError(
+            f"unknown code {code_name!r}; one of {sorted(MAKERS)}"
+        ) from None
+    return maker()
+
+
+def get_version(code_name: str, key: str) -> CodeVersion:
+    """One version of the named benchmark code, by version key."""
+    versions = get_versions(code_name)
+    try:
+        return versions[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown version {key!r} of {code_name}; "
+            f"one of {sorted(versions)}"
+        ) from None

@@ -19,7 +19,9 @@ stated next to the mappings that realise them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Mapping, Sequence
+from typing import Callable, Mapping, Optional, Sequence
+
+import numpy as np
 
 from repro.core.stencil import Stencil
 from repro.ir.program import Program
@@ -66,6 +68,39 @@ class Code:
     output_points: Callable[
         [Mapping[str, int]], list[IntVector]
     ] = lambda sizes: []
+    # --- batched semantics ------------------------------------------------
+    # The vectorized engine and the batched address tracer evaluate whole
+    # dependence-free wavefronts at once.  Each batched callable is the
+    # exact NumPy transliteration of its scalar counterpart above — same
+    # values, same floating-point operation order per element, so scalar
+    # and batched execution agree bit for bit.  Points arrive as a tuple
+    # of per-dimension int64 coordinate arrays.  All four are optional:
+    # a code without them simply falls back to scalar execution.
+    #: ``combine_batch(values, q, ctx)`` — ``values`` is one float64 array
+    #: per source distance, ``q`` a tuple of coordinate arrays; returns
+    #: the float64 result array.
+    combine_batch: Optional[
+        Callable[
+            [Sequence[np.ndarray], tuple[np.ndarray, ...], Context],
+            np.ndarray,
+        ]
+    ] = None
+    #: ``input_values_batch(p, ctx)`` — out-of-ISG producer values for a
+    #: tuple of coordinate arrays ``p``.
+    input_values_batch: Optional[
+        Callable[[tuple[np.ndarray, ...], Context], np.ndarray]
+    ] = None
+    #: ``input_offsets_batch(p, sizes)`` — input-buffer element offsets
+    #: for a tuple of coordinate arrays ``p`` (the batched tracer's
+    #: counterpart of ``input_offset``).
+    input_offsets_batch: Optional[
+        Callable[[tuple[np.ndarray, ...], Mapping[str, int]], np.ndarray]
+    ] = None
+    #: ``extra_read_offsets_batch(q, ctx)`` — an ``(n, E)`` array of
+    #: table-region offsets, columns in ``extra_read_offsets`` order.
+    extra_read_offsets_batch: Optional[
+        Callable[[tuple[np.ndarray, ...], Context], np.ndarray]
+    ] = None
     # Per-iteration instruction costs for the machine model.
     flops: int = 0
     int_ops: int = 0

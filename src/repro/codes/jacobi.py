@@ -85,6 +85,26 @@ def _combine(values, q, ctx) -> float:
     return 0.25 * values[0] + 0.5 * values[1] + 0.25 * values[2]
 
 
+# Batched semantics: elementwise transliterations of the scalar functions
+# above, same floating-point operation order (bit-exact by construction).
+
+
+def _combine_batch(values, q, ctx) -> np.ndarray:
+    return 0.25 * values[0] + 0.5 * values[1] + 0.25 * values[2]
+
+
+def _input_values_batch(p, ctx) -> np.ndarray:
+    t, x = p
+    buf = ctx["input"]
+    length = len(buf) - 2
+    return buf[np.clip(x + 1, 0, length + 1)]
+
+
+def _input_offsets_batch(p, sizes) -> np.ndarray:
+    t, x = p
+    return np.clip(x + 1, 0, sizes["L"] + 1)
+
+
 def _output_points(sizes: Mapping[str, int]):
     return [(sizes["T"], x) for x in range(sizes["L"])]
 
@@ -103,6 +123,9 @@ def make_jacobi() -> dict[str, CodeVersion]:
         input_value=_input_value,
         input_offset=_input_offset,
         combine=_combine,
+        combine_batch=_combine_batch,
+        input_values_batch=_input_values_batch,
+        input_offsets_batch=_input_offsets_batch,
         output_points=_output_points,
         flops=5,
         int_ops=0,

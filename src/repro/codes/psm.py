@@ -134,6 +134,49 @@ def _extra_reads(q, ctx):
     )
 
 
+# Batched semantics: elementwise transliterations of the scalar functions
+# above.  ``max(a, b, c, 0)`` commutes with any association of pairwise
+# maxima over the same operands, so the np.maximum tree below returns the
+# same value the scalar ``max`` does, bit for bit.
+
+
+def _combine_batch(values, q, ctx) -> np.ndarray:
+    diag, up, left = values
+    i, j = q
+    w = ctx["weights"][ctx["s0"][i], ctx["s1"][j]]
+    return np.maximum(
+        np.maximum(diag + w, up - PSM_GAP),
+        np.maximum(left - PSM_GAP, 0.0),
+    )
+
+
+def _input_values_batch(p, ctx) -> np.ndarray:
+    i, j = p
+    return np.zeros(len(i), dtype=np.float64)
+
+
+def _input_offsets_batch(p, sizes) -> np.ndarray:
+    i, j = p
+    return np.where(
+        i <= 0, np.maximum(0, j), sizes["n1"] + 1 + np.maximum(0, i)
+    )
+
+
+def _extra_reads_batch(q, ctx) -> np.ndarray:
+    i, j = q
+    s0 = np.asarray(ctx["s0"])
+    s1 = np.asarray(ctx["s1"])
+    n0 = len(s0) - 1
+    return np.stack(
+        [
+            _TABLE_ELEMENTS + i,  # s0[i]
+            _TABLE_ELEMENTS + n0 + 1 + j,  # s1[j]
+            s0[i] * PSM_ALPHABET + s1[j],  # W[s0[i], s1[j]]
+        ],
+        axis=1,
+    )
+
+
 def _output_points(sizes: Mapping[str, int]):
     # The live-out of string matching is the final scoring column
     # H[*, n1] (it contains the alignment score H[n0, n1]); the last
@@ -163,7 +206,11 @@ def make_psm() -> dict[str, CodeVersion]:
         input_value=_input_value,
         input_offset=_input_offset,
         combine=_combine,
+        combine_batch=_combine_batch,
+        input_values_batch=_input_values_batch,
+        input_offsets_batch=_input_offsets_batch,
         extra_read_offsets=_extra_reads,
+        extra_read_offsets_batch=_extra_reads_batch,
         output_points=_output_points,
         flops=0,
         int_ops=4,

@@ -91,6 +91,29 @@ def _combine(values, q, ctx) -> float:
     return 0.3 * up + 0.3 * left + 0.4 * diag
 
 
+# Batched semantics: elementwise transliterations of the scalar functions
+# above, same floating-point operation order (bit-exact by construction).
+
+
+def _combine_batch(values, q, ctx) -> np.ndarray:
+    up, left, diag = values
+    return 0.3 * up + 0.3 * left + 0.4 * diag
+
+
+def _input_values_batch(p, ctx) -> np.ndarray:
+    i, j = p
+    row0 = ctx["row0"]
+    # np.where evaluates both arms, so clamp j for the row-0 gather.
+    return np.where(
+        j <= 0, _COLUMN_CONSTANT, row0[np.clip(j, 0, len(row0) - 1)]
+    )
+
+
+def _input_offsets_batch(p, sizes) -> np.ndarray:
+    i, j = p
+    return np.where(j <= 0, 0, j)
+
+
 def _output_points(sizes: Mapping[str, int]):
     n = sizes["n"]
     return [(n, j) for j in range(1, sizes["m"] + 1)]
@@ -110,6 +133,9 @@ def make_simple2d() -> dict[str, CodeVersion]:
         input_value=_input_value,
         input_offset=_input_offset,
         combine=_combine,
+        combine_batch=_combine_batch,
+        input_values_batch=_input_values_batch,
+        input_offsets_batch=_input_offsets_batch,
         output_points=_output_points,
         flops=5,
         int_ops=0,

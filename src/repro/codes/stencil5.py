@@ -129,6 +129,34 @@ def _combine(values, q, ctx) -> float:
     )
 
 
+# Batched semantics: elementwise transliterations of the scalar functions
+# above, in the same floating-point operation order (bit-exact agreement
+# is asserted by the engine-equivalence tests).
+
+
+def _combine_batch(values, q, ctx) -> np.ndarray:
+    w = STENCIL5_WEIGHTS
+    return (
+        w[0] * values[0]
+        + w[1] * values[1]
+        + w[2] * values[2]
+        + w[3] * values[3]
+        + w[4] * values[4]
+    )
+
+
+def _input_values_batch(p, ctx) -> np.ndarray:
+    t, x = p
+    buf = ctx["input"]
+    length = len(buf) - 4
+    return buf[np.clip(x + 2, 0, length + 3)]
+
+
+def _input_offsets_batch(p, sizes) -> np.ndarray:
+    t, x = p
+    return np.clip(x + 2, 0, sizes["L"] + 3)
+
+
 def _output_points(sizes: Mapping[str, int]):
     t = sizes["T"]
     return [(t, x) for x in range(sizes["L"])]
@@ -155,6 +183,9 @@ def make_stencil5() -> dict[str, CodeVersion]:
         input_value=_input_value,
         input_offset=_input_offset,
         combine=_combine,
+        combine_batch=_combine_batch,
+        input_values_batch=_input_values_batch,
+        input_offsets_batch=_input_offsets_batch,
         output_points=_output_points,
         flops=9,
         int_ops=0,

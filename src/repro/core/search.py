@@ -140,6 +140,13 @@ def find_optimal_uov(
 
     origin: IntVector = tuple(0 for _ in range(stencil.dim))
     masks: dict[IntVector, int] = {origin: 0}
+    # Priorities are (measure, point) tuples: a total order over live
+    # entries, with the queue's FIFO sequence number behind it for
+    # superseded re-pushes of the same point.  Expansion order — and with
+    # it every SearchResult field, including nodes_visited and the
+    # candidates tuple — is therefore a pure function of the inputs; the
+    # queue asserts the heap order it relies on and
+    # tests/core/test_search_determinism.py pins the behaviour.
     queue: PriorityQueue[IntVector] = PriorityQueue()
     queue.push(origin, (0.0, origin))
 

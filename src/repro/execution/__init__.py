@@ -2,6 +2,9 @@
 
 - :mod:`repro.execution.interpreter` — runs a :class:`~repro.codes.base.
   CodeVersion` and produces its numeric results (the correctness oracle).
+- :mod:`repro.execution.vectorized` — the same computation, batch-at-a-
+  time with NumPy; bit-identical to the interpreter, order-of-magnitude
+  faster, with a warned scalar fallback when a version cannot batch.
 - :mod:`repro.execution.trace` — the address trace the version's loop
   would issue, at cache-line granularity.
 - :mod:`repro.execution.simulator` — trace + memory hierarchy + cost
@@ -18,10 +21,16 @@ from repro.execution.multi import (
 )
 from repro.execution.simulator import SimResult, simulate
 from repro.execution.trace import TraceLayout, line_trace
+from repro.execution.vectorized import (
+    VectorizationFallback,
+    execute_vectorized,
+)
 from repro.execution.verify import verify_versions
 
 __all__ = [
     "execute",
+    "execute_vectorized",
+    "VectorizationFallback",
     "MultiAssignmentPlan",
     "plan_storage",
     "execute_multi",

@@ -52,9 +52,32 @@ class ExecutionResult:
         return float(self.storage[self._mapping_fn(*q)])
 
     def output_values(self) -> np.ndarray:
-        """Live-out values in ``code.output_points`` order."""
+        """Live-out values in ``code.output_points`` order.
+
+        One vectorized gather through the mapping — the compiled mapping
+        is pure ``+ * %`` arithmetic, so it evaluates elementwise on the
+        coordinate arrays — with the per-point bounds check batched into
+        a single test.
+        """
         points = self.version.code.output_points(self.sizes)
-        return np.array([self.value(q) for q in points], dtype=np.float64)
+        if not points:
+            return np.zeros(0, dtype=np.float64)
+        pts = np.asarray(points, dtype=np.int64)
+        lows = np.array([lo for lo, _ in self._bounds], dtype=np.int64)
+        highs = np.array([hi for _, hi in self._bounds], dtype=np.int64)
+        inside = np.all((pts >= lows) & (pts <= highs), axis=1)
+        if not inside.all():
+            bad = pts[~inside][0]
+            raise ValueError(
+                f"{tuple(int(c) for c in bad)} is outside the iteration "
+                "space"
+            )
+        offsets = np.asarray(
+            self._mapping_fn(*(pts[:, k] for k in range(pts.shape[1])))
+        )
+        if offsets.ndim == 0:
+            offsets = np.full(pts.shape[0], int(offsets), dtype=np.int64)
+        return self.storage[offsets].astype(np.float64, copy=False)
 
 
 def execute(

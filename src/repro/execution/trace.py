@@ -18,7 +18,9 @@ traces several-fold before they reach the Python simulation loop.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Mapping
+from typing import Iterator, Mapping, Optional
+
+import numpy as np
 
 from repro.codes.base import CodeVersion, Context
 
@@ -67,8 +69,18 @@ def line_trace(
     seed: int = 0,
     collapse: bool = True,
     ctx: Context | None = None,
+    batched: Optional[bool] = None,
 ) -> Iterator[int]:
-    """Yield the line-granular address trace of one full run."""
+    """Yield the line-granular address trace of one full run.
+
+    When the version's schedule exposes dependence-free batches and the
+    code carries batched address semantics, the per-iteration address
+    tuples are computed for a whole batch at once with NumPy and flattened
+    back into the exact per-point load/extra/store order of the scalar
+    walk — the emitted sequence is identical either way (the trace tests
+    assert it).  ``batched`` forces the fast path on (``True``, raising
+    if unavailable), off (``False``), or picks automatically (``None``).
+    """
     code = version.code
     if ctx is None:
         ctx = code.make_context(sizes, seed)
@@ -83,6 +95,27 @@ def line_trace(
     lows = tuple(lo for lo, _ in bounds)
     highs = tuple(hi for _, hi in bounds)
     sbase, ibase, tbase = layout.storage_base, layout.input_base, layout.table_base
+
+    if batched is not False:
+        batches = _batchable(code, ctx, bounds, schedule)
+        if batches is not None:
+            yield from _batched_line_trace(
+                code,
+                ctx,
+                sizes,
+                batches,
+                mapping_fn,
+                bounds,
+                line_bytes,
+                collapse,
+                layout,
+            )
+            return
+        if batched is True:
+            raise ValueError(
+                f"no batched trace path for {version} "
+                f"(schedule {schedule.name})"
+            )
 
     last = -1
     for q in schedule.order(bounds):
@@ -107,6 +140,91 @@ def line_trace(
         if not collapse or line != last:
             yield line
             last = line
+
+
+def _batchable(code, ctx, bounds, schedule):
+    """The schedule's batch iterator, if the batched tracer can run."""
+    if code.input_offsets_batch is None:
+        return None
+    q0 = tuple(lo for lo, _ in bounds)
+    if code.extra_read_offsets(q0, ctx) and code.extra_read_offsets_batch is None:
+        return None
+    return schedule.batches(bounds, code.stencil)
+
+
+def _batched_line_trace(
+    code,
+    ctx,
+    sizes,
+    batches,
+    mapping_fn,
+    bounds,
+    line_bytes,
+    collapse,
+    layout,
+):
+    """Batched twin of the scalar walk: same line sequence, array math.
+
+    Builds one ``(points, refs-per-iteration)`` address matrix per batch
+    — source-load columns, extra-read columns, store column — so that
+    row-major flattening reproduces the scalar per-point emission order
+    exactly, then collapses consecutive duplicate lines across the whole
+    stream (carrying the last line over batch boundaries).
+    """
+    distances = code.source_distances
+    dim = len(bounds)
+    lows = tuple(lo for lo, _ in bounds)
+    highs = tuple(hi for _, hi in bounds)
+    sbase, ibase, tbase = (
+        layout.storage_base,
+        layout.input_base,
+        layout.table_base,
+    )
+    q0 = tuple(lo for lo, _ in bounds)
+    n_extras = len(code.extra_read_offsets(q0, ctx))
+    refs = len(distances) + n_extras + 1
+
+    last = -1
+    for batch in batches:
+        n = batch.shape[0]
+        cols = tuple(batch[:, k] for k in range(dim))
+        addrs = np.empty((n, refs), dtype=np.int64)
+        for col, d in enumerate(distances):
+            pcols = tuple(c - dk for c, dk in zip(cols, d))
+            inside = np.ones(n, dtype=bool)
+            for pc, lo, hi in zip(pcols, lows, highs):
+                inside &= (pc >= lo) & (pc <= hi)
+            if inside.all():
+                addrs[:, col] = sbase + ELEMENT_BYTES * np.asarray(
+                    mapping_fn(*pcols)
+                )
+                continue
+            ins = tuple(pc[inside] for pc in pcols)
+            if inside.any():
+                addrs[inside, col] = sbase + ELEMENT_BYTES * np.asarray(
+                    mapping_fn(*ins)
+                )
+            outside = ~inside
+            outs = tuple(pc[outside] for pc in pcols)
+            addrs[outside, col] = ibase + ELEMENT_BYTES * np.asarray(
+                code.input_offsets_batch(outs, sizes)
+            )
+        if n_extras:
+            offs = np.asarray(code.extra_read_offsets_batch(cols, ctx))
+            addrs[:, len(distances) : len(distances) + n_extras] = (
+                tbase + ELEMENT_BYTES * offs
+            )
+        addrs[:, -1] = sbase + ELEMENT_BYTES * np.asarray(mapping_fn(*cols))
+
+        lines = (addrs // line_bytes).reshape(-1)
+        if collapse:
+            keep = np.empty(lines.size, dtype=bool)
+            keep[0] = lines[0] != last
+            np.not_equal(lines[1:], lines[:-1], out=keep[1:])
+            lines = lines[keep]
+            if lines.size:
+                last = int(lines[-1])
+        yield from lines.tolist()
 
 
 def trace_length(

@@ -1,16 +1,36 @@
-"""Shared experiment infrastructure: results, claims, ASCII rendering.
+"""Shared experiment infrastructure: results, claims, rendering, running.
 
 The deliverable of each experiment is an :class:`ExperimentResult`: the
 raw series (the same rows/curves the paper plots), a set of
 :class:`Claim` objects — the paper's qualitative statements evaluated
 against the fresh numbers — and text renderings for the terminal and for
 EXPERIMENTS.md.
+
+The *running* half is :class:`SimulationRunner`: every simulation point
+an experiment needs is described as a picklable :class:`SimTask`
+(code name, version key, sizes, machine, passes, seed — CodeVersion
+closures themselves do not cross process boundaries; workers rebuild the
+version from the deterministic factory registry in :mod:`repro.codes`).
+The runner fans tasks out over a ``ProcessPoolExecutor`` when ``jobs >
+1`` and memoizes results in a content-addressed on-disk cache keyed by
+the task plus a fingerprint of the simulation engine's own sources, so a
+re-run of an unchanged figure costs zero simulations while any engine
+change transparently invalidates every cached point.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Sequence
+import hashlib
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Callable, Mapping, Sequence
+
+from repro.execution.simulator import SimResult
+from repro.machine.configs import MachineConfig
+from repro.machine.hierarchy import AccessStats
 
 __all__ = [
     "Series",
@@ -18,6 +38,11 @@ __all__ = [
     "ExperimentResult",
     "ascii_table",
     "ascii_chart",
+    "SimTask",
+    "SimulationRunner",
+    "engine_fingerprint",
+    "get_runner",
+    "set_runner",
 ]
 
 
@@ -111,6 +136,208 @@ class ExperimentResult:
             out.append(f"> {note}")
             out.append("")
         return "\n".join(out)
+
+
+@dataclass(frozen=True)
+class SimTask:
+    """One simulation point, in a form that pickles and hashes.
+
+    ``sizes`` is stored as a sorted item tuple so that equal size
+    mappings produce equal tasks (and equal cache keys) regardless of
+    insertion order.
+    """
+
+    code_name: str
+    version_key: str
+    sizes: tuple[tuple[str, int], ...]
+    machine: MachineConfig
+    passes: int = 1
+    seed: int = 0
+
+    @staticmethod
+    def of(
+        version,
+        sizes: Mapping[str, int],
+        machine: MachineConfig,
+        passes: int = 1,
+        seed: int = 0,
+    ) -> "SimTask":
+        return SimTask(
+            code_name=version.code.name,
+            version_key=version.key,
+            sizes=tuple(sorted((str(k), int(v)) for k, v in sizes.items())),
+            machine=machine,
+            passes=passes,
+            seed=seed,
+        )
+
+    @property
+    def sizes_dict(self) -> dict[str, int]:
+        return dict(self.sizes)
+
+
+def _run_sim_task(task: SimTask) -> SimResult:
+    """Worker entry point: rebuild the version locally, simulate it.
+
+    Top-level (not a closure) so ``ProcessPoolExecutor`` can pickle it;
+    imports deferred so a fresh worker process pays them once.
+    """
+    from repro.codes import get_version
+    from repro.execution.simulator import simulate
+
+    version = get_version(task.code_name, task.version_key)
+    return simulate(
+        version,
+        task.sizes_dict,
+        task.machine,
+        seed=task.seed,
+        passes=task.passes,
+    )
+
+
+_ENGINE_FINGERPRINT: str | None = None
+
+
+def engine_fingerprint() -> str:
+    """Digest of every source file the simulation result depends on.
+
+    Hashes all of :mod:`repro` except ``experiments/`` (which merely
+    arranges tasks and renders results), so editing a figure script keeps
+    the cache warm while touching the tracer, caches, cost model, codes,
+    schedules, or mappings invalidates every cached point.
+    """
+    global _ENGINE_FINGERPRINT
+    if _ENGINE_FINGERPRINT is None:
+        import repro
+
+        root = Path(repro.__file__).parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            rel = path.relative_to(root)
+            if rel.parts[0] == "experiments":
+                continue
+            digest.update(str(rel).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _ENGINE_FINGERPRINT = digest.hexdigest()[:16]
+    return _ENGINE_FINGERPRINT
+
+
+class SimulationRunner:
+    """Runs :class:`SimTask` batches with caching and process fan-out.
+
+    ``jobs > 1`` dispatches cache misses to a ``ProcessPoolExecutor``;
+    ``cache_dir`` enables the content-addressed result cache (one JSON
+    file per point).  ``simulated`` and ``cache_hits`` count what
+    actually happened — the warm-cache experiment test asserts
+    ``simulated == 0`` on a second run.
+    """
+
+    def __init__(self, jobs: int = 1, cache_dir: str | os.PathLike | None = None):
+        self.jobs = max(1, int(jobs))
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        if self.cache_dir is not None:
+            # Fail fast on an unusable cache location, before any
+            # simulation time is spent.
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.simulated = 0
+        self.cache_hits = 0
+
+    def run(
+        self,
+        version,
+        sizes: Mapping[str, int],
+        machine: MachineConfig,
+        passes: int = 1,
+        seed: int = 0,
+    ) -> SimResult:
+        """One point (convenience wrapper over :meth:`run_tasks`)."""
+        return self.run_tasks(
+            [SimTask.of(version, sizes, machine, passes=passes, seed=seed)]
+        )[0]
+
+    def run_tasks(self, tasks: Sequence[SimTask]) -> list[SimResult]:
+        """All tasks' results, in task order."""
+        results: list[SimResult | None] = [None] * len(tasks)
+        misses: list[int] = []
+        for i, task in enumerate(tasks):
+            cached = self._cache_load(task)
+            if cached is not None:
+                results[i] = cached
+                self.cache_hits += 1
+            else:
+                misses.append(i)
+        if misses:
+            if self.jobs > 1 and len(misses) > 1:
+                with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                    for i, result in zip(
+                        misses,
+                        pool.map(_run_sim_task, [tasks[i] for i in misses]),
+                    ):
+                        results[i] = result
+            else:
+                for i in misses:
+                    results[i] = _run_sim_task(tasks[i])
+            self.simulated += len(misses)
+            for i in misses:
+                self._cache_store(tasks[i], results[i])
+        return results  # type: ignore[return-value]
+
+    # -- the content-addressed cache ------------------------------------
+
+    def task_key(self, task: SimTask) -> str:
+        payload = {
+            "code": task.code_name,
+            "version": task.version_key,
+            "machine": asdict(task.machine),
+            "sizes": [list(item) for item in task.sizes],
+            "passes": task.passes,
+            "seed": task.seed,
+            "engine": engine_fingerprint(),
+        }
+        blob = json.dumps(payload, sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+    def _cache_path(self, task: SimTask) -> Path:
+        return self.cache_dir / f"{self.task_key(task)}.json"
+
+    def _cache_load(self, task: SimTask) -> SimResult | None:
+        if self.cache_dir is None:
+            return None
+        try:
+            data = json.loads(self._cache_path(task).read_text())
+        except (OSError, ValueError):
+            return None
+        try:
+            data["stats"] = AccessStats(**data["stats"])
+            return SimResult(**data)
+        except (KeyError, TypeError):
+            return None  # stale schema: treat as a miss, overwrite below
+
+    def _cache_store(self, task: SimTask, result: SimResult) -> None:
+        if self.cache_dir is None:
+            return
+        path = self._cache_path(task)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(asdict(result), sort_keys=True))
+        os.replace(tmp, path)
+
+
+_RUNNER = SimulationRunner()
+
+
+def get_runner() -> SimulationRunner:
+    """The process-wide runner the experiment drivers go through."""
+    return _RUNNER
+
+
+def set_runner(runner: SimulationRunner) -> SimulationRunner:
+    """Install ``runner`` globally; returns the previous one."""
+    global _RUNNER
+    previous = _RUNNER
+    _RUNNER = runner
+    return previous
 
 
 def ascii_table(rows: Sequence[Sequence[str]]) -> str:

@@ -1,8 +1,12 @@
 """Shared driver for the performance experiments (Figures 7-14).
 
 ``sweep`` runs a set of code versions over a list of problem sizes on
-each machine and returns the per-machine series; a progress callback
-keeps long full-mode runs transparent.
+each machine and returns the per-machine series.  Both drivers describe
+every point as a :class:`~repro.experiments.harness.SimTask` and hand
+the whole batch to the process-wide
+:class:`~repro.experiments.harness.SimulationRunner`, which supplies
+result caching and multi-process fan-out; a progress callback reports
+each point as its result comes back.
 """
 
 from __future__ import annotations
@@ -10,8 +14,8 @@ from __future__ import annotations
 from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.codes.base import CodeVersion
-from repro.execution.simulator import SimResult, simulate
-from repro.experiments.harness import Series
+from repro.execution.simulator import SimResult
+from repro.experiments.harness import Series, SimTask, SimulationRunner, get_runner
 from repro.machine.configs import MachineConfig
 
 __all__ = ["sweep", "overhead_point"]
@@ -24,24 +28,40 @@ def sweep(
     x_of: Callable[[Mapping[str, int]], int],
     passes: int = 1,
     progress: Callable[[str], None] | None = None,
+    runner: SimulationRunner | None = None,
 ) -> dict[str, list[Series]]:
     """``{machine.name: [Series per version]}`` of cycles/iteration."""
+    if runner is None:
+        runner = get_runner()
+    points = [
+        (machine, version, sizes)
+        for machine in machines
+        for version in versions
+        for sizes in sizes_list
+    ]
+    tasks = [
+        SimTask.of(version, sizes, machine, passes=passes)
+        for machine, version, sizes in points
+    ]
+    results = runner.run_tasks(tasks)
+
     groups: dict[str, list[Series]] = {}
+    series_of: dict[tuple[str, str], Series] = {}
     for machine in machines:
-        series_list: list[Series] = []
+        groups[machine.name] = []
         for version in versions:
-            xs, ys = [], []
-            for sizes in sizes_list:
-                r = simulate(version, sizes, machine, passes=passes)
-                xs.append(x_of(sizes))
-                ys.append(r.cycles_per_iteration)
-                if progress is not None:
-                    progress(
-                        f"{machine.name} {version.key} x={xs[-1]} "
-                        f"-> {ys[-1]:.1f} cyc/iter"
-                    )
-            series_list.append(Series(version.label, xs, ys))
-        groups[machine.name] = series_list
+            series = Series(version.label, [], [])
+            series_of[(machine.name, version.key)] = series
+            groups[machine.name].append(series)
+    for (machine, version, sizes), r in zip(points, results):
+        series = series_of[(machine.name, version.key)]
+        series.xs.append(x_of(sizes))
+        series.ys.append(r.cycles_per_iteration)
+        if progress is not None:
+            progress(
+                f"{machine.name} {version.key} x={series.xs[-1]} "
+                f"-> {series.ys[-1]:.1f} cyc/iter"
+            )
     return groups
 
 
@@ -49,11 +69,21 @@ def overhead_point(
     versions: Iterable[CodeVersion],
     sizes: Mapping[str, int],
     machines: Sequence[MachineConfig],
+    runner: SimulationRunner | None = None,
 ) -> dict[str, dict[str, SimResult]]:
     """Steady-state (two-pass) in-cache measurements, Figures 7/8 style."""
-    out: dict[str, dict[str, SimResult]] = {}
-    for machine in machines:
-        out[machine.name] = {
-            v.key: simulate(v, sizes, machine, passes=2) for v in versions
-        }
+    if runner is None:
+        runner = get_runner()
+    versions = list(versions)
+    points = [
+        (machine, version) for machine in machines for version in versions
+    ]
+    tasks = [
+        SimTask.of(version, sizes, machine, passes=2)
+        for machine, version in points
+    ]
+    results = runner.run_tasks(tasks)
+    out: dict[str, dict[str, SimResult]] = {m.name: {} for m in machines}
+    for (machine, version), r in zip(points, results):
+        out[machine.name][version.key] = r
     return out

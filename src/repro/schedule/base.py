@@ -3,10 +3,13 @@
 from __future__ import annotations
 
 import abc
-from typing import Iterator, Sequence
+from typing import TYPE_CHECKING, Iterator, Optional, Sequence
 
 from repro.core.stencil import Stencil
 from repro.util.vectors import IntVector
+
+if TYPE_CHECKING:
+    import numpy as np
 
 __all__ = ["Schedule", "Bounds"]
 
@@ -31,6 +34,29 @@ class Schedule(abc.ABC):
     @abc.abstractmethod
     def order(self, bounds: Bounds) -> Iterator[IntVector]:
         """Yield each point of the box exactly once, in execution order."""
+
+    def batches(
+        self, bounds: Bounds, stencil: Stencil
+    ) -> Optional[Iterator["np.ndarray"]]:
+        """Dependence-independent contiguous runs of ``order(bounds)``.
+
+        When this schedule can be batch-executed against ``stencil``,
+        returns an iterator of ``(n, dim)`` int64 arrays such that
+
+        - concatenating the arrays reproduces ``order(bounds)`` exactly
+          (same points, same order — batching is grouping, not
+          reordering); and
+        - no point in a batch depends on another point of the same batch
+          under the stencil's value dependences,
+
+        which is precisely the licence the vectorized engine
+        (:mod:`repro.execution.vectorized`) needs to hoist a batch's
+        reads above its writes.  Returns ``None`` when the schedule
+        cannot be usefully batched for this stencil (the engine then
+        falls back to the scalar interpreter).  Subclasses with a
+        batchable structure override this; the safe default is ``None``.
+        """
+        return None
 
     def is_legal_for(self, stencil: Stencil, bounds: Bounds) -> bool:
         """Does this order respect the stencil on the given box?

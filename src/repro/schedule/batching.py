@@ -1,0 +1,97 @@
+"""Wavefront-batch enumeration: dependence-independent runs of a schedule.
+
+The vectorized execution engine (:mod:`repro.execution.vectorized`) wants
+to evaluate many iteration points as one NumPy operation.  That is sound
+exactly when the points form a *contiguous run of the schedule's own
+order* in which no point depends on another: the run can then perform all
+of its reads first and all of its writes second without changing a single
+bit of any value —
+
+- reads of producers *outside* the run see storage exactly as the scalar
+  interpreter would (everything earlier has fully executed);
+- reads of producers *inside* the run do not exist, by construction;
+- hoisting the run's reads above its writes cannot observe a different
+  value, because a mapping that is legal for the schedule never lets one
+  iteration overwrite a location while a later iteration still needs it
+  (that is the definition of mapping legality, Section 4 of the paper);
+- the final storage state is identical because the executed order is the
+  schedule order, merely grouped.
+
+This module supplies the shared machinery.  The batching rule is the
+classic hyperplane observation of the temporal-vectorization literature
+(Yuan et al.; Li et al.) specialised to prefix hyperplanes: if every
+dependence distance has a non-zero component among the first ``depth``
+coordinates (of the space the schedule enumerates lexicographically),
+then points agreeing on those ``depth`` coordinates are mutually
+independent, and lexicographic enumeration visits each such group as one
+contiguous run.  Lex/interchange batch on prefixes of their (permuted)
+index space, tiled/skewed schedules batch on prefixes of the *skewed*
+space — whose prefix groups are diagonals of the original space — and
+wavefront schedules batch on their own fronts.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+from repro.schedule.base import Bounds
+from repro.util.vectors import IntVector
+
+__all__ = ["prefix_batch_depth", "prefix_batches", "suffix_grid"]
+
+
+def prefix_batch_depth(
+    distances: Sequence[IntVector], dim: int
+) -> Optional[int]:
+    """Smallest prefix length that separates all dependences, or ``None``.
+
+    Returns the smallest ``depth`` such that every distance vector has a
+    non-zero component at some index ``< depth`` — i.e. points agreeing on
+    their first ``depth`` coordinates carry no dependence between them.
+    ``None`` when no useful depth exists: a zero distance (no separating
+    prefix at all) or ``depth == dim`` (batches would be single points,
+    which is scalar execution wearing a costume).
+    """
+    depth = 0
+    for v in distances:
+        first = next((k for k, c in enumerate(v) if c != 0), None)
+        if first is None:
+            return None  # zero vector: nothing separates the points
+        depth = max(depth, first + 1)
+    if depth >= dim:
+        return None
+    return depth
+
+
+def suffix_grid(ranges: Sequence[range]) -> np.ndarray:
+    """All points of ``ranges`` as an ``(n, len(ranges))`` int64 array,
+    in lexicographic (``itertools.product``) order."""
+    if not ranges:
+        return np.zeros((1, 0), dtype=np.int64)
+    grids = np.meshgrid(
+        *[np.arange(r.start, r.stop, dtype=np.int64) for r in ranges],
+        indexing="ij",
+    )
+    return np.stack([g.ravel() for g in grids], axis=1)
+
+
+def prefix_batches(
+    bounds: Bounds, depth: int
+) -> Iterator[np.ndarray]:
+    """Yield the points of a box grouped by their first ``depth`` coords.
+
+    Concatenating the yielded ``(n, dim)`` arrays reproduces plain
+    lexicographic order over the box exactly.
+    """
+    dim = len(bounds)
+    suffix = suffix_grid([range(lo, hi + 1) for lo, hi in bounds[depth:]])
+    n = suffix.shape[0]
+    prefix_ranges = [range(lo, hi + 1) for lo, hi in bounds[:depth]]
+    for prefix in itertools.product(*prefix_ranges):
+        batch = np.empty((n, dim), dtype=np.int64)
+        batch[:, :depth] = prefix
+        batch[:, depth:] = suffix
+        yield batch

@@ -5,6 +5,8 @@ from __future__ import annotations
 import itertools
 from typing import Iterator, Sequence
 
+import numpy as np
+
 from repro.core.stencil import Stencil
 from repro.schedule.base import Bounds, Schedule
 from repro.util.vectors import IntVector, is_lex_positive
@@ -26,6 +28,17 @@ class LexicographicSchedule(Schedule):
         # Legal iff every distance is lexicographically positive — which
         # the Stencil invariant already guarantees.
         return all(is_lex_positive(v) for v in stencil.vectors)
+
+    def batches(self, bounds: Bounds, stencil: Stencil):
+        # Points sharing their first `depth` coordinates are mutually
+        # independent and contiguous in lexicographic order.
+        from repro.schedule.batching import prefix_batch_depth, prefix_batches
+
+        bounds = self.check_bounds(bounds)
+        depth = prefix_batch_depth(stencil.vectors, len(bounds))
+        if depth is None:
+            return None
+        return prefix_batches(bounds, depth)
 
 
 class InterchangedSchedule(Schedule):
@@ -66,3 +79,29 @@ class InterchangedSchedule(Schedule):
             if not is_lex_positive(permuted):
                 return False
         return True
+
+    def batches(self, bounds: Bounds, stencil: Stencil):
+        # Same prefix rule as the lexicographic schedule, applied in the
+        # permuted index space the interchange actually enumerates.
+        from repro.schedule.batching import prefix_batch_depth, prefix_batches
+
+        bounds = self.check_bounds(bounds)
+        if len(bounds) != len(self._perm):
+            raise ValueError("bounds depth does not match permutation")
+        permuted_distances = [
+            tuple(v[axis] for axis in self._perm) for v in stencil.vectors
+        ]
+        depth = prefix_batch_depth(permuted_distances, len(bounds))
+        if depth is None:
+            return None
+        permuted_bounds = [bounds[axis] for axis in self._perm]
+        perm = self._perm
+
+        def generate():
+            for permuted in prefix_batches(permuted_bounds, depth):
+                batch = np.empty_like(permuted)
+                for level, axis in enumerate(perm):
+                    batch[:, axis] = permuted[:, level]
+                yield batch
+
+        return generate()

@@ -79,6 +79,36 @@ class SkewedSchedule(Schedule):
             if all(lo <= c <= hi for c, (lo, hi) in zip(q, bounds)):
                 yield q
 
+    def batches(self, bounds: Bounds, stencil: Stencil):
+        # Prefix rule in the *skewed* space: points sharing their first
+        # `depth` transformed coordinates are independent (a distance
+        # between them would have an all-zero transformed prefix) and are
+        # visited as one contiguous run, modulo the preimage filter.
+        import numpy as np
+
+        from repro.schedule.batching import prefix_batch_depth, prefix_batches
+
+        bounds = self.check_bounds(bounds)
+        if len(bounds) != len(self._matrix):
+            raise ValueError("bounds depth does not match transform")
+        transformed = [matvec(self._matrix, v) for v in stencil.vectors]
+        depth = prefix_batch_depth(transformed, len(bounds))
+        if depth is None:
+            return None
+        image_box = transformed_bounding_box(self._matrix, bounds)
+        inverse = np.asarray(self._inverse, dtype=np.int64)
+        lows = np.array([lo for lo, _ in bounds], dtype=np.int64)
+        highs = np.array([hi for _, hi in bounds], dtype=np.int64)
+
+        def generate():
+            for y in prefix_batches(image_box, depth):
+                q = y @ inverse.T
+                keep = np.all((q >= lows) & (q <= highs), axis=1)
+                if keep.any():
+                    yield q[keep]
+
+        return generate()
+
     def is_legal_for(self, stencil: Stencil, bounds: Bounds) -> bool:
         # Legal iff every transformed distance is lexicographically
         # positive — the classic unimodular-transform criterion.

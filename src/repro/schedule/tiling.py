@@ -20,6 +20,8 @@ from __future__ import annotations
 import itertools
 from typing import Iterator, Sequence
 
+import numpy as np
+
 from repro.core.stencil import Stencil
 from repro.schedule.base import Bounds, Schedule
 from repro.schedule.skew import transformed_bounding_box
@@ -152,6 +154,66 @@ class TiledSchedule(Schedule):
                     blo <= c <= bhi for c, (blo, bhi) in zip(q, bounds)
                 ):
                     yield q
+
+    def batches(self, bounds: Bounds, stencil: Stencil):
+        # Within a tile, points sharing their first `depth` *skewed*
+        # coordinates are mutually independent: a dependence between them
+        # would have an all-zero prefix in the skewed space.  For skewed
+        # stencils these prefix groups are the intra-tile diagonals of
+        # the original iteration space.  The tile-lexicographic sweep
+        # visits each group as one contiguous run, so the concatenation
+        # is exactly order(bounds).
+        from repro.schedule.batching import prefix_batch_depth
+
+        bounds = self.check_bounds(bounds)
+        d = len(bounds)
+        if d != len(self._tile_sizes):
+            raise ValueError("bounds depth does not match tile sizes")
+        transformed = [matvec(self._skew, v) for v in stencil.vectors]
+        depth = prefix_batch_depth(transformed, d)
+        if depth is None:
+            return None
+        return self._tile_batches(bounds, depth)
+
+    def _tile_batches(self, bounds: Bounds, depth: int):
+        from repro.schedule.batching import suffix_grid
+
+        box = transformed_bounding_box(self._skew, bounds)
+        d = len(bounds)
+        identity = all(
+            self._skew[i][j] == (1 if i == j else 0)
+            for i in range(d)
+            for j in range(d)
+        )
+        sizes = [
+            (hi - lo + 1) if s is None else s
+            for s, (lo, hi) in zip(self._tile_sizes, box)
+        ]
+        tile_counts = [
+            ceil_div(hi - lo + 1, s) for s, (lo, hi) in zip(sizes, box)
+        ]
+        inverse = np.asarray(self._inverse, dtype=np.int64)
+        lows = np.array([lo for lo, _ in bounds], dtype=np.int64)
+        highs = np.array([hi for _, hi in bounds], dtype=np.int64)
+        for tile in itertools.product(*[range(c) for c in tile_counts]):
+            ranges = []
+            for t, s, (lo, hi) in zip(tile, sizes, box):
+                start = lo + t * s
+                stop = min(start + s - 1, hi)
+                ranges.append(range(start, stop + 1))
+            suffix = suffix_grid(ranges[depth:])
+            n = suffix.shape[0]
+            for prefix in itertools.product(*ranges[:depth]):
+                y = np.empty((n, d), dtype=np.int64)
+                y[:, :depth] = prefix
+                y[:, depth:] = suffix
+                if identity:
+                    yield y
+                    continue
+                q = y @ inverse.T
+                keep = np.all((q >= lows) & (q <= highs), axis=1)
+                if keep.any():
+                    yield q[keep]
 
     def tiles(self, bounds: Bounds) -> Iterator[list[IntVector]]:
         """Yield the points of each tile as a list (tile-at-a-time view).

@@ -13,6 +13,8 @@ from __future__ import annotations
 import itertools
 from typing import Iterator, Sequence
 
+import numpy as np
+
 from repro.core.stencil import Stencil
 from repro.schedule.base import Bounds, Schedule
 from repro.util.vectors import IntVector, dot
@@ -50,6 +52,34 @@ class WavefrontSchedule(Schedule):
             points.sort()
         points.sort(key=lambda p: dot(self._weights, p))
         return iter(points)
+
+    def batches(self, bounds: Bounds, stencil: Stencil):
+        # The fronts themselves are the batches: with ``w . v > 0`` for
+        # every stencil vector, points sharing a front value are mutually
+        # independent, and order() visits fronts as contiguous runs.  A
+        # zero-front distance would put dependent points in one front.
+        if any(dot(self._weights, v) == 0 for v in stencil.vectors):
+            return None
+        bounds = self.check_bounds(bounds)
+        if len(bounds) != len(self._weights):
+            raise ValueError("bounds depth does not match weights")
+        return self._front_batches(bounds)
+
+    def _front_batches(self, bounds: Bounds) -> Iterator[np.ndarray]:
+        from repro.schedule.batching import suffix_grid
+
+        points = suffix_grid([range(lo, hi + 1) for lo, hi in bounds])
+        front = points @ np.asarray(self._weights, dtype=np.int64)
+        # Reproduce order()'s exact total order: primary key the front
+        # value, then the tie-break columns lexicographically (negated
+        # for reverse ties).  np.lexsort takes the primary key last.
+        tie_cols = -points if self._reverse_ties else points
+        keys = [tie_cols[:, k] for k in reversed(range(points.shape[1]))]
+        order = np.lexsort(keys + [front])
+        points = points[order]
+        front = front[order]
+        cuts = np.flatnonzero(np.diff(front)) + 1
+        yield from np.split(points, cuts)
 
     def is_legal_for(self, stencil: Stencil, bounds: Bounds) -> bool:
         # Strictly advancing fronts are legal regardless of tie order;

@@ -52,10 +52,29 @@ class PriorityQueue(Generic[T]):
         return True
 
     def pop(self) -> tuple[T, Any]:
-        """Remove and return ``(item, priority)`` with the smallest priority."""
+        """Remove and return ``(item, priority)`` with the smallest priority.
+
+        Equal priorities pop in insertion (FIFO) order: the sequence
+        number breaks every tie, so pop order never depends on hash
+        order or on how the underlying heap happens to settle.  The UOV
+        search result is reproducible across runs and platforms because
+        of this guarantee, so it is enforced, not just documented: the
+        only ways to lose it are a priority mutated in place after
+        insertion or a priority type with inconsistent comparison, both
+        of which corrupt the heap invariant — which is asserted on every
+        pop (the popped entry must still sort at or below the new top).
+        """
         while self._heap:
-            priority, _, item = heapq.heappop(self._heap)
+            priority, seq, item = heapq.heappop(self._heap)
             if item is not self._REMOVED:
+                assert not self._heap or (priority, seq) <= (
+                    self._heap[0][0],
+                    self._heap[0][1],
+                ), (
+                    "heap order corrupted (priority mutated after push?): "
+                    f"popped {(priority, seq)} above "
+                    f"{(self._heap[0][0], self._heap[0][1])}"
+                )
                 del self._entries[item]
                 return item, priority
         raise IndexError("pop from an empty priority queue")

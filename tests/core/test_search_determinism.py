@@ -1,0 +1,48 @@
+"""The UOV search is deterministic, run to run and platform to platform.
+
+Determinism rests on two pillars: the search's priorities are
+``(measure, point)`` tuples — a total order with no hash dependence —
+and the priority queue breaks any remaining tie by insertion order
+(asserted inside the queue itself).  These tests pin the observable
+consequence: every field of the result, including node counts and the
+full candidate tuple, is identical across repeated runs.
+"""
+
+from repro.core import Stencil, find_optimal_uov
+from repro.util.polyhedron import Polytope
+
+
+def _snapshot(result):
+    return (
+        result.ov,
+        result.objective,
+        result.storage,
+        result.optimal,
+        result.nodes_visited,
+        result.nodes_pushed,
+        result.candidates,
+    )
+
+
+def test_shortest_objective_repeats_exactly():
+    stencil = Stencil([(1, 0), (0, 1), (1, 1)])
+    runs = [_snapshot(find_optimal_uov(stencil)) for _ in range(3)]
+    assert runs[0] == runs[1] == runs[2]
+
+
+def test_storage_objective_repeats_exactly():
+    stencil = Stencil([(1, 0), (1, 1), (1, -1)])
+    isg = Polytope([(1, 1), (1, 6), (10, 9), (10, 4)])
+    runs = [_snapshot(find_optimal_uov(stencil, isg=isg)) for _ in range(3)]
+    assert runs[0] == runs[1] == runs[2]
+
+
+def test_budgeted_search_repeats_exactly():
+    # Truncated runs expose expansion order directly: a different pop
+    # order would change which incumbent the budget cuts off at.
+    stencil = Stencil([(1, -2), (1, -1), (1, 0), (1, 1), (1, 2)])
+    runs = [
+        _snapshot(find_optimal_uov(stencil, max_nodes=3)) for _ in range(3)
+    ]
+    assert runs[0] == runs[1] == runs[2]
+    assert not runs[0][3]  # the budget really did truncate the search

@@ -32,6 +32,38 @@ class TestBasics:
         q.push("second", 1)
         assert q.pop()[0] == "first"
 
+    def test_equal_priorities_pop_in_insertion_order(self):
+        # The UOV search's determinism guarantee: ties never depend on
+        # hash order or heap settling, only on push order.
+        q = PriorityQueue()
+        items = [f"item{k}" for k in range(12)]
+        for item in items:
+            q.push(item, 7)
+        assert [q.pop()[0] for _ in items] == items
+
+    def test_mixed_priorities_sort_then_fifo(self):
+        q = PriorityQueue()
+        q.push("b1", 2)
+        q.push("a1", 1)
+        q.push("b2", 2)
+        q.push("a2", 1)
+        popped = [q.pop()[0] for _ in range(4)]
+        assert popped == ["a1", "a2", "b1", "b2"]
+
+    def test_pop_detects_priority_mutated_in_place(self):
+        # Mutating a priority object after pushing corrupts the heap
+        # order the determinism guarantee rests on; the guard must fire
+        # rather than silently pop in a corrupted order.
+        q = PriorityQueue()
+        mutable = [5]
+        q.push("victim", mutable)
+        q.push("low", [1])
+        q.push("mid", [3])
+        mutable[0] = 0  # now sorts below entries heapified above it
+        with pytest.raises(AssertionError, match="heap order corrupted"):
+            for _ in range(3):
+                q.pop()
+
     def test_peek_priority(self):
         q = PriorityQueue()
         q.push("a", 5)
