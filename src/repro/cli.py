@@ -25,6 +25,18 @@ Subcommands:
 - ``experiments`` — run the paper's evaluation and write EXPERIMENTS.md::
 
       repro-uov experiments --mode quick
+
+- ``trace-summary`` — render a JSONL trace (from ``--trace``) as an
+  ASCII span tree with the top self-time spans, event tally, and final
+  counters::
+
+      repro-uov find --stencil "1,0;0,1;1,1" --trace /tmp/t.jsonl
+      repro-uov trace-summary /tmp/t.jsonl
+
+Every subcommand accepts the observability flags ``--trace FILE``
+(structured JSONL tracing), ``--profile`` (print the metrics registry to
+stderr at exit), and ``--log-level LEVEL`` (stderr logging for the
+``repro.*`` loggers) — see DESIGN.md §8.
 """
 
 from __future__ import annotations
@@ -32,6 +44,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import obs
 from repro.core import Stencil, find_optimal_uov, initial_uov
 from repro.util.polyhedron import Polytope
 
@@ -64,6 +77,12 @@ def _cmd_find(args) -> int:
     print(f"initial UOV: {initial_uov(stencil)} (sum of dependences)")
     result = find_optimal_uov(stencil, isg=isg, max_nodes=args.max_nodes)
     print(f"search:      {result}")
+    prunes = ", ".join(f"{k}={v}" for k, v in result.prunes.items())
+    print(f"pruned:      {result.nodes_pruned} branches ({prunes})")
+    steps = " -> ".join(
+        f"{u.ov}@node{u.node}" for u in result.incumbent_history
+    )
+    print(f"incumbents:  {steps}")
     if isg is not None:
         from repro.core import storage_for_ov
 
@@ -147,7 +166,33 @@ def _cmd_experiments(args) -> int:
     argv += ["--jobs", str(args.jobs), "--cache-dir", args.cache_dir]
     if args.no_cache:
         argv.append("--no-cache")
+    if args.trace:
+        argv += ["--trace", args.trace]
+    if args.log_level:
+        argv += ["--log-level", args.log_level]
     return report_main(argv)
+
+
+def _cmd_trace_summary(args) -> int:
+    from repro.obs.summary import load_trace, render_summary
+
+    try:
+        with open(args.file) as fh:
+            summary = load_trace(fh)
+    except OSError as exc:
+        print(f"cannot read {args.file}: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"{args.file} is not a valid trace: {exc}", file=sys.stderr)
+        return 2
+    try:
+        print(render_summary(summary, top=args.top))
+    except BrokenPipeError:
+        # Output piped into head/less and truncated: not an error.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0
 
 
 def main(argv=None) -> int:
@@ -155,9 +200,32 @@ def main(argv=None) -> int:
         prog="repro-uov",
         description="Schedule-independent storage mapping (UOV) toolkit",
     )
+    # Observability flags ride on every subcommand (DESIGN.md §8).
+    obs_flags = argparse.ArgumentParser(add_help=False)
+    group = obs_flags.add_argument_group("observability")
+    group.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write a structured JSONL trace (render: repro-uov "
+        "trace-summary FILE)",
+    )
+    group.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the metrics registry to stderr at exit",
+    )
+    group.add_argument(
+        "--log-level",
+        default=None,
+        metavar="LEVEL",
+        help="stderr log level for the repro.* loggers (e.g. INFO, DEBUG)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_find = sub.add_parser("find", help="search for the optimal UOV")
+    p_find = sub.add_parser(
+        "find", help="search for the optimal UOV", parents=[obs_flags]
+    )
     p_find.add_argument(
         "--stencil", required=True, help='e.g. "1,0;0,1;1,1"'
     )
@@ -167,12 +235,16 @@ def main(argv=None) -> int:
     p_find.add_argument("--max-nodes", type=int, default=None)
     p_find.set_defaults(func=_cmd_find)
 
-    p_map = sub.add_parser("map", help="print an OV's storage mapping")
+    p_map = sub.add_parser(
+        "map", help="print an OV's storage mapping", parents=[obs_flags]
+    )
     p_map.add_argument("--ov", required=True, help='e.g. "2,0"')
     p_map.add_argument("--box", required=True, help='e.g. "1,0:16,63"')
     p_map.set_defaults(func=_cmd_map)
 
-    p_gen = sub.add_parser("codegen", help="emit a version's source")
+    p_gen = sub.add_parser(
+        "codegen", help="emit a version's source", parents=[obs_flags]
+    )
     p_gen.add_argument("code", help="stencil5 | psm | simple2d | jacobi")
     p_gen.add_argument("version", help="e.g. ov-tiled")
     p_gen.add_argument("--sizes", required=True, help='e.g. "T=8,L=64"')
@@ -181,7 +253,9 @@ def main(argv=None) -> int:
     p_gen.set_defaults(func=_cmd_codegen)
 
     p_common = sub.add_parser(
-        "common", help="find a UOV shared by several loops"
+        "common",
+        help="find a UOV shared by several loops",
+        parents=[obs_flags],
     )
     p_common.add_argument(
         "--stencils",
@@ -191,7 +265,11 @@ def main(argv=None) -> int:
     p_common.add_argument("--max-norm2", type=int, default=400)
     p_common.set_defaults(func=_cmd_common)
 
-    p_exp = sub.add_parser("experiments", help="run the paper's evaluation")
+    p_exp = sub.add_parser(
+        "experiments",
+        help="run the paper's evaluation",
+        parents=[obs_flags],
+    )
     p_exp.add_argument("--mode", choices=("quick", "full"), default="quick")
     p_exp.add_argument("--out", default="EXPERIMENTS.md")
     p_exp.add_argument(
@@ -213,8 +291,40 @@ def main(argv=None) -> int:
     )
     p_exp.set_defaults(func=_cmd_experiments)
 
+    p_ts = sub.add_parser(
+        "trace-summary",
+        help="render a JSONL trace as an ASCII span tree",
+        parents=[obs_flags],
+    )
+    p_ts.add_argument("file", help="trace file written by --trace")
+    p_ts.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="K",
+        help="how many spans to rank by self time (default 10)",
+    )
+    p_ts.set_defaults(func=_cmd_trace_summary)
+
     args = parser.parse_args(argv)
-    return args.func(args)
+    # The experiments subcommand forwards --trace/--log-level to the
+    # report driver (which also runs standalone); every other subcommand
+    # gets the obs lifecycle managed right here.
+    own_obs = args.command != "experiments"
+    if own_obs and (args.trace or args.log_level):
+        obs.configure(
+            trace_path=args.trace,
+            log_level=args.log_level,
+            program=f"repro-uov {args.command}",
+        )
+    try:
+        return args.func(args)
+    finally:
+        if args.profile:
+            print("-- metrics --", file=sys.stderr)
+            print(obs.render_profile(), file=sys.stderr)
+        if own_obs and args.trace:
+            obs.shutdown()
 
 
 if __name__ == "__main__":

@@ -32,7 +32,7 @@ from repro.core.npcomplete import (
     partition_solvable,
     reduction_from_partition,
 )
-from repro.core.search import SearchResult, find_optimal_uov
+from repro.core.search import IncumbentUpdate, SearchResult, find_optimal_uov
 from repro.core.stencil import Stencil
 from repro.core.storage_metric import (
     min_projection,
@@ -62,6 +62,7 @@ __all__ = [
     "find_optimal_uov",
     "storage_for_ov",
     "min_projection",
+    "IncumbentUpdate",
     "search_length_bound",
     "is_common_uov",
     "find_common_uov",

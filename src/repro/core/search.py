@@ -33,10 +33,12 @@ limit the amount of time and just take the best answer so far"): pass
 
 from __future__ import annotations
 
+import logging
 import math
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro import obs
 from repro.core.stencil import Stencil
 from repro.core.storage_metric import (
     search_length_bound,
@@ -46,7 +48,25 @@ from repro.util.polyhedron import Polytope
 from repro.util.priorityqueue import PriorityQueue
 from repro.util.vectors import IntVector, add, norm2
 
-__all__ = ["SearchResult", "find_optimal_uov"]
+_LOG = logging.getLogger("repro.search")
+
+__all__ = ["IncumbentUpdate", "SearchResult", "find_optimal_uov"]
+
+
+@dataclass(frozen=True)
+class IncumbentUpdate:
+    """One improvement of the incumbent during the search.
+
+    ``node`` is the number of nodes expanded when the improvement was
+    found (0 for the seeded initial UOV), so the history doubles as a
+    convergence curve: plotting ``objective`` against ``node`` shows how
+    quickly branch-and-bound closes in on the optimum.
+    """
+
+    ov: IntVector
+    objective: float
+    length: float
+    node: int
 
 
 @dataclass(frozen=True)
@@ -57,6 +77,15 @@ class SearchResult:
     records whether the bounded region was exhausted (True) or the node
     budget ran out first (False — ``ov`` is then the best found so far,
     which the paper explicitly allows a compiler to use).
+
+    ``prunes`` attributes every cut branch to the test that cut it:
+    ``"phi-bound"`` — children outside the positivity-functional region
+    (the sound search-space bound of Section 3.2.1); ``"length-cap"`` —
+    legal candidates evaluated but rejected because they cannot beat the
+    incumbent under the current cap; ``"visited"`` — children whose
+    merged PATHSET adds nothing new (re-reached points).  All three are
+    deterministic, so the determinism tests pin them alongside the node
+    counts; ``nodes_pruned`` is their sum.
     """
 
     ov: IntVector
@@ -66,6 +95,9 @@ class SearchResult:
     nodes_visited: int
     nodes_pushed: int
     candidates: tuple[IntVector, ...] = field(default=())
+    nodes_pruned: int = 0
+    prunes: dict[str, int] = field(default_factory=dict)
+    incumbent_history: tuple[IncumbentUpdate, ...] = field(default=())
 
     def __str__(self) -> str:
         status = "optimal" if self.optimal else "best-so-far"
@@ -127,6 +159,14 @@ def find_optimal_uov(
     incumbent = stencil.initial_uov
     best_objective = measure(incumbent)
     best_storage = storage_for_ov(incumbent, isg) if isg is not None else None
+    history: list[IncumbentUpdate] = [
+        IncumbentUpdate(
+            ov=incumbent,
+            objective=best_objective,
+            length=math.sqrt(norm2(incumbent)),
+            node=0,
+        )
+    ]
 
     def length_cap() -> float:
         if objective == "shortest":
@@ -154,44 +194,106 @@ def find_optimal_uov(
     nodes_pushed = 1
     candidates: list[IntVector] = [incumbent]
     exhausted = True
+    # Prune tallies stay plain locals in the hot loop and reach the
+    # metrics registry once, after the loop (DESIGN.md §8).
+    pruned_phi = 0
+    pruned_length = 0
+    pruned_visited = 0
+    frontier_samples: list[int] = []
 
-    while queue:
-        if max_nodes is not None and nodes_visited >= max_nodes:
-            exhausted = False
-            break
-        x, _priority = queue.pop()
-        nodes_visited += 1
-        mask = masks[x]
+    sp = obs.span(
+        "search.find_optimal_uov",
+        stencil=[list(v) for v in vectors],
+        objective=objective,
+    )
+    with sp:
+        while queue:
+            if max_nodes is not None and nodes_visited >= max_nodes:
+                exhausted = False
+                break
+            x, _priority = queue.pop()
+            nodes_visited += 1
+            if not (nodes_visited & 1023) or nodes_visited == 1:
+                frontier_samples.append(len(queue))
+                sp.event(
+                    "search.frontier", size=len(queue), node=nodes_visited
+                )
+            mask = masks[x]
 
-        if mask == full_mask and x != origin:
-            candidates.append(x)
-            value = measure(x)
-            better = value < best_objective or (
-                value == best_objective and norm2(x) < norm2(incumbent)
-            )
-            if better:
-                incumbent = x
-                best_objective = value
-                if isg is not None:
-                    best_storage = storage_for_ov(x, isg)
-                phi_cap = phi_norm * length_cap()
+            if mask == full_mask and x != origin:
+                candidates.append(x)
+                value = measure(x)
+                better = value < best_objective or (
+                    value == best_objective and norm2(x) < norm2(incumbent)
+                )
+                if better:
+                    incumbent = x
+                    best_objective = value
+                    if isg is not None:
+                        best_storage = storage_for_ov(x, isg)
+                    phi_cap = phi_norm * length_cap()
+                    history.append(
+                        IncumbentUpdate(
+                            ov=x,
+                            objective=value,
+                            length=math.sqrt(norm2(x)),
+                            node=nodes_visited,
+                        )
+                    )
+                    sp.event(
+                        "search.incumbent",
+                        ov=list(x),
+                        objective=value,
+                        node=nodes_visited,
+                        frontier=len(queue),
+                    )
+                    _LOG.debug(
+                        "incumbent %s objective=%g at node %d",
+                        x,
+                        value,
+                        nodes_visited,
+                    )
+                else:
+                    # A legal candidate beyond the incumbent's cap: the
+                    # length bound rejected it.
+                    pruned_length += 1
 
-        # Expand children along the backward value dependences.
-        for bit, v in enumerate(vectors):
-            child = add(x, v)
-            child_phi = phi_of(child)
-            if child_phi > phi_cap:
-                continue
-            new_mask = mask | (1 << bit)
-            old_mask = masks.get(child, 0)
-            merged = old_mask | new_mask
-            if merged != old_mask or child not in masks:
-                masks[child] = merged
-                if queue.push(child, (measure(child), child)):
-                    nodes_pushed += 1
-            elif child not in queue and merged == old_mask:
-                # Nothing new to propagate.
-                continue
+            # Expand children along the backward value dependences.
+            for bit, v in enumerate(vectors):
+                child = add(x, v)
+                child_phi = phi_of(child)
+                if child_phi > phi_cap:
+                    pruned_phi += 1
+                    continue
+                new_mask = mask | (1 << bit)
+                old_mask = masks.get(child, 0)
+                merged = old_mask | new_mask
+                if merged != old_mask or child not in masks:
+                    masks[child] = merged
+                    if queue.push(child, (measure(child), child)):
+                        nodes_pushed += 1
+                else:
+                    # Re-reached with no new PATHSET information.
+                    pruned_visited += 1
+
+        sp.set(
+            ov=list(incumbent),
+            objective=best_objective,
+            optimal=exhausted,
+            nodes_visited=nodes_visited,
+            nodes_pushed=nodes_pushed,
+            nodes_pruned=pruned_phi + pruned_length + pruned_visited,
+        )
+
+    metrics = obs.get_metrics()
+    metrics.counter("search.runs").inc()
+    metrics.counter("search.nodes_visited").inc(nodes_visited)
+    metrics.counter("search.nodes_pushed").inc(nodes_pushed)
+    metrics.counter("search.pruned.phi_bound").inc(pruned_phi)
+    metrics.counter("search.pruned.length_cap").inc(pruned_length)
+    metrics.counter("search.pruned.visited").inc(pruned_visited)
+    metrics.counter("search.incumbent_updates").inc(len(history) - 1)
+    metrics.histogram("search.frontier_size").observe_many(frontier_samples)
 
     return SearchResult(
         ov=incumbent,
@@ -201,4 +303,11 @@ def find_optimal_uov(
         nodes_visited=nodes_visited,
         nodes_pushed=nodes_pushed,
         candidates=tuple(dict.fromkeys(candidates)),
+        nodes_pruned=pruned_phi + pruned_length + pruned_visited,
+        prunes={
+            "phi-bound": pruned_phi,
+            "length-cap": pruned_length,
+            "visited": pruned_visited,
+        },
+        incumbent_history=tuple(history),
     )

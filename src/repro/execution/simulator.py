@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping
 
+from repro import obs
 from repro.codes.base import CodeVersion
 from repro.execution.trace import line_trace
 from repro.machine.configs import MachineConfig
@@ -68,21 +69,34 @@ def simulate(
     if passes < 1:
         raise ValueError("at least one simulation pass is required")
 
-    hierarchy = machine.build_hierarchy()
-    for _warm in range(passes - 1):
-        for line in line_trace(
-            version, sizes, machine.l1.line_bytes, seed=seed
-        ):
+    with obs.span(
+        "simulate",
+        version=version.key,
+        machine=machine.name,
+        sizes=dict(sizes),
+        passes=passes,
+    ) as sp:
+        hierarchy = machine.build_hierarchy()
+        for _warm in range(passes - 1):
+            for line in line_trace(
+                version, sizes, machine.l1.line_bytes, seed=seed
+            ):
+                hierarchy.access_line(line)
+        before = hierarchy.stall_cycles
+        trace = line_trace(version, sizes, machine.l1.line_bytes, seed=seed)
+        for line in trace:
             hierarchy.access_line(line)
-    before = hierarchy.stall_cycles
-    trace = line_trace(version, sizes, machine.l1.line_bytes, seed=seed)
-    for line in trace:
-        hierarchy.access_line(line)
-    stats = hierarchy.stats()
-    if passes > 1:
-        from dataclasses import replace as _replace
+        stats = hierarchy.stats()
+        if passes > 1:
+            from dataclasses import replace as _replace
 
-        stats = _replace(stats, stall_cycles=stats.stall_cycles - before)
+            stats = _replace(stats, stall_cycles=stats.stall_cycles - before)
+        sp.set(iterations=iterations, accesses=stats.accesses)
+
+    metrics = obs.get_metrics()
+    metrics.counter("simulate.runs").inc()
+    metrics.counter("simulate.iterations").inc(iterations)
+    stats.record(metrics, prefix="machine")
 
     ctx = code.make_context(sizes, seed)
     bounds = code.bounds(sizes)

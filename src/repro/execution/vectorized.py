@@ -29,16 +29,21 @@ scalar interpreter for every code/version/schedule combination.
 Schedules that expose no batch structure for a code's stencil (and codes
 without batched semantics) fall back to the scalar interpreter with a
 :class:`VectorizationFallback` warning, so the engine is always safe to
-call.
+call.  Fallbacks are *structured* events: the Python warning fires once
+per ``(code, schedule)`` pair per process (see
+:func:`repro.obs.warn_once`), while every occurrence increments the
+``vectorized.fallbacks`` counter and lands in the trace with the code,
+schedule, and reason attached — so a sweep that silently degrades is
+still visible in ``--profile`` output and the telemetry appendix.
 """
 
 from __future__ import annotations
 
-import warnings
 from typing import Mapping
 
 import numpy as np
 
+from repro import obs
 from repro.codes.base import Code, CodeVersion
 from repro.execution.interpreter import ExecutionResult, execute
 
@@ -69,9 +74,11 @@ def execute_vectorized(
     schedule = version.schedule(sizes)
 
     reason = None
+    reason_code = None
     batches = None
     if code.combine_batch is None:
         reason = f"code {code.name} has no batched combine"
+        reason_code = "no-batched-combine"
     else:
         batches = schedule.batches(bounds, code.stencil)
         if batches is None:
@@ -79,14 +86,20 @@ def execute_vectorized(
                 f"schedule {schedule.name} has no dependence-free batch "
                 f"structure for stencil {list(code.stencil.vectors)}"
             )
+            reason_code = "no-batch-structure"
     if reason is not None:
         if not fallback:
             raise ValueError(f"cannot vectorize {version}: {reason}")
-        warnings.warn(
+        obs.warn_once(
+            (code.name, schedule.name),
             f"falling back to the scalar interpreter for {version}: "
             f"{reason}",
             VectorizationFallback,
-            stacklevel=2,
+            event="vectorized.fallback",
+            counter="vectorized.fallbacks",
+            code=code.name,
+            schedule=schedule.name,
+            reason=reason_code,
         )
         return execute(version, sizes, seed=seed, check_legality=check_legality)
 
@@ -110,34 +123,66 @@ def execute_vectorized(
     lows = tuple(lo for lo, _ in bounds)
     highs = tuple(hi for _, hi in bounds)
 
-    for batch in batches:
-        n = batch.shape[0]
-        cols = tuple(batch[:, k] for k in range(dim))
-        values = []
-        for d in distances:
-            pcols = tuple(c - dk for c, dk in zip(cols, d))
-            inside = np.ones(n, dtype=bool)
-            for pc, lo, hi in zip(pcols, lows, highs):
-                inside &= (pc >= lo) & (pc <= hi)
-            if inside.all():
-                values.append(storage[_offsets(mapping_fn, pcols, n)])
-                continue
-            vals = np.empty(n, dtype=np.float64)
-            if inside.any():
-                ins = tuple(pc[inside] for pc in pcols)
-                vals[inside] = storage[
-                    _offsets(mapping_fn, ins, int(inside.sum()))
-                ]
-            outside = ~inside
-            outs = tuple(pc[outside] for pc in pcols)
-            vals[outside] = _input_values(code, outs, ctx)
-            values.append(vals)
-        # Within a batch the points are in schedule order, so NumPy's
-        # last-wins scatter on (theoretically) duplicate offsets matches
-        # the scalar interpreter's sequential writes.
-        storage[_offsets(mapping_fn, cols, n)] = combine_batch(
-            values, cols, ctx
+    # Telemetry accumulates in locals inside the hot loop and reaches the
+    # metrics registry once, after it — the disabled-path overhead is a
+    # handful of integer adds per *batch*, bounded by the obs benchmark.
+    batch_sizes: list[int] = []
+    gather_elements = 0
+    boundary_elements = 0
+
+    with obs.span(
+        "execute.vectorized",
+        code=code.name,
+        schedule=schedule.name,
+        sizes=dict(sizes),
+    ) as sp:
+        for batch in batches:
+            n = batch.shape[0]
+            batch_sizes.append(n)
+            cols = tuple(batch[:, k] for k in range(dim))
+            values = []
+            for d in distances:
+                pcols = tuple(c - dk for c, dk in zip(cols, d))
+                inside = np.ones(n, dtype=bool)
+                for pc, lo, hi in zip(pcols, lows, highs):
+                    inside &= (pc >= lo) & (pc <= hi)
+                if inside.all():
+                    values.append(storage[_offsets(mapping_fn, pcols, n)])
+                    gather_elements += n
+                    continue
+                vals = np.empty(n, dtype=np.float64)
+                n_inside = int(inside.sum())
+                if n_inside:
+                    ins = tuple(pc[inside] for pc in pcols)
+                    vals[inside] = storage[
+                        _offsets(mapping_fn, ins, n_inside)
+                    ]
+                outside = ~inside
+                outs = tuple(pc[outside] for pc in pcols)
+                vals[outside] = _input_values(code, outs, ctx)
+                values.append(vals)
+                gather_elements += n_inside
+                boundary_elements += n - n_inside
+            # Within a batch the points are in schedule order, so NumPy's
+            # last-wins scatter on (theoretically) duplicate offsets matches
+            # the scalar interpreter's sequential writes.
+            storage[_offsets(mapping_fn, cols, n)] = combine_batch(
+                values, cols, ctx
+            )
+        sp.set(
+            batches=len(batch_sizes),
+            points=sum(batch_sizes),
+            gather_elements=gather_elements,
+            boundary_elements=boundary_elements,
         )
+
+    metrics = obs.get_metrics()
+    metrics.counter("vectorized.runs").inc()
+    metrics.counter("vectorized.batches").inc(len(batch_sizes))
+    metrics.counter("vectorized.gather_elements").inc(gather_elements)
+    metrics.counter("vectorized.boundary_elements").inc(boundary_elements)
+    metrics.counter("vectorized.scatter_elements").inc(sum(batch_sizes))
+    metrics.histogram("vectorized.batch_size").observe_many(batch_sizes)
 
     return ExecutionResult(version, sizes, storage, mapping_fn, bounds, ctx)
 

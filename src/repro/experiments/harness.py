@@ -21,16 +21,22 @@ change transparently invalidates every cached point.
 from __future__ import annotations
 
 import hashlib
+import heapq
 import json
+import logging
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Callable, Mapping, Sequence
 
+from repro import obs
 from repro.execution.simulator import SimResult
 from repro.machine.configs import MachineConfig
 from repro.machine.hierarchy import AccessStats
+
+_LOG = logging.getLogger("repro.harness")
 
 __all__ = [
     "Series",
@@ -91,6 +97,9 @@ class ExperimentResult:
     tables: dict[str, list[list[str]]] = field(default_factory=dict)
     claims: list[Claim] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
+    #: Filled by the report driver: this experiment's share of the
+    #: runner's work ({"simulated", "cache_hits", "elapsed_s"}).
+    telemetry: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -175,6 +184,14 @@ class SimTask:
     def sizes_dict(self) -> dict[str, int]:
         return dict(self.sizes)
 
+    @property
+    def label(self) -> str:
+        sizes = ",".join(f"{k}={v}" for k, v in self.sizes)
+        return (
+            f"{self.code_name}/{self.version_key} {sizes} "
+            f"@{self.machine.name}"
+        )
+
 
 def _run_sim_task(task: SimTask) -> SimResult:
     """Worker entry point: rebuild the version locally, simulate it.
@@ -193,6 +210,18 @@ def _run_sim_task(task: SimTask) -> SimResult:
         seed=task.seed,
         passes=task.passes,
     )
+
+
+def _run_sim_task_timed(task: SimTask) -> tuple[SimResult, float, int]:
+    """``_run_sim_task`` plus the telemetry the parent wants back.
+
+    Worker processes have their own metrics registry whose contents die
+    with the pool, so the wall time and worker id travel with the result
+    and the parent-side runner folds them into *its* registry.
+    """
+    t0 = time.perf_counter()
+    result = _run_sim_task(task)
+    return result, time.perf_counter() - t0, os.getpid()
 
 
 _ENGINE_FINGERPRINT: str | None = None
@@ -234,6 +263,9 @@ class SimulationRunner:
     ``simulated == 0`` on a second run.
     """
 
+    #: How many slowest-task entries :meth:`telemetry` keeps.
+    SLOWEST_KEPT = 5
+
     def __init__(self, jobs: int = 1, cache_dir: str | os.PathLike | None = None):
         self.jobs = max(1, int(jobs))
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
@@ -243,6 +275,10 @@ class SimulationRunner:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
         self.simulated = 0
         self.cache_hits = 0
+        self.sim_wall_s = 0.0
+        self.workers: set[int] = set()
+        # Min-heap of (wall_s, label): the slowest simulations survive.
+        self._slowest: list[tuple[float, str]] = []
 
     def run(
         self,
@@ -259,30 +295,104 @@ class SimulationRunner:
 
     def run_tasks(self, tasks: Sequence[SimTask]) -> list[SimResult]:
         """All tasks' results, in task order."""
+        metrics = obs.get_metrics()
         results: list[SimResult | None] = [None] * len(tasks)
         misses: list[int] = []
-        for i, task in enumerate(tasks):
-            cached = self._cache_load(task)
-            if cached is not None:
-                results[i] = cached
-                self.cache_hits += 1
-            else:
-                misses.append(i)
-        if misses:
-            if self.jobs > 1 and len(misses) > 1:
-                with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-                    for i, result in zip(
-                        misses,
-                        pool.map(_run_sim_task, [tasks[i] for i in misses]),
-                    ):
-                        results[i] = result
-            else:
-                for i in misses:
-                    results[i] = _run_sim_task(tasks[i])
-            self.simulated += len(misses)
-            for i in misses:
-                self._cache_store(tasks[i], results[i])
+        with obs.span(
+            "runner.run_tasks", tasks=len(tasks), jobs=self.jobs
+        ) as sp:
+            for i, task in enumerate(tasks):
+                cached = self._cache_load(task)
+                if cached is not None:
+                    results[i] = cached
+                    self.cache_hits += 1
+                    metrics.counter("sim.cache.hits").inc()
+                    # Cached results never reached this process's
+                    # simulator, so their memory-system counters are
+                    # folded in here.
+                    cached.stats.record(metrics, prefix="machine")
+                    sp.event(
+                        "sim.task",
+                        task=task.label,
+                        cache_hit=True,
+                        wall_s=0.0,
+                        worker=os.getpid(),
+                    )
+                else:
+                    misses.append(i)
+            if misses:
+                pooled = self.jobs > 1 and len(misses) > 1
+                if pooled:
+                    with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                        timed = list(
+                            pool.map(
+                                _run_sim_task_timed,
+                                [tasks[i] for i in misses],
+                            )
+                        )
+                else:
+                    timed = [_run_sim_task_timed(tasks[i]) for i in misses]
+                self.simulated += len(misses)
+                for i, (result, wall_s, worker) in zip(misses, timed):
+                    results[i] = result
+                    self._cache_store(tasks[i], result)
+                    self._record_miss(tasks[i], result, wall_s, worker, sp)
+                    if pooled:
+                        # In-process simulations already recorded their
+                        # AccessStats inside simulate(); worker-process
+                        # registries die with the pool, so fold the
+                        # returned stats in here instead.
+                        result.stats.record(metrics, prefix="machine")
+            sp.set(simulated=len(misses), cache_hits=len(tasks) - len(misses))
+        _LOG.debug(
+            "run_tasks: %d tasks, %d simulated, %d cache hits",
+            len(tasks),
+            len(misses),
+            len(tasks) - len(misses),
+        )
         return results  # type: ignore[return-value]
+
+    def _record_miss(
+        self,
+        task: SimTask,
+        result: SimResult,
+        wall_s: float,
+        worker: int,
+        sp,
+    ) -> None:
+        metrics = obs.get_metrics()
+        metrics.counter("sim.cache.misses").inc()
+        metrics.histogram("sim.task.wall_s").observe(wall_s)
+        self.sim_wall_s += wall_s
+        self.workers.add(worker)
+        entry = (wall_s, task.label)
+        if len(self._slowest) < self.SLOWEST_KEPT:
+            heapq.heappush(self._slowest, entry)
+        else:
+            heapq.heappushpop(self._slowest, entry)
+        sp.event(
+            "sim.task",
+            task=task.label,
+            cache_hit=False,
+            wall_s=wall_s,
+            worker=worker,
+        )
+
+    def telemetry(self) -> dict:
+        """Aggregate cache/parallelism stats for reports and tests."""
+        total = self.simulated + self.cache_hits
+        return {
+            "simulated": self.simulated,
+            "cache_hits": self.cache_hits,
+            "tasks": total,
+            "hit_rate": (self.cache_hits / total) if total else None,
+            "sim_wall_s": self.sim_wall_s,
+            "workers": sorted(self.workers),
+            "slowest": [
+                {"task": label, "wall_s": wall_s}
+                for wall_s, label in sorted(self._slowest, reverse=True)
+            ],
+        }
 
     # -- the content-addressed cache ------------------------------------
 

@@ -59,6 +59,25 @@ class AccessStats:
             self.stall_cycles + other.stall_cycles,
         )
 
+    def record(self, metrics, prefix: str = "machine") -> None:
+        """Fold these counters into an obs metrics registry.
+
+        Every simulation (and the experiment harness, for results that
+        came back from worker processes or the cache) publishes its
+        :class:`AccessStats` through the same registry, so ``--profile``
+        shows the aggregate memory-system behaviour of a whole run.
+        """
+        for name, value in (
+            ("accesses", self.accesses),
+            ("l1_misses", self.l1_misses),
+            ("l2_misses", self.l2_misses),
+            ("tlb_misses", self.tlb_misses),
+            ("page_faults", self.page_faults),
+            ("writebacks", self.writebacks),
+            ("stall_cycles", self.stall_cycles),
+        ):
+            metrics.counter(f"{prefix}.{name}").inc(value)
+
 
 class MemoryHierarchy:
     """L1 + L2 + TLB + paged main memory."""

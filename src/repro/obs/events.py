@@ -1,0 +1,54 @@
+"""Deduplicated structured warnings.
+
+A hot path that degrades (a vectorization fallback, a cache that cannot
+be written) should tell the user *once*, count *every* occurrence, and
+leave a machine-readable record in the trace.  :func:`warn_once` does
+all three: the Python ``warnings.warn`` fires only for the first
+occurrence of a dedup key per process, while the metrics counter and the
+trace event fire every time — so ``repro-uov --profile`` and the trace
+still show the true tally.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Hashable, Type
+
+__all__ = ["warn_once", "reset_dedup", "seen_keys"]
+
+_SEEN: set[Hashable] = set()
+
+
+def warn_once(
+    key: Hashable,
+    message: str,
+    category: Type[Warning] = UserWarning,
+    *,
+    event: str = "warning",
+    counter: str | None = None,
+    stacklevel: int = 3,
+    **attrs,
+) -> bool:
+    """Structured warning: metrics + trace always, ``warnings.warn`` once.
+
+    Returns True when this call actually emitted the Python warning
+    (i.e. ``key`` was new to this process).
+    """
+    from repro import obs
+
+    obs.get_metrics().counter(counter or event).inc()
+    obs.event(event, key=str(key), message=message, **attrs)
+    if key in _SEEN:
+        return False
+    _SEEN.add(key)
+    warnings.warn(message, category, stacklevel=stacklevel)
+    return True
+
+
+def reset_dedup() -> None:
+    """Forget every dedup key (tests that assert on warnings)."""
+    _SEEN.clear()
+
+
+def seen_keys() -> frozenset:
+    return frozenset(_SEEN)

@@ -1,0 +1,211 @@
+"""Structured tracing: nested spans and events, serialized to JSONL.
+
+One :class:`Tracer` owns one trace file.  A *span* is a named interval
+with wall and CPU time plus free-form attributes; spans nest through a
+thread-local stack, so ``with obs.span("experiment.fig7"):`` inside
+``with obs.span("report.run_all"):`` records the parent/child edge
+without any explicit plumbing.  An *event* is a point-in-time record
+attached to the innermost open span (incumbent updates, cache hits,
+fallbacks).
+
+Records are one JSON object per line (JSONL), written as each span
+*closes* — children therefore precede parents in the file, and readers
+reconstruct the tree from ``id``/``parent`` fields, never from file
+order.  The first record is a ``meta`` header; :func:`shutdown` appends
+the final ``metrics`` record (the registry snapshot) before closing.
+
+Trace record schema (``schema: 1``, pinned by tests/obs/test_tracer.py):
+
+=========  ===========================================================
+``type``   fields
+=========  ===========================================================
+meta       ``schema, pid, program, start_unix``
+span       ``id, parent, name, t0, wall_s, cpu_s, attrs``
+event      ``name, parent, t, attrs``
+metrics    ``t, snapshot``
+=========  ===========================================================
+
+Times ``t0``/``t`` are seconds since the tracer's epoch
+(``perf_counter`` based, monotonic); ``start_unix`` anchors them to the
+wall clock.
+
+The default state is *disabled*: module-level :func:`span` /
+:func:`event` in :mod:`repro.obs` degrade to a shared no-op whose cost
+is one attribute load and one function call — benchmarked in
+``benchmarks/test_bench_obs.py`` so the instrumentation can stay in the
+hot paths permanently.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Any, IO, Optional
+
+__all__ = ["SCHEMA_VERSION", "NULL_SPAN", "Span", "Tracer"]
+
+SCHEMA_VERSION = 1
+
+
+class _NullSpan:
+    """The disabled-path span: every operation is a no-op.
+
+    A single shared instance is returned for every ``obs.span(...)``
+    call while tracing is off, so the hot-path cost is one branch — no
+    allocation, no time syscalls.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+    def event(self, name: str, **attrs: Any) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One live interval; records itself to the tracer when it exits."""
+
+    __slots__ = ("_tracer", "id", "parent", "name", "attrs", "_t0", "_cpu0")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        span_id: int,
+        parent: Optional[int],
+        name: str,
+        attrs: dict,
+    ) -> None:
+        self._tracer = tracer
+        self.id = span_id
+        self.parent = parent
+        self.name = name
+        self.attrs = attrs
+        self._t0 = 0.0
+        self._cpu0 = 0.0
+
+    def set(self, **attrs: Any) -> None:
+        """Attach attributes discovered mid-span (results, counts)."""
+        self.attrs.update(attrs)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """A point-in-time record parented to this span."""
+        self._tracer._write_event(name, self.id, attrs)
+
+    def __enter__(self) -> "Span":
+        self._tracer._push(self)
+        self._t0 = time.perf_counter()
+        self._cpu0 = time.process_time()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        wall = time.perf_counter() - self._t0
+        cpu = time.process_time() - self._cpu0
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._pop(self, wall, cpu)
+        return False
+
+
+class Tracer:
+    """Owns one JSONL sink and the open-span stack (one per thread)."""
+
+    def __init__(self, sink: IO[str], program: Optional[str] = None) -> None:
+        self._sink = sink
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._next_id = 0
+        self._epoch = time.perf_counter()
+        self._write(
+            {
+                "type": "meta",
+                "schema": SCHEMA_VERSION,
+                "pid": os.getpid(),
+                "program": program,
+                "start_unix": time.time(),
+            }
+        )
+
+    # -- public API ------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        return Span(self, span_id, self._current_id(), name, attrs)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        self._write_event(name, self._current_id(), attrs)
+
+    def finish(self, snapshot: Optional[dict] = None) -> None:
+        """Append the closing ``metrics`` record and flush the sink."""
+        if snapshot is not None:
+            self._write(
+                {"type": "metrics", "t": self._now(), "snapshot": snapshot}
+            )
+        self._sink.flush()
+
+    # -- plumbing --------------------------------------------------------
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _current_id(self) -> Optional[int]:
+        stack = self._stack()
+        return stack[-1].id if stack else None
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._epoch
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: Span, wall: float, cpu: float) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        self._write(
+            {
+                "type": "span",
+                "id": span.id,
+                "parent": span.parent,
+                "name": span.name,
+                "t0": self._now() - wall,
+                "wall_s": wall,
+                "cpu_s": cpu,
+                "attrs": span.attrs,
+            }
+        )
+
+    def _write_event(
+        self, name: str, parent: Optional[int], attrs: dict
+    ) -> None:
+        self._write(
+            {
+                "type": "event",
+                "name": name,
+                "parent": parent,
+                "t": self._now(),
+                "attrs": attrs,
+            }
+        )
+
+    def _write(self, record: dict) -> None:
+        line = json.dumps(record, sort_keys=True, default=str)
+        with self._lock:
+            self._sink.write(line + "\n")

@@ -21,6 +21,9 @@ def _snapshot(result):
         result.nodes_visited,
         result.nodes_pushed,
         result.candidates,
+        result.nodes_pruned,
+        tuple(sorted(result.prunes.items())),
+        result.incumbent_history,
     )
 
 
@@ -35,6 +38,23 @@ def test_storage_objective_repeats_exactly():
     isg = Polytope([(1, 1), (1, 6), (10, 9), (10, 4)])
     runs = [_snapshot(find_optimal_uov(stencil, isg=isg)) for _ in range(3)]
     assert runs[0] == runs[1] == runs[2]
+
+
+def test_prunes_and_history_are_pinned():
+    # Concrete values for the Figure 1 stencil: a changed expansion
+    # order, prune rule, or history bookkeeping shows up here first.
+    result = find_optimal_uov(Stencil([(1, 0), (0, 1), (1, 1)]))
+    assert result.prunes == {
+        "phi-bound": 19,
+        "length-cap": 0,
+        "visited": 1,
+    }
+    assert result.nodes_pruned == 20
+    assert [(u.ov, u.node) for u in result.incumbent_history] == [
+        ((2, 2), 0),
+        ((1, 1), 4),
+    ]
+    assert result.incumbent_history[-1].ov == result.ov
 
 
 def test_budgeted_search_repeats_exactly():

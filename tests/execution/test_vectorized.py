@@ -30,6 +30,16 @@ SIZES = {
     "jacobi": {"T": 8, "L": 11},
 }
 
+
+@pytest.fixture(autouse=True)
+def _fresh_warning_dedup():
+    """Fallback warnings deduplicate per process; tests want them fresh."""
+    from repro import obs
+
+    obs.reset_dedup()
+    yield
+    obs.reset_dedup()
+
 ALL_VERSIONS = [
     pytest.param(code_name, key, id=f"{code_name}-{key}")
     for code_name, maker in MAKERS.items()
@@ -103,6 +113,21 @@ class TestFallback:
         v = MAKERS["psm"]()["natural"]
         with pytest.raises(ValueError, match="cannot vectorize"):
             execute_vectorized(v, SIZES["psm"], fallback=False)
+
+    def test_fallback_warning_deduplicates_but_counts(self):
+        # One Python warning per (code, schedule) pair per process; the
+        # metrics counter still sees every occurrence.
+        from repro import obs
+
+        v = MAKERS["psm"]()["natural"]
+        before = obs.get_metrics().counter("vectorized.fallbacks").value
+        with pytest.warns(VectorizationFallback):
+            execute_vectorized(v, SIZES["psm"])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", VectorizationFallback)
+            execute_vectorized(v, SIZES["psm"])  # deduplicated: no raise
+        after = obs.get_metrics().counter("vectorized.fallbacks").value
+        assert after == before + 2
 
     def test_code_without_batched_combine_warns(self):
         v = MAKERS["stencil5"]()["ov"]

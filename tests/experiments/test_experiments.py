@@ -86,3 +86,49 @@ class TestHarnessPieces:
     def test_claim_str(self):
         assert "[PASS] yes" in str(Claim("yes", True))
         assert "[FAIL] no (why)" in str(Claim("no", False, "why"))
+
+
+class TestTelemetryAppendix:
+    @staticmethod
+    def _result(name, sims, hits):
+        r = ExperimentResult(experiment=name, title=name, mode="quick")
+        r.telemetry = {
+            "simulated": sims,
+            "cache_hits": hits,
+            "elapsed_s": 0.5,
+        }
+        return r
+
+    def test_appendix_reports_per_figure_counts_and_hit_rate(self):
+        from repro.experiments.harness import SimulationRunner
+        from repro.experiments.report import telemetry_appendix
+
+        results = [self._result("fig7", 12, 0), self._result("fig8", 0, 9)]
+        runner = SimulationRunner()
+        runner.simulated, runner.cache_hits = 12, 9
+        text = telemetry_appendix(
+            results, runner=runner, trace_path="/tmp/t.jsonl"
+        )
+        assert "## Telemetry" in text
+        assert "| fig7" in text and "| 0%" in text.replace("  ", " ")
+        assert "| fig8" in text and "100%" in text
+        assert "cache hit rate" in text
+        assert "vectorization fallbacks" in text
+        assert "`/tmp/t.jsonl`" in text
+
+    def test_hit_rate_formatting(self):
+        from repro.experiments.report import _pct
+
+        assert _pct(0, 0) == "n/a"
+        assert _pct(0, 7) == "0%"
+        assert _pct(7, 7) == "100%"
+        assert _pct(1, 3) == "33.3%"
+
+    def test_write_report_always_appends_the_appendix(self, tmp_path):
+        from repro.experiments.report import write_report
+
+        out = tmp_path / "EXPERIMENTS.md"
+        write_report(
+            [self._result("fig7", 3, 1)], str(out), "quick", elapsed=1.0
+        )
+        assert "## Telemetry" in out.read_text()

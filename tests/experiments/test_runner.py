@@ -76,6 +76,56 @@ class TestRunner:
         assert parallel == serial
 
 
+class TestTelemetry:
+    def test_counts_hits_misses_and_wall_time(self, version, tmp_path):
+        runner = SimulationRunner(cache_dir=tmp_path)
+        task = SimTask.of(version, SIZES, MACHINE)
+        runner.run_tasks([task])
+        runner.run_tasks([task])  # second batch hits the cache
+        t = runner.telemetry()
+        assert t["simulated"] == 1 and t["cache_hits"] == 1
+        assert t["tasks"] == 2 and t["hit_rate"] == 0.5
+        assert t["sim_wall_s"] > 0
+        assert t["workers"]  # the in-process "worker" counts
+        (slowest,) = t["slowest"]
+        assert slowest["task"] == task.label
+        assert slowest["wall_s"] == pytest.approx(t["sim_wall_s"])
+
+    def test_empty_runner_telemetry(self):
+        t = SimulationRunner().telemetry()
+        assert t["tasks"] == 0 and t["hit_rate"] is None
+        assert t["slowest"] == []
+
+    def test_slowest_keeps_a_bounded_top_k(self, version, tmp_path):
+        runner = SimulationRunner(cache_dir=tmp_path)
+        tasks = [
+            SimTask.of(version, {"T": 6, "L": length}, MACHINE)
+            for length in range(8, 8 + 4 * (runner.SLOWEST_KEPT + 2), 4)
+        ]
+        runner.run_tasks(tasks)
+        t = runner.telemetry()
+        assert len(t["slowest"]) == runner.SLOWEST_KEPT
+        walls = [entry["wall_s"] for entry in t["slowest"]]
+        assert walls == sorted(walls, reverse=True)
+
+    def test_task_label_is_human_readable(self, version):
+        task = SimTask.of(version, SIZES, MACHINE)
+        assert task.label == f"stencil5/ov L=24,T=6 @{MACHINE.name}"
+
+    def test_machine_stats_reach_the_metrics_registry(self, version):
+        from repro import obs
+
+        obs.reset_metrics()
+        try:
+            SimulationRunner().run(version, SIZES, MACHINE)
+            counters = obs.get_metrics().snapshot()["counters"]
+            assert counters["simulate.runs"] == 1
+            assert counters["machine.accesses"] > 0
+            assert counters["sim.cache.misses"] == 1
+        finally:
+            obs.reset_metrics()
+
+
 class TestTaskKey:
     def test_key_ignores_sizes_insertion_order(self, version):
         runner = SimulationRunner()

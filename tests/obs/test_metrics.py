@@ -1,0 +1,94 @@
+"""The metrics registry: instruments, snapshot round-trip, rendering."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import Metrics
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+class TestInstruments:
+    def test_counter_create_or_get(self):
+        m = Metrics()
+        m.counter("a").inc()
+        m.counter("a").inc(4)
+        assert m.counter("a").value == 5
+
+    def test_gauge_last_write_wins(self):
+        m = Metrics()
+        m.gauge("g").set(3)
+        m.gauge("g").set(1.5)
+        assert m.gauge("g").value == 1.5
+
+    def test_histogram_streaming_summary(self):
+        m = Metrics()
+        h = m.histogram("h")
+        h.observe_many([4, 1, 7])
+        assert (h.count, h.total, h.min, h.max) == (3, 12.0, 1.0, 7.0)
+        assert h.mean == 4.0
+
+    def test_empty_histogram_mean_is_zero(self):
+        assert Metrics().histogram("h").mean == 0.0
+
+
+class TestSnapshot:
+    def test_round_trips_through_json(self):
+        m = Metrics()
+        m.counter("search.nodes").inc(10)
+        m.gauge("queue.depth").set(3)
+        m.histogram("batch").observe_many([2.0, 8.0])
+        snap = m.snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+        assert snap["counters"] == {"search.nodes": 10}
+        assert snap["gauges"] == {"queue.depth": 3.0}
+        assert snap["histograms"]["batch"] == {
+            "count": 2,
+            "sum": 10.0,
+            "min": 2.0,
+            "max": 8.0,
+            "mean": 5.0,
+        }
+
+    def test_empty_histogram_serializes_without_infinities(self):
+        m = Metrics()
+        m.histogram("h")
+        snap = m.snapshot()
+        assert snap["histograms"]["h"]["min"] is None
+        assert snap["histograms"]["h"]["max"] is None
+        json.dumps(snap)  # must be valid JSON (no inf)
+
+    def test_reset_clears_everything(self):
+        m = Metrics()
+        m.counter("c").inc()
+        m.reset()
+        assert m.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+
+class TestGlobalRegistry:
+    def test_get_metrics_is_process_wide(self):
+        obs.get_metrics().counter("x").inc()
+        assert obs.get_metrics().snapshot()["counters"]["x"] == 1
+
+    def test_render_names_every_instrument(self):
+        m = obs.get_metrics()
+        m.counter("c.one").inc(2)
+        m.gauge("g.one").set(9)
+        m.histogram("h.one").observe(3)
+        text = obs.render_profile()
+        for name in ("c.one", "g.one", "h.one"):
+            assert name in text
+
+    def test_render_when_empty(self):
+        assert "no metrics" in obs.render_profile()

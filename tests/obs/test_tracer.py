@@ -1,0 +1,139 @@
+"""The tracer: span nesting, timing, JSONL schema, no-op default."""
+
+import io
+import json
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs.tracer import NULL_SPAN, SCHEMA_VERSION, Tracer
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+def _records(sink: io.StringIO) -> list[dict]:
+    return [json.loads(line) for line in sink.getvalue().splitlines()]
+
+
+class TestSpans:
+    def test_nesting_links_parent_ids(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink, program="test")
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        records = _records(sink)
+        spans = {r["name"]: r for r in records if r["type"] == "span"}
+        assert spans["inner"]["parent"] == outer.id
+        assert spans["outer"]["parent"] is None
+        assert inner.id != outer.id
+        # Children close first, so they precede parents in the file.
+        names = [r["name"] for r in records if r["type"] == "span"]
+        assert names == ["inner", "outer"]
+
+    def test_wall_time_contains_children(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                time.sleep(0.01)
+        spans = {r["name"]: r for r in _records(sink) if r["type"] == "span"}
+        assert spans["inner"]["wall_s"] >= 0.009
+        assert spans["outer"]["wall_s"] >= spans["inner"]["wall_s"]
+
+    def test_events_attach_to_innermost_span(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink)
+        tracer.event("orphan")
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                tracer.event("deep", k=1)
+            outer.event("explicit")
+        events = {r["name"]: r for r in _records(sink) if r["type"] == "event"}
+        assert events["orphan"]["parent"] is None
+        assert events["deep"]["parent"] == inner.id
+        assert events["deep"]["attrs"] == {"k": 1}
+        assert events["explicit"]["parent"] == outer.id
+
+    def test_mid_span_attributes_and_errors(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink)
+        with pytest.raises(RuntimeError):
+            with tracer.span("job", phase="setup") as sp:
+                sp.set(items=3)
+                raise RuntimeError("boom")
+        (span,) = [r for r in _records(sink) if r["type"] == "span"]
+        assert span["attrs"] == {
+            "phase": "setup",
+            "items": 3,
+            "error": "RuntimeError",
+        }
+
+
+class TestSchema:
+    """Record shapes are a contract with trace-summary and external
+    tooling: key sets are pinned here and only grow with a schema bump."""
+
+    def test_record_key_sets_are_stable(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink, program="schema-test")
+        with tracer.span("s", a=1):
+            tracer.event("e")
+        tracer.finish({"counters": {}, "gauges": {}, "histograms": {}})
+        by_type = {r["type"]: r for r in _records(sink)}
+        assert set(by_type) == {"meta", "span", "event", "metrics"}
+        assert set(by_type["meta"]) == {
+            "type", "schema", "pid", "program", "start_unix",
+        }
+        assert by_type["meta"]["schema"] == SCHEMA_VERSION
+        assert set(by_type["span"]) == {
+            "type", "id", "parent", "name", "t0", "wall_s", "cpu_s", "attrs",
+        }
+        assert set(by_type["event"]) == {"type", "name", "parent", "t", "attrs"}
+        assert set(by_type["metrics"]) == {"type", "t", "snapshot"}
+
+    def test_non_json_attrs_are_stringified(self):
+        sink = io.StringIO()
+        tracer = Tracer(sink)
+        with tracer.span("s", where=complex(1, 2)):
+            pass
+        (span,) = [r for r in _records(sink) if r["type"] == "span"]
+        assert span["attrs"]["where"] == "(1+2j)"
+
+
+class TestModuleLevelLifecycle:
+    def test_disabled_by_default_returns_the_null_span(self):
+        assert not obs.enabled()
+        assert obs.span("anything", k=1) is NULL_SPAN
+        with obs.span("nested") as sp:
+            sp.set(a=1)
+            sp.event("e")
+        obs.event("dropped")  # must not raise
+
+    def test_configure_writes_and_shutdown_appends_snapshot(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        obs.configure(trace_path=str(path), program="unit")
+        assert obs.enabled()
+        with obs.span("top"):
+            obs.get_metrics().counter("unit.count").inc(7)
+        obs.shutdown()
+        assert not obs.enabled()
+        records = [json.loads(l) for l in path.read_text().splitlines()]
+        assert [r["type"] for r in records] == ["meta", "span", "metrics"]
+        assert records[-1]["snapshot"]["counters"]["unit.count"] == 7
+
+    def test_reconfigure_closes_the_previous_sink(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        obs.configure(trace_path=str(a))
+        obs.configure(trace_path=str(b))
+        with obs.span("only-in-b"):
+            pass
+        obs.shutdown()
+        assert "only-in-b" not in a.read_text()
+        assert "only-in-b" in b.read_text()

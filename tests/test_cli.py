@@ -90,6 +90,57 @@ class TestParsing:
             main(["find"])  # missing required argument
 
 
+class TestObservability:
+    def test_find_prints_prunes_and_incumbent_history(self, capsys):
+        assert main(["find", "--stencil", "1,0;0,1;1,1"]) == 0
+        out = capsys.readouterr().out
+        assert "pruned:" in out and "phi-bound=" in out
+        assert "incumbents:  (2, 2)@node0 -> (1, 1)@node4" in out
+
+    def test_find_trace_round_trips_through_trace_summary(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        from repro import obs
+
+        obs.reset()
+        path = tmp_path / "t.jsonl"
+        assert (
+            main(["find", "--stencil", "1,0;0,1;1,1", "--trace", str(path)])
+            == 0
+        )
+        capsys.readouterr()
+        records = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        assert records[0]["type"] == "meta"
+        assert records[-1]["type"] == "metrics"
+        counters = records[-1]["snapshot"]["counters"]
+        assert counters["search.pruned.phi_bound"] > 0
+        assert any(
+            r["type"] == "event" and r["name"] == "search.incumbent"
+            for r in records
+        )
+
+        assert main(["trace-summary", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "search.find_optimal_uov" in out
+        assert "search.incumbent" in out
+        assert "search.pruned.phi_bound" in out
+
+    def test_profile_prints_metrics_to_stderr(self, capsys):
+        assert main(["find", "--stencil", "1,0;0,1;1,1", "--profile"]) == 0
+        err = capsys.readouterr().err
+        assert "-- metrics --" in err and "search.nodes_visited" in err
+
+    def test_bad_log_level_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            main(
+                ["find", "--stencil", "1,0;0,1;1,1", "--log-level", "nope"]
+            )
+
+
 class TestCommon:
     def test_shared_uov_found(self, capsys):
         assert (
