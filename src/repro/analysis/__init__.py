@@ -9,18 +9,33 @@
 - :mod:`repro.analysis.liveness` — dynamic ground truth: is a *storage
   mapping* legal under a concrete schedule (no value overwritten while
   still needed).
+- :mod:`repro.analysis.certify` — static UOV certification: a
+  machine-checkable certificate or a replayable counterexample schedule.
+- :mod:`repro.analysis.races` — static storage-race detection for any
+  mapping over a concrete ISG, without enumerating schedules.
+- :mod:`repro.analysis.fuzz` — differential fuzzing of static verdicts
+  against the dynamic checkers over sampled random legal schedules.
+- :mod:`repro.analysis.diag` / :mod:`repro.analysis.passes` — the
+  structured-findings engine and the pass registry behind ``repro lint``.
 """
 
+from repro.analysis.certify import (
+    UOVCertificate,
+    UOVCounterexample,
+    certify,
+)
 from repro.analysis.dependence import (
     consumer_distances,
     extract_stencil,
     flow_distances,
 )
+from repro.analysis.diag import Diagnostics, Finding, Severity
 from repro.analysis.legality import (
     check_uov_applicability,
     is_schedule_legal,
 )
 from repro.analysis.liveness import is_mapping_legal
+from repro.analysis.races import StorageRace, find_storage_races
 from repro.analysis.regions import RegionSummary, analyse_regions
 
 __all__ = [
@@ -32,4 +47,12 @@ __all__ = [
     "is_schedule_legal",
     "check_uov_applicability",
     "is_mapping_legal",
+    "certify",
+    "UOVCertificate",
+    "UOVCounterexample",
+    "StorageRace",
+    "find_storage_races",
+    "Severity",
+    "Finding",
+    "Diagnostics",
 ]

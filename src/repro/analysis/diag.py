@@ -1,0 +1,175 @@
+"""Structured lint diagnostics: findings, severities, renderers.
+
+The static analyses report through this engine rather than printing or
+raising: every observation becomes a :class:`Finding` with a stable code
+(``UOV001``, ``RACE002``, ...), a severity, the subject it concerns
+(``stencil5/ov``), a human message, and an optional fix hint plus
+machine-readable ``data``.  A :class:`Diagnostics` collection renders as
+terminal text or as JSON (the artifact CI uploads), mirrors every finding
+into the obs metrics registry as ``lint.findings.<code>`` counters, and
+computes the ``--fail-on`` exit-code contract:
+
+- exit 0 — no finding at or above the threshold severity;
+- exit 1 — at least one finding at/above the threshold;
+- exit 2 — usage error (unknown code, unreadable output path), raised
+  before any findings are produced.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping, Optional
+
+from repro.obs.metrics import Metrics, get_metrics
+
+__all__ = ["Severity", "Finding", "Diagnostics"]
+
+#: Schema version of the JSON findings artifact.
+DIAG_SCHEMA_VERSION = 1
+
+
+class Severity(enum.IntEnum):
+    """Ordered severities; comparisons follow the integer values."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls[text.upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {text!r}; one of "
+                f"{[s.name.lower() for s in cls]}"
+            ) from None
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: what was found, where, how bad, how to fix it."""
+
+    code: str
+    severity: Severity
+    subject: str
+    message: str
+    fix_hint: Optional[str] = None
+    data: Mapping[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        record = {
+            "code": self.code,
+            "severity": str(self.severity),
+            "subject": self.subject,
+            "message": self.message,
+        }
+        if self.fix_hint is not None:
+            record["fix_hint"] = self.fix_hint
+        if self.data:
+            record["data"] = dict(self.data)
+        return record
+
+    def render(self) -> str:
+        line = f"{self.severity!s:<7} {self.code:<8} {self.subject}: {self.message}"
+        if self.fix_hint:
+            line += f"\n        hint: {self.fix_hint}"
+        return line
+
+
+class Diagnostics:
+    """An append-only collection of findings with renderers and metrics.
+
+    Every ``add``/``emit`` bumps ``lint.findings`` plus the per-code and
+    per-severity counters, so CI dashboards can gate on
+    ``lint.findings.RACE001`` without parsing the report.
+    """
+
+    def __init__(self, metrics: Optional[Metrics] = None):
+        self._findings: list[Finding] = []
+        self._metrics = metrics if metrics is not None else get_metrics()
+
+    # -- collection -------------------------------------------------------
+
+    def add(self, finding: Finding) -> Finding:
+        self._findings.append(finding)
+        self._metrics.counter("lint.findings").inc()
+        self._metrics.counter(f"lint.findings.{finding.code}").inc()
+        self._metrics.counter(f"lint.severity.{finding.severity}").inc()
+        return finding
+
+    def emit(
+        self,
+        code: str,
+        severity: Severity,
+        subject: str,
+        message: str,
+        fix_hint: Optional[str] = None,
+        **data: Any,
+    ) -> Finding:
+        return self.add(
+            Finding(code, severity, subject, message, fix_hint, data)
+        )
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def findings(self) -> tuple[Finding, ...]:
+        return tuple(self._findings)
+
+    def __len__(self) -> int:
+        return len(self._findings)
+
+    def __iter__(self) -> Iterator[Finding]:
+        return iter(self._findings)
+
+    def count(self, severity: Severity) -> int:
+        return sum(1 for f in self._findings if f.severity == severity)
+
+    def max_severity(self) -> Optional[Severity]:
+        if not self._findings:
+            return None
+        return max(f.severity for f in self._findings)
+
+    def exit_code(self, fail_on: Severity = Severity.ERROR) -> int:
+        """The ``--fail-on`` contract: 1 iff any finding reaches the bar."""
+        worst = self.max_severity()
+        return 1 if worst is not None and worst >= fail_on else 0
+
+    # -- renderers ---------------------------------------------------------
+
+    def summary(self) -> str:
+        parts = []
+        for severity in (Severity.ERROR, Severity.WARNING, Severity.INFO):
+            n = self.count(severity)
+            if n:
+                plural = "" if n == 1 else "s"
+                parts.append(f"{n} {severity}{plural}")
+        if not parts:
+            return "clean: no findings"
+        return ", ".join(parts) + f" ({len(self._findings)} findings)"
+
+    def render_text(self) -> str:
+        lines = [f.render() for f in self._findings]
+        lines.append(self.summary())
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        return {
+            "schema": DIAG_SCHEMA_VERSION,
+            "findings": [f.to_json() for f in self._findings],
+            "summary": {
+                "total": len(self._findings),
+                "errors": self.count(Severity.ERROR),
+                "warnings": self.count(Severity.WARNING),
+                "infos": self.count(Severity.INFO),
+            },
+        }
+
+    def render_json(self) -> str:
+        return json.dumps(self.to_json(), indent=2, sort_keys=False)

@@ -1,0 +1,191 @@
+"""Differential fuzzing: static verdicts vs. the dynamic checkers.
+
+The static subsystem makes universally-quantified claims ("safe under
+*every* legal schedule") that no finite test run can fully confirm — but
+any single disagreement with the dynamic ground truth falsifies it.  This
+module runs that adversarial comparison:
+
+- a **certificate** (static-safe) must survive every sampled random legal
+  schedule: a single dynamic
+  :class:`~repro.analysis.liveness.MappingViolation` is a disagreement;
+- a **counterexample** (static-unsafe) must *replay*: its constructed
+  schedule fragment must produce a real violation in the dynamic checker,
+  otherwise the refutation is vacuous and counts as a disagreement;
+- a mapping the race detector calls **clean** over a region must likewise
+  survive every sampled schedule (the race detector's no-races result is
+  a schedule-independence proof for that region).
+
+Sampling uses :func:`repro.schedule.random_legal.sample_legal_orders`
+with a fixed seed, so a failing report is reproducible from the tuple it
+records.  Totals land in the metrics registry (``lint.fuzz.samples`` /
+``lint.fuzz.disagreements``) so CI can assert the fuzz actually ran.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.analysis.certify import (
+    UOVCertificate,
+    UOVCounterexample,
+    certify,
+    ov_mapping_for,
+)
+from repro.analysis.liveness import find_mapping_violation
+from repro.analysis.races import find_storage_races
+from repro.core.stencil import Stencil
+from repro.mapping.base import StorageMapping
+from repro.obs.metrics import get_metrics
+from repro.schedule.random_legal import sample_legal_orders
+from repro.util.polyhedron import Polytope
+
+__all__ = ["FuzzReport", "differential_fuzz_uov", "differential_fuzz_mapping"]
+
+
+@dataclass(frozen=True)
+class FuzzReport:
+    """Outcome of one static-vs-dynamic comparison."""
+
+    subject: str
+    verdict: str  # "universal" | "rejected" | "clean" | "racy"
+    samples: int
+    seed: int
+    disagreements: tuple[str, ...] = ()
+    counterexample_replayed: Optional[bool] = None
+    #: How many sampled schedules dynamically violated the mapping
+    #: (informational; only a bug when the static verdict was safe).
+    dynamic_violations: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.disagreements
+
+    def __str__(self) -> str:
+        status = "agree" if self.ok else "DISAGREE"
+        return (
+            f"{self.subject}: static={self.verdict} vs {self.samples} "
+            f"sampled schedules -> {status}"
+            + (
+                f" ({len(self.disagreements)} disagreements)"
+                if self.disagreements
+                else ""
+            )
+        )
+
+
+def _record(report: FuzzReport) -> FuzzReport:
+    metrics = get_metrics()
+    metrics.counter("lint.fuzz.samples").inc(report.samples)
+    metrics.counter("lint.fuzz.disagreements").inc(len(report.disagreements))
+    return report
+
+
+def differential_fuzz_uov(
+    ov: Sequence[int],
+    stencil: Stencil,
+    bounds: Sequence[tuple[int, int]],
+    samples: int = 50,
+    seed: int = 0,
+    backend: str = "dfs",
+) -> FuzzReport:
+    """Cross-validate ``certify(ov, stencil)`` against sampled schedules."""
+    subject = f"ov={tuple(ov)} stencil={list(stencil.vectors)}"
+    result = certify(ov, stencil, backend=backend)
+    bounds = tuple((int(lo), int(hi)) for lo, hi in bounds)
+    disagreements: list[str] = []
+
+    if isinstance(result, UOVCounterexample):
+        replay = result.replay() if result.replayable else None
+        replayed = replay is not None
+        if not replayed:
+            disagreements.append(
+                "static counterexample did not replay to a dynamic "
+                f"violation (failing vector {result.failing_vector})"
+            )
+        # Informational: how often random schedules trip over the bad OV.
+        mapping = ov_mapping_for(ov, Polytope.from_loop_bounds(bounds))
+        hits = sum(
+            1
+            for order in sample_legal_orders(stencil, bounds, samples, seed)
+            if find_mapping_violation(mapping, stencil, order) is not None
+        )
+        return _record(
+            FuzzReport(
+                subject,
+                "rejected",
+                samples,
+                seed,
+                tuple(disagreements),
+                counterexample_replayed=replayed,
+                dynamic_violations=hits,
+            )
+        )
+
+    assert isinstance(result, UOVCertificate)
+    mapping = ov_mapping_for(ov, Polytope.from_loop_bounds(bounds))
+    hits = 0
+    for k, order in enumerate(
+        sample_legal_orders(stencil, bounds, samples, seed)
+    ):
+        violation = find_mapping_violation(mapping, stencil, order)
+        if violation is not None:
+            hits += 1
+            disagreements.append(
+                f"certified UOV dynamically violated by sampled schedule "
+                f"#{k}: {violation}"
+            )
+    return _record(
+        FuzzReport(
+            subject,
+            "universal",
+            samples,
+            seed,
+            tuple(disagreements),
+            dynamic_violations=hits,
+        )
+    )
+
+
+def differential_fuzz_mapping(
+    mapping: StorageMapping,
+    stencil: Stencil,
+    bounds: Sequence[tuple[int, int]],
+    samples: int = 50,
+    seed: int = 0,
+) -> FuzzReport:
+    """Cross-validate the race detector's verdict for one mapping.
+
+    ``clean`` (no races) is a schedule-independence claim and must survive
+    every sample; ``racy`` mappings are allowed — expected, even — to
+    violate some sampled schedules, so only the clean direction can
+    disagree.
+    """
+    subject = f"{mapping!r}"
+    bounds = tuple((int(lo), int(hi)) for lo, hi in bounds)
+    region = Polytope.from_loop_bounds(bounds)
+    races = find_storage_races(mapping, stencil, region, limit=1)
+    verdict = "racy" if races else "clean"
+    disagreements: list[str] = []
+    hits = 0
+    for k, order in enumerate(
+        sample_legal_orders(stencil, bounds, samples, seed)
+    ):
+        violation = find_mapping_violation(mapping, stencil, order)
+        if violation is not None:
+            hits += 1
+            if verdict == "clean":
+                disagreements.append(
+                    f"race-free mapping dynamically violated by sampled "
+                    f"schedule #{k}: {violation}"
+                )
+    return _record(
+        FuzzReport(
+            subject,
+            verdict,
+            samples,
+            seed,
+            tuple(disagreements),
+            dynamic_violations=hits,
+        )
+    )

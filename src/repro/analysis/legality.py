@@ -26,17 +26,47 @@ __all__ = ["is_schedule_legal", "check_uov_applicability", "ApplicabilityReport"
 def is_schedule_legal(
     order: Iterable[Sequence[int]],
     stencil: Stencil,
+    bounds: "Sequence[tuple[int, int]] | None" = None,
 ) -> bool:
     """Does the execution order respect every value dependence?
 
     ``order`` must enumerate exactly the iteration points of the (reduced)
     ISG.  Points whose producer lies outside the enumerated set read loop
     inputs and constrain nothing.
+
+    When ``bounds`` (inclusive per-dimension ``(lo, hi)`` pairs) is given,
+    the order is additionally required to enumerate *every* point of that
+    box: a schedule that silently drops points would vacuously satisfy the
+    dependence check while not being a schedule of the loop at all, so an
+    incomplete or out-of-box enumeration raises ``ValueError`` instead of
+    passing.
     """
     points = [as_vector(p) for p in order]
     position = {p: t for t, p in enumerate(points)}
     if len(position) != len(points):
         raise ValueError("schedule visits a point twice")
+    if bounds is not None:
+        import itertools
+
+        expected = {
+            tuple(p)
+            for p in itertools.product(
+                *[range(lo, hi + 1) for lo, hi in bounds]
+            )
+        }
+        missing = expected - position.keys()
+        if missing:
+            raise ValueError(
+                f"schedule enumerates {len(position)} of {len(expected)} "
+                f"ISG points implied by the bounds; missing e.g. "
+                f"{sorted(missing)[:3]}"
+            )
+        extra = position.keys() - expected
+        if extra:
+            raise ValueError(
+                f"schedule visits {len(extra)} points outside the ISG "
+                f"bounds, e.g. {sorted(extra)[:3]}"
+            )
     for q in points:
         tq = position[q]
         for v in stencil.vectors:

@@ -1,0 +1,207 @@
+"""Static storage-race detection for arbitrary mappings and stencils.
+
+The certificate checker (:mod:`repro.analysis.certify`) decides the
+special case "is this occupancy vector universal".  This module answers
+the general question for *any* :class:`~repro.mapping.base.StorageMapping`
+— rolling buffers, padded layouts, natural arrays — over a concrete ISG:
+
+    are there two iterations ``p != q`` with ``SM(p) = SM(q)`` whose live
+    ranges can overlap under **some** legal schedule?
+
+No schedules are enumerated.  The value of ``p`` is guaranteed dead by
+the time ``q`` writes, *in every legal schedule*, iff ``p`` and each of
+its in-region consumers ``p + vi`` are forced before ``q`` by chains of
+value dependences — i.e. they lie in the region-restricted
+``DONE(V, q)`` (``q`` itself counts: reads precede the write within one
+iteration).  A colliding pair is race-free iff that deadness holds in at
+least one direction; otherwise some legal interleaving clobbers a live
+value, and :func:`race_witness` will construct (or sample) a concrete
+schedule demonstrating it.
+
+The region restriction keeps the check *sound*: ``DONE`` is computed by
+walking dependence vectors backwards inside the region
+(:func:`repro.core.cone.done_set`), so a dependence chain that would have
+to leave the ISG is never credited with forcing an order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.analysis.liveness import MappingViolation, find_mapping_violation
+from repro.core.cone import done_set
+from repro.core.stencil import Stencil
+from repro.mapping.base import StorageMapping
+from repro.util.polyhedron import Polytope
+from repro.util.vectors import IntVector, add, dot, sub
+
+__all__ = [
+    "StorageRace",
+    "ForcedBeforeIndex",
+    "find_storage_races",
+    "race_witness",
+    "region_points",
+]
+
+
+def region_points(region: Polytope) -> list[IntVector]:
+    """The integer points of a polytope region, in lexicographic order."""
+    import itertools
+
+    lower, upper = region.bounding_box()
+    return [
+        tuple(p)
+        for p in itertools.product(
+            *[range(lo, hi + 1) for lo, hi in zip(lower, upper)]
+        )
+        if region.contains(p)
+    ]
+
+
+@dataclass(frozen=True)
+class StorageRace:
+    """A colliding iteration pair unordered by value dependences.
+
+    ``first``/``second`` share ``location``; neither point's value is
+    provably dead before the other's write under every legal schedule.
+    ``blocker`` names the evidence against the ``first``-dies-first
+    direction: the consumer of ``first`` (or ``first`` itself) that is
+    not forced before ``second``.
+    """
+
+    first: IntVector
+    second: IntVector
+    location: int
+    blocker: IntVector
+
+    def __str__(self) -> str:
+        return (
+            f"iterations {self.first} and {self.second} share location "
+            f"{self.location} but no dependence orders "
+            f"{self.blocker} before {self.second}: some legal schedule "
+            f"clobbers a live value"
+        )
+
+
+class ForcedBeforeIndex:
+    """Memoised region-restricted ``DONE`` sets, shared across pair checks.
+
+    The race scan asks for ``DONE(V, q)`` once per distinct second point
+    of a colliding pair; on dense collision groups the same ``q`` recurs
+    for every partner, so the memo turns a quadratic number of BFS walks
+    into one per point.
+    """
+
+    def __init__(self, stencil: Stencil, region: Polytope):
+        self._stencil = stencil
+        self._region = region
+        self._cache: dict[IntVector, frozenset[IntVector]] = {}
+
+    def done(self, q: IntVector) -> frozenset[IntVector]:
+        cached = self._cache.get(q)
+        if cached is None:
+            cached = frozenset(done_set(self._stencil, q, self._region))
+            self._cache[q] = cached
+        return cached
+
+    def dead_before(
+        self,
+        p: IntVector,
+        q: IntVector,
+        points: "set[IntVector] | frozenset[IntVector]",
+    ) -> Optional[IntVector]:
+        """``None`` when ``p``'s value is dead before ``q`` writes in every
+        legal schedule; otherwise the blocking point (``p`` itself or a
+        consumer of ``p`` not forced before ``q``)."""
+        done = self.done(q)
+        if p not in done:
+            return p
+        for v in self._stencil.vectors:
+            consumer = add(p, v)
+            if consumer in points and consumer not in done:
+                return consumer
+        return None
+
+
+def find_storage_races(
+    mapping: StorageMapping,
+    stencil: Stencil,
+    region: Polytope,
+    limit: Optional[int] = None,
+) -> list[StorageRace]:
+    """All racy colliding pairs of ``mapping`` over ``region``.
+
+    An empty result is a *proof* (for this finite ISG) that the mapping is
+    schedule-independent: no legal schedule can clobber a live value.  A
+    ``limit`` caps the number of reported races (the scan stops early);
+    callers that only need "any race?" pass ``limit=1``.
+    """
+    points = region_points(region)
+    point_set = set(points)
+    weights = stencil.positivity_weights
+    index = ForcedBeforeIndex(stencil, region)
+    races: list[StorageRace] = []
+    for location, group in sorted(mapping.collision_groups(points).items()):
+        if len(group) < 2:
+            continue
+        # Scan pairs in positivity order: dependences only ever force the
+        # w-smaller point first, so only the (earlier, later) direction
+        # and its reverse need checking once, not twice.
+        group = sorted(group, key=lambda p: (dot(weights, p), p))
+        for i, p in enumerate(group):
+            for q in group[i + 1 :]:
+                blocker = index.dead_before(p, q, point_set)
+                if blocker is None:
+                    continue
+                if index.dead_before(q, p, point_set) is None:
+                    continue
+                races.append(StorageRace(p, q, location, blocker))
+                if limit is not None and len(races) >= limit:
+                    return races
+    return races
+
+
+def race_witness(
+    mapping: StorageMapping,
+    stencil: Stencil,
+    bounds: Sequence[tuple[int, int]],
+    race: StorageRace,
+    samples: int = 128,
+    seed: int = 0,
+) -> Optional[list[IntVector]]:
+    """A legal schedule of the box under which the race manifests.
+
+    Constructive first: run the region-restricted ``DONE`` set of
+    ``race.second``, then ``race.second``, then everything else (each part
+    in positivity order — a legal linear extension).  The blocked consumer
+    is then still pending when the colliding write lands.  If replay does
+    not confirm (degenerate geometry), random legal schedules are sampled.
+    Returns ``None`` only if no sampled schedule exhibits a violation —
+    which for a reported race on these box sizes indicates a detector bug,
+    and the tests assert it never happens on the corpus.
+    """
+    import itertools
+
+    region = Polytope.from_loop_bounds(bounds)
+    points = [
+        tuple(p)
+        for p in itertools.product(*[range(lo, hi + 1) for lo, hi in bounds])
+    ]
+    weights = stencil.positivity_weights
+    q = race.second
+    done = done_set(stencil, q, region)
+    key = lambda p: (dot(weights, p), p)  # noqa: E731
+    candidate = (
+        sorted((p for p in done if p != q), key=key)
+        + [q]
+        + sorted((p for p in points if p not in done), key=key)
+    )
+    if find_mapping_violation(mapping, stencil, candidate) is not None:
+        return candidate
+    from repro.schedule.random_legal import sample_legal_orders
+
+    for sampled in sample_legal_orders(stencil, bounds, samples, seed=seed):
+        if find_mapping_violation(mapping, stencil, sampled) is not None:
+            return sampled
+    return None

@@ -22,6 +22,16 @@ Subcommands:
 
       repro-uov common --stencils "1,-2;1,-1;1,0;1,1;1,2 | 1,-1;1,0;1,1"
 
+- ``lint`` — run the static storage-safety verifier over the shipped
+  benchmark corpus and report structured findings (text or JSON)::
+
+      repro-uov lint
+      repro-uov lint --codes stencil5,psm --format json --out lint.json
+      repro-uov lint --fail-on warning --fuzz 25
+
+  Exit code: 0 when no finding reaches the ``--fail-on`` severity
+  (default ``error``), 1 when one does, 2 on usage errors.
+
 - ``experiments`` — run the paper's evaluation and write EXPERIMENTS.md::
 
       repro-uov experiments --mode quick
@@ -159,6 +169,40 @@ def _cmd_common(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis.diag import Severity
+    from repro.analysis.passes import run_lint
+
+    codes = None
+    if args.codes:
+        codes = [c.strip() for c in args.codes.split(",") if c.strip()]
+    passes = None
+    if args.passes:
+        passes = [p.strip() for p in args.passes.split(",") if p.strip()]
+    try:
+        diag = run_lint(
+            codes=codes, passes=passes, fuzz=args.fuzz, seed=args.seed
+        )
+    except KeyError as exc:
+        print(f"lint: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(diag.render_json())
+    else:
+        print(diag.render_text())
+    if args.out:
+        import json
+
+        try:
+            with open(args.out, "w") as fh:
+                json.dump(diag.to_json(), fh, indent=2)
+                fh.write("\n")
+        except OSError as exc:
+            print(f"lint: cannot write {args.out}: {exc}", file=sys.stderr)
+            return 2
+    return diag.exit_code(Severity.parse(args.fail_on))
+
+
 def _cmd_experiments(args) -> int:
     from repro.experiments.report import main as report_main
 
@@ -264,6 +308,47 @@ def main(argv=None) -> int:
     )
     p_common.add_argument("--max-norm2", type=int, default=400)
     p_common.set_defaults(func=_cmd_common)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="static storage-safety lint over the benchmark corpus",
+        parents=[obs_flags],
+    )
+    p_lint.add_argument(
+        "--codes",
+        default=None,
+        help="comma-separated subset of codes (default: all registered)",
+    )
+    p_lint.add_argument(
+        "--passes",
+        default=None,
+        help="comma-separated pass names (default: all default passes)",
+    )
+    p_lint.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+    p_lint.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="also write the JSON findings artifact to FILE",
+    )
+    p_lint.add_argument(
+        "--fail-on",
+        choices=("error", "warning"),
+        default="error",
+        help="lowest severity that makes the exit code 1 (default error)",
+    )
+    p_lint.add_argument(
+        "--fuzz",
+        type=int,
+        default=0,
+        metavar="N",
+        help="differentially fuzz each static verdict against N random "
+        "legal schedules (default 0: off)",
+    )
+    p_lint.add_argument("--seed", type=int, default=0)
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_exp = sub.add_parser(
         "experiments",

@@ -19,6 +19,7 @@ from repro.core.cone import (
     coefficient_bound,
     done_set,
     dead_set,
+    expand_certificate,
     in_integer_cone,
     positivity_functional,
 )
@@ -44,6 +45,7 @@ from repro.core.uov import (
     initial_uov,
     is_uov,
     uov_certificates,
+    uov_rejection,
 )
 
 __all__ = [
@@ -57,7 +59,9 @@ __all__ = [
     "is_uov",
     "initial_uov",
     "uov_certificates",
+    "uov_rejection",
     "enumerate_uovs",
+    "expand_certificate",
     "SearchResult",
     "find_optimal_uov",
     "storage_for_ov",

@@ -39,6 +39,7 @@ __all__ = [
     "coefficient_bound",
     "in_integer_cone",
     "in_rational_cone",
+    "expand_certificate",
     "ConeSolver",
     "done_set",
     "dead_set",
@@ -280,6 +281,34 @@ def in_integer_cone(
 ) -> Optional[dict[IntVector, int]]:
     """One-shot integer cone membership; returns a certificate or ``None``."""
     return ConeSolver(vectors, backend=backend).solve(target)
+
+
+def expand_certificate(
+    target: Sequence[int],
+    certificate: dict[IntVector, int],
+) -> list[IntVector]:
+    """Expand a cone certificate into a concrete dependence walk.
+
+    Given ``target = sum(a_v * v)``, returns the residuals visited when the
+    generators are subtracted one unit at a time (one generator kind at a
+    time): ``[target, target - v1, ..., 0]``.  Every consecutive pair
+    differs by exactly one generator, so ``q - r`` for each residual ``r``
+    is a backward dependence chain from any point ``q`` down to
+    ``q - target`` — the in-region path the counterexample builder in
+    :mod:`repro.analysis.certify` needs to keep inside its box.
+    """
+    residual = as_vector(target)
+    walk = [residual]
+    for v, count in certificate.items():
+        v = as_vector(v)
+        for _ in range(count):
+            residual = sub(residual, v)
+            walk.append(residual)
+    if any(c != 0 for c in walk[-1]):
+        raise ValueError(
+            f"certificate {certificate!r} does not sum to {tuple(target)}"
+        )
+    return walk
 
 
 def done_set(

@@ -26,6 +26,7 @@ __all__ = [
     "initial_uov",
     "is_uov",
     "uov_certificates",
+    "uov_rejection",
     "enumerate_uovs",
     "is_legal_for_schedule",
 ]
@@ -79,6 +80,34 @@ def uov_certificates(
             return None
         rows[v] = certificate
     return rows
+
+
+def uov_rejection(
+    ov: Sequence[int],
+    stencil: Stencil,
+    solver: Optional[ConeSolver] = None,
+    backend: str = "dfs",
+) -> Optional[IntVector]:
+    """The first stencil vector witnessing ``ov not in UOV(V)``.
+
+    Returns a ``vi`` with ``ov - vi`` outside the non-negative integer
+    cone of the stencil (so the consumer ``(q - ov) + vi`` is *not* forced
+    to execute before ``q``, and some legal schedule clobbers a live
+    value), or ``None`` when ``ov`` is a UOV.  The static counterexample
+    builder in :mod:`repro.analysis.certify` turns this vector into a
+    replayable schedule fragment.
+    """
+    ov = as_vector(ov)
+    if len(ov) != stencil.dim:
+        raise ValueError("occupancy vector dimensionality mismatch")
+    if is_zero(ov):
+        return stencil.vectors[0]
+    if solver is None:
+        solver = ConeSolver(stencil.vectors, backend=backend)
+    for v in stencil.vectors:
+        if solver.solve(sub(ov, v)) is None:
+            return v
+    return None
 
 
 def enumerate_uovs(

@@ -17,7 +17,7 @@ Mappings are immutable after construction.
 from __future__ import annotations
 
 import abc
-from typing import Sequence
+from typing import Iterable, Sequence
 
 from repro.mapping.expr import Expr, OpTally
 
@@ -86,6 +86,22 @@ class StorageMapping(abc.ABC):
         return eval(  # noqa: S307 - source comes from our own Expr printer
             f"lambda {', '.join(names)}: {source}", {"__builtins__": {}}
         )
+
+    def collision_groups(
+        self, points: "Iterable[Sequence[int]]"
+    ) -> dict[int, list[tuple[int, ...]]]:
+        """Group iteration points by the storage location they map to.
+
+        Locations with more than one point are exactly the storage-reuse
+        (and potential storage-race) sets the static race detector in
+        :mod:`repro.analysis.races` reasons about; natural (injective)
+        mappings produce singleton groups only.  Points keep their input
+        enumeration order within each group.
+        """
+        groups: dict[int, list[tuple[int, ...]]] = {}
+        for point in points:
+            groups.setdefault(self(point), []).append(tuple(point))
+        return groups
 
     def check_point(self, point: Sequence[int]) -> None:
         if len(point) != self.dim:

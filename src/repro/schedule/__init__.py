@@ -12,7 +12,7 @@ from repro.schedule.base import Schedule
 from repro.schedule.exhaustive import all_legal_orders, count_legal_orders
 from repro.schedule.hierarchical import HierarchicalTiledSchedule
 from repro.schedule.lex import InterchangedSchedule, LexicographicSchedule
-from repro.schedule.random_legal import random_legal_order
+from repro.schedule.random_legal import random_legal_order, sample_legal_orders
 from repro.schedule.skew import SkewedSchedule, skew_matrix_2d
 from repro.schedule.tiling import TiledSchedule, required_skew
 from repro.schedule.wavefront import WavefrontSchedule
@@ -28,6 +28,7 @@ __all__ = [
     "TiledSchedule",
     "required_skew",
     "random_legal_order",
+    "sample_legal_orders",
     "all_legal_orders",
     "count_legal_orders",
 ]

@@ -66,7 +66,8 @@ class Schedule(abc.ABC):
         """
         from repro.analysis.legality import is_schedule_legal
 
-        return is_schedule_legal(self.order(bounds), stencil)
+        checked = self.check_bounds(bounds)
+        return is_schedule_legal(self.order(checked), stencil, bounds=checked)
 
     @staticmethod
     def check_bounds(bounds: Bounds) -> tuple[tuple[int, int], ...]:

@@ -17,7 +17,7 @@ from repro.core.stencil import Stencil
 from repro.schedule.base import Bounds
 from repro.util.vectors import IntVector, add, sub
 
-__all__ = ["random_legal_order"]
+__all__ = ["random_legal_order", "sample_legal_orders"]
 
 
 def random_legal_order(
@@ -66,3 +66,21 @@ def random_legal_order(
             "dependence graph has a cycle; stencil invariants violated"
         )
     return order
+
+
+def sample_legal_orders(
+    stencil: Stencil,
+    bounds: Bounds,
+    samples: int,
+    seed: int = 0,
+):
+    """Yield ``samples`` independent random legal schedules of the box.
+
+    One shared, seeded ``random.Random`` drives all draws, so a run is
+    reproducible from ``(stencil, bounds, samples, seed)`` alone — the
+    differential fuzzer (:mod:`repro.analysis.fuzz`) records exactly that
+    tuple in its report.
+    """
+    rng = random.Random(seed)
+    for _ in range(samples):
+        yield random_legal_order(stencil, bounds, rng)

@@ -1,0 +1,94 @@
+"""The diagnostics engine: severities, findings, renderers, exit codes."""
+
+import json
+
+import pytest
+
+from repro.analysis.diag import (
+    DIAG_SCHEMA_VERSION,
+    Diagnostics,
+    Finding,
+    Severity,
+)
+from repro.obs.metrics import Metrics
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR
+
+    @pytest.mark.parametrize("text", ["error", "ERROR", "Error"])
+    def test_parse_is_case_insensitive(self, text):
+        assert Severity.parse(text) is Severity.ERROR
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown severity"):
+            Severity.parse("fatal")
+
+    def test_str_is_lowercase(self):
+        assert str(Severity.WARNING) == "warning"
+
+
+class TestFinding:
+    def test_render_includes_hint(self):
+        f = Finding(
+            "UOV001", Severity.ERROR, "psm/ov", "not universal",
+            fix_hint="use the initial UOV",
+        )
+        text = f.render()
+        assert "UOV001" in text and "psm/ov" in text and "hint:" in text
+
+    def test_json_omits_empty_fields(self):
+        record = Finding("X001", Severity.INFO, "s", "m").to_json()
+        assert "fix_hint" not in record and "data" not in record
+
+    def test_json_keeps_data(self):
+        record = Finding(
+            "X001", Severity.INFO, "s", "m", data={"races": 3}
+        ).to_json()
+        assert record["data"] == {"races": 3}
+
+
+class TestDiagnostics:
+    def make(self):
+        diag = Diagnostics(metrics=Metrics())
+        diag.emit("A001", Severity.INFO, "s1", "fyi")
+        diag.emit("B001", Severity.WARNING, "s2", "hmm")
+        return diag
+
+    def test_exit_code_contract(self):
+        diag = self.make()
+        # Worst finding is a warning: clean at --fail-on error,
+        # failing at --fail-on warning.
+        assert diag.exit_code(Severity.ERROR) == 0
+        assert diag.exit_code(Severity.WARNING) == 1
+        diag.emit("C001", Severity.ERROR, "s3", "bad")
+        assert diag.exit_code(Severity.ERROR) == 1
+
+    def test_empty_is_clean_at_every_threshold(self):
+        diag = Diagnostics(metrics=Metrics())
+        assert diag.exit_code(Severity.WARNING) == 0
+        assert diag.max_severity() is None
+        assert diag.summary() == "clean: no findings"
+
+    def test_metrics_mirroring(self):
+        metrics = Metrics()
+        diag = Diagnostics(metrics=metrics)
+        diag.emit("A001", Severity.INFO, "s", "m")
+        diag.emit("A001", Severity.INFO, "s", "m")
+        snapshot = metrics.snapshot()["counters"]
+        assert snapshot["lint.findings"] == 2
+        assert snapshot["lint.findings.A001"] == 2
+        assert snapshot["lint.severity.info"] == 2
+
+    def test_json_schema(self):
+        record = json.loads(self.make().render_json())
+        assert record["schema"] == DIAG_SCHEMA_VERSION
+        assert record["summary"] == {
+            "total": 2, "errors": 0, "warnings": 1, "infos": 1,
+        }
+        assert [f["code"] for f in record["findings"]] == ["A001", "B001"]
+
+    def test_text_render_ends_with_summary(self):
+        text = self.make().render_text()
+        assert text.splitlines()[-1] == "1 warning, 1 info (2 findings)"

@@ -77,6 +77,54 @@ class TestScheduleLegality:
         assert not is_schedule_legal(sched.order(bounds), stencil5)
 
 
+class TestBoundsEnumeration:
+    """With bounds, an incomplete or out-of-box order is an error, not a
+    vacuous pass."""
+
+    BOUNDS = [(0, 2), (0, 3)]
+
+    def full_order(self):
+        return list(LexicographicSchedule().order(self.BOUNDS))
+
+    def test_complete_enumeration_accepted(self, fig1_stencil):
+        assert is_schedule_legal(
+            self.full_order(), fig1_stencil, bounds=self.BOUNDS
+        )
+
+    def test_strict_subset_raises(self, fig1_stencil):
+        order = self.full_order()[:-1]
+        with pytest.raises(ValueError, match=r"11 of 12 .*missing"):
+            is_schedule_legal(order, fig1_stencil, bounds=self.BOUNDS)
+
+    def test_missing_interior_point_raises(self, fig1_stencil):
+        order = [p for p in self.full_order() if p != (1, 2)]
+        with pytest.raises(ValueError, match=r"missing e.g. \[\(1, 2\)\]"):
+            is_schedule_legal(order, fig1_stencil, bounds=self.BOUNDS)
+
+    def test_out_of_box_point_raises(self, fig1_stencil):
+        order = self.full_order() + [(9, 9)]
+        with pytest.raises(ValueError, match="outside the ISG bounds"):
+            is_schedule_legal(order, fig1_stencil, bounds=self.BOUNDS)
+
+    def test_without_bounds_subsets_still_pass(self, fig1_stencil):
+        # The old contract is preserved: no bounds, no completeness check.
+        assert is_schedule_legal(
+            self.full_order()[:-1], fig1_stencil
+        )
+
+    def test_schedule_is_legal_for_checks_completeness(self, fig1_stencil):
+        from repro.schedule.base import Schedule
+
+        class DroppingSchedule(Schedule):
+            # No algebraic shortcut: the generic dynamic check runs, and
+            # it must notice the silently dropped point.
+            def order(self, bounds):
+                return list(LexicographicSchedule().order(bounds))[:-1]
+
+        with pytest.raises(ValueError, match="missing"):
+            DroppingSchedule().is_legal_for(fig1_stencil, self.BOUNDS)
+
+
 class TestApplicability:
     @pytest.mark.parametrize(
         "maker,sizes",

@@ -1,0 +1,102 @@
+"""The lint pass registry and the corpus-wide driver."""
+
+import pytest
+
+from repro.analysis.diag import Diagnostics, Severity
+from repro.analysis.passes import (
+    LINT_SIZES,
+    build_targets,
+    registered_passes,
+    run_lint,
+)
+from repro.codes import MAKERS
+from repro.obs.metrics import Metrics
+
+EXPECTED_PASSES = {
+    "applicability",
+    "schedule-legality",
+    "uov-certificate",
+    "storage-race",
+    "storage-accounting",
+    "differential-fuzz",
+}
+
+
+class TestRegistry:
+    def test_all_builtin_passes_registered(self):
+        assert set(registered_passes()) == EXPECTED_PASSES
+
+    def test_fuzz_is_off_by_default(self):
+        assert not registered_passes()["differential-fuzz"].default
+
+    def test_every_code_has_lint_sizes(self):
+        assert set(LINT_SIZES) == set(MAKERS)
+
+    def test_lint_sizes_are_not_powers_of_two(self):
+        for sizes in LINT_SIZES.values():
+            assert any(n & (n - 1) for n in sizes.values()), sizes
+
+
+class TestTargets:
+    def test_targets_cover_registry(self):
+        targets = build_targets()
+        assert [t.name for t in targets] == sorted(MAKERS)
+        for target in targets:
+            assert target.versions and target.stencil.dim == len(target.bounds)
+
+    def test_unknown_code_raises_before_analysis(self):
+        with pytest.raises(KeyError, match="unknown code"):
+            build_targets(["nosuch"])
+
+
+class TestDriver:
+    def test_corpus_lints_clean(self):
+        """The acceptance bar: only the rolling buffers' expected
+        schedule-dependence infos; exit 0 at both thresholds."""
+        diag = run_lint(diag=Diagnostics(metrics=Metrics()))
+        assert {f.code for f in diag} == {"RACE002"}
+        assert all(
+            f.subject.endswith("/storage-optimized") for f in diag
+        )
+        assert diag.exit_code(Severity.ERROR) == 0
+        assert diag.exit_code(Severity.WARNING) == 0
+
+    def test_single_code_single_pass(self):
+        diag = run_lint(
+            codes=["stencil5"],
+            passes=["uov-certificate"],
+            diag=Diagnostics(metrics=Metrics()),
+        )
+        assert len(diag) == 0
+
+    def test_unknown_pass_raises(self):
+        with pytest.raises(KeyError, match="unknown lint pass"):
+            run_lint(passes=["nosuch"], diag=Diagnostics(metrics=Metrics()))
+
+    def test_metrics_record_findings(self):
+        metrics = Metrics()
+        run_lint(
+            codes=["simple2d"],
+            passes=["storage-race"],
+            diag=Diagnostics(metrics=metrics),
+        )
+        counters = metrics.snapshot()["counters"]
+        assert counters["lint.findings.RACE002"] >= 1
+        assert "lint.findings.RACE001" not in counters
+        assert "lint.findings.RACE003" not in counters
+
+    def test_fuzz_budget_enables_the_fuzz_pass(self):
+        from repro.obs import metrics as metrics_mod
+
+        global_counters = metrics_mod.get_metrics()
+        before = global_counters.snapshot()["counters"].get(
+            "lint.fuzz.samples", 0
+        )
+        diag = run_lint(
+            codes=["simple2d"], fuzz=2, diag=Diagnostics(metrics=Metrics())
+        )
+        after = global_counters.snapshot()["counters"].get(
+            "lint.fuzz.samples", 0
+        )
+        assert after > before
+        assert not any(f.code == "FUZ001" for f in diag)

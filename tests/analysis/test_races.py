@@ -1,0 +1,102 @@
+"""Static storage-race detection vs. the dynamic ground truth."""
+
+import pytest
+
+from repro.analysis.liveness import find_mapping_violation
+from repro.analysis.races import (
+    ForcedBeforeIndex,
+    find_storage_races,
+    race_witness,
+    region_points,
+)
+from repro.core.stencil import Stencil
+from repro.mapping.optimized import RollingBufferMapping
+from repro.mapping.ov2d import OVMapping2D
+from repro.mapping.padding import PaddedOVMapping2D
+from repro.util.polyhedron import Polytope
+
+BOUNDS = ((1, 6), (0, 6))  # non-power-of-two inner extent 7
+
+
+@pytest.fixture
+def box():
+    return Polytope.from_loop_bounds(BOUNDS)
+
+
+class TestRaceFreedom:
+    def test_uov_mapping_has_no_races(self, fig1_stencil, box):
+        mapping = OVMapping2D((1, 1), box)
+        assert find_storage_races(mapping, fig1_stencil, box) == []
+
+    def test_trivial_uov_mapping_has_no_races(self, fig1_stencil, box):
+        mapping = OVMapping2D((2, 2), box)
+        assert find_storage_races(mapping, fig1_stencil, box) == []
+
+    def test_padded_mapping_inherits_race_freedom(self, stencil5):
+        box = Polytope.from_loop_bounds(((1, 5), (0, 8)))
+        mapping = PaddedOVMapping2D((2, 0), box, pad=3)
+        assert find_storage_races(mapping, stencil5, box) == []
+
+    def test_injective_mapping_cannot_race(self, fig1_stencil, box):
+        class Natural:
+            def collision_groups(self, points):
+                return {i: [tuple(p)] for i, p in enumerate(points)}
+
+        assert find_storage_races(Natural(), fig1_stencil, box) == []
+
+
+class TestRaceDetection:
+    def test_non_uov_mapping_races(self, fig1_stencil, box):
+        # (1, 0) skips the (0, 1) dependence: real races must surface.
+        mapping = OVMapping2D((1, 0), box)
+        races = find_storage_races(mapping, fig1_stencil, box)
+        assert races
+        for race in races:
+            assert mapping(race.first) == mapping(race.second) == race.location
+
+    def test_rolling_buffer_races_under_foreign_schedules(
+        self, fig1_stencil, box
+    ):
+        mapping = RollingBufferMapping(fig1_stencil, box)
+        races = find_storage_races(mapping, fig1_stencil, box)
+        assert races, "minimal storage must be schedule-dependent"
+
+    def test_limit_caps_the_scan(self, fig1_stencil, box):
+        mapping = RollingBufferMapping(fig1_stencil, box)
+        assert len(find_storage_races(mapping, fig1_stencil, box, limit=1)) == 1
+
+    def test_witness_replays_to_dynamic_violation(self, fig1_stencil, box):
+        mapping = RollingBufferMapping(fig1_stencil, box)
+        race = find_storage_races(mapping, fig1_stencil, box, limit=1)[0]
+        order = race_witness(mapping, fig1_stencil, BOUNDS, race)
+        assert order is not None
+        assert find_mapping_violation(mapping, fig1_stencil, order) is not None
+
+    def test_str_is_informative(self, fig1_stencil, box):
+        mapping = RollingBufferMapping(fig1_stencil, box)
+        race = find_storage_races(mapping, fig1_stencil, box, limit=1)[0]
+        text = str(race)
+        assert "share location" in text and str(race.location) in text
+
+
+class TestForcedBeforeIndex:
+    def test_dead_before_matches_cone_geometry(self, fig1_stencil, box):
+        index = ForcedBeforeIndex(fig1_stencil, box)
+        points = set(region_points(box))
+        # (1, 1)'s value is consumed by (1, 2), (2, 1), (2, 2) — all in
+        # DONE of (3, 3), so it is dead before (3, 3) in every schedule.
+        assert index.dead_before((1, 1), (3, 3), points) is None
+        # (3, 3) is not even executed before (1, 1) necessarily.
+        assert index.dead_before((3, 3), (1, 1), points) == (3, 3)
+
+    def test_done_sets_are_memoised(self, fig1_stencil, box):
+        index = ForcedBeforeIndex(fig1_stencil, box)
+        assert index.done((4, 4)) is index.done((4, 4))
+
+    def test_region_points_respects_shape(self, fig3_isg):
+        points = region_points(fig3_isg)
+        assert all(fig3_isg.contains(p) for p in points)
+        lower, upper = fig3_isg.bounding_box()
+        # The parallelogram is a strict subset of its bounding box.
+        n_box = (upper[0] - lower[0] + 1) * (upper[1] - lower[1] + 1)
+        assert 0 < len(points) < n_box

@@ -125,3 +125,58 @@ class TestExpression:
         assert rb.op_cost().mods == 1
         eff = rb.effective_op_cost()
         assert eff.mods == 0 and eff.adds == 1
+
+
+class TestCollisionsAtOddBounds:
+    """Non-power-of-two extents: the window-distant collisions are real,
+    the race detector sees them, and the witnesses replay."""
+
+    ODD = Polytope.from_box((1, 0), (5, 6))  # inner extent 7, window 9
+
+    def test_collision_groups_are_window_cosets(self, fig1_stencil):
+        from repro.analysis.races import region_points
+
+        rb = RollingBufferMapping(fig1_stencil, self.ODD)
+        window = rb.size
+        points = region_points(self.ODD)
+        flat = rb.compiled()
+        groups = rb.collision_groups(points)
+        assert len(groups) == window
+        for group in groups.values():
+            locs = {flat(*p) for p in group}
+            assert len(locs) == 1
+
+    def test_race_detector_flags_the_window_distance(self, fig1_stencil):
+        from repro.analysis.races import find_storage_races
+
+        rb = RollingBufferMapping(fig1_stencil, self.ODD)
+        races = find_storage_races(rb, fig1_stencil, self.ODD)
+        assert races
+        # Every reported pair genuinely collides.
+        for race in races:
+            assert rb(race.first) == rb(race.second)
+
+    def test_witnesses_replay_on_fixture_corpus(self, fig1_stencil, stencil5):
+        from repro.analysis.liveness import find_mapping_violation
+        from repro.analysis.races import find_storage_races, race_witness
+
+        fixtures = [
+            (fig1_stencil, ((1, 5), (0, 6))),
+            (stencil5, ((1, 4), (0, 8))),
+        ]
+        for stencil, bounds in fixtures:
+            box = Polytope.from_loop_bounds(bounds)
+            rb = RollingBufferMapping(stencil, box)
+            races = find_storage_races(rb, stencil, box, limit=3)
+            assert races
+            for race in races:
+                order = race_witness(rb, stencil, bounds, race)
+                assert order is not None
+                assert (
+                    find_mapping_violation(rb, stencil, order) is not None
+                )
+
+    def test_own_schedule_stays_legal(self, fig1_stencil):
+        rb = RollingBufferMapping(fig1_stencil, self.ODD)
+        order = LexicographicSchedule().order(((1, 5), (0, 6)))
+        assert is_mapping_legal(rb, fig1_stencil, order)

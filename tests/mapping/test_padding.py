@@ -71,6 +71,43 @@ class TestSemantics:
         )
 
 
+class TestCollisionsAtOddBounds:
+    """Non-power-of-two extents (satellite of the race-detector work):
+    padding must change addresses, never the collision structure."""
+
+    ODD = Polytope.from_box((1, 0), (7, 10))  # extents 7 x 11
+
+    def test_collision_groups_are_exactly_ov_cosets(self):
+        from repro.analysis.races import region_points
+
+        pm = PaddedOVMapping2D((2, 0), self.ODD, pad=5)
+        points = region_points(self.ODD)
+        for group in pm.collision_groups(points).values():
+            group = sorted(group)
+            for a, b in zip(group, group[1:]):
+                # Successive sharers differ by exactly the OV.
+                assert (b[0] - a[0], b[1] - a[1]) == (2, 0)
+
+    def test_padding_preserves_collision_groups(self):
+        from repro.analysis.races import region_points
+
+        base = OVMapping2D((2, 0), self.ODD, layout="consecutive")
+        points = region_points(self.ODD)
+        for pad in (1, 3, 9):
+            pm = PaddedOVMapping2D((2, 0), self.ODD, pad=pad)
+            assert {
+                frozenset(g) for g in pm.collision_groups(points).values()
+            } == {
+                frozenset(g) for g in base.collision_groups(points).values()
+            }
+
+    def test_race_detector_proves_padded_mapping_safe(self, stencil5):
+        from repro.analysis.races import find_storage_races
+
+        pm = PaddedOVMapping2D((2, 0), self.ODD, pad=4)
+        assert find_storage_races(pm, stencil5, self.ODD) == []
+
+
 class TestPadHeuristic:
     def test_line_aligned_blocks_get_one_line(self):
         assert pad_for_cache(1024, 32) == 4  # 4 doubles per 32B line

@@ -141,6 +141,85 @@ class TestObservability:
             )
 
 
+class TestLint:
+    """The ``repro lint`` exit-code contract: 0 below the --fail-on
+    threshold, 1 at/above it, 2 on usage errors."""
+
+    def test_corpus_is_clean_at_default_threshold(self, capsys):
+        assert main(["lint"]) == 0
+        out = capsys.readouterr().out
+        # Rolling buffers report their expected schedule-dependence as
+        # info findings; nothing reaches error severity.
+        assert "RACE002" in out
+        assert "error" not in out.splitlines()[-1]
+
+    def test_corpus_is_clean_at_warning_threshold(self, capsys):
+        assert main(["lint", "--fail-on", "warning"]) == 0
+
+    def test_json_format_and_artifact(self, tmp_path, capsys):
+        import json
+
+        artifact = tmp_path / "findings.json"
+        assert (
+            main(
+                [
+                    "lint", "--codes", "stencil5", "--format", "json",
+                    "--out", str(artifact),
+                ]
+            )
+            == 0
+        )
+        stdout_record = json.loads(capsys.readouterr().out)
+        file_record = json.loads(artifact.read_text())
+        assert stdout_record == file_record
+        assert file_record["schema"] == 1
+        assert "summary" in file_record
+
+    def test_unknown_code_is_usage_error(self, capsys):
+        assert main(["lint", "--codes", "nosuch"]) == 2
+        assert "unknown code" in capsys.readouterr().err
+
+    def test_unknown_pass_is_usage_error(self, capsys):
+        assert main(["lint", "--passes", "nosuch"]) == 2
+        assert "unknown lint pass" in capsys.readouterr().err
+
+    def test_unwritable_artifact_is_usage_error(self, tmp_path, capsys):
+        assert (
+            main(["lint", "--codes", "psm", "--out", str(tmp_path)]) == 2
+        )
+        assert "cannot write" in capsys.readouterr().err
+
+    def test_fail_on_thresholds(self, monkeypatch, capsys):
+        """A warning finding fails --fail-on warning but not the default."""
+        from repro.analysis import passes
+        from repro.analysis.diag import Diagnostics, Severity
+        from repro.obs.metrics import Metrics
+
+        def fake_run_lint(**kwargs):
+            diag = Diagnostics(metrics=Metrics())
+            diag.emit("STO001", Severity.WARNING, "x/y", "size mismatch")
+            return diag
+
+        monkeypatch.setattr(passes, "run_lint", fake_run_lint)
+        assert main(["lint"]) == 0
+        assert main(["lint", "--fail-on", "error"]) == 0
+        assert main(["lint", "--fail-on", "warning"]) == 1
+        capsys.readouterr()
+
+    def test_fuzz_budget_runs_the_fuzz_pass(self, capsys):
+        from repro.obs.metrics import get_metrics
+
+        before = get_metrics().snapshot()["counters"].get(
+            "lint.fuzz.samples", 0
+        )
+        assert main(["lint", "--codes", "simple2d", "--fuzz", "2"]) == 0
+        after = get_metrics().snapshot()["counters"].get(
+            "lint.fuzz.samples", 0
+        )
+        assert after > before
+        capsys.readouterr()
+
+
 class TestCommon:
     def test_shared_uov_found(self, capsys):
         assert (
