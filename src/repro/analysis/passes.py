@@ -49,7 +49,10 @@ __all__ = [
     "LintPass",
     "lint_pass",
     "registered_passes",
+    "build_target",
     "build_targets",
+    "lint_target",
+    "select_passes",
     "run_lint",
     "LINT_SIZES",
 ]
@@ -358,6 +361,33 @@ def _pass_differential_fuzz(target: LintTarget, diag: Diagnostics) -> None:
 # -- driver -------------------------------------------------------------------
 
 
+def build_target(
+    name: str,
+    versions: Mapping[str, CodeVersion],
+    sizes: Mapping[str, int],
+    fuzz: int = 0,
+    seed: int = 0,
+) -> LintTarget:
+    """Instantiate one lint target from an arbitrary version family.
+
+    This is the single construction path shared by the shipped-corpus
+    driver below and the pipeline's lint stage (which lints
+    spec-synthesized codes at the spec's own sizes).
+    """
+    code = versions[next(iter(versions))].code
+    bounds = tuple((int(lo), int(hi)) for lo, hi in code.bounds(sizes))
+    return LintTarget(
+        name=name,
+        versions=versions,
+        sizes=sizes,
+        bounds=bounds,
+        region=Polytope.from_loop_bounds(bounds),
+        stencil=code.stencil,
+        fuzz=fuzz,
+        seed=seed,
+    )
+
+
 def build_targets(
     codes: Optional[Iterable[str]] = None,
     fuzz: int = 0,
@@ -374,23 +404,44 @@ def build_targets(
         sizes = LINT_SIZES.get(name)
         if sizes is None:
             raise KeyError(f"no lint sizes registered for code {name!r}")
-        code = versions[next(iter(versions))].code
-        bounds = tuple(
-            (int(lo), int(hi)) for lo, hi in code.bounds(sizes)
-        )
         targets.append(
-            LintTarget(
-                name=name,
-                versions=versions,
-                sizes=sizes,
-                bounds=bounds,
-                region=Polytope.from_loop_bounds(bounds),
-                stencil=code.stencil,
-                fuzz=fuzz,
-                seed=seed,
-            )
+            build_target(name, versions, sizes, fuzz=fuzz, seed=seed)
         )
     return targets
+
+
+def select_passes(
+    passes: Optional[Iterable[str]] = None, fuzz: int = 0
+) -> list[LintPass]:
+    """Resolve a pass selection; unknown names raise ``KeyError``."""
+    registry = registered_passes()
+    if passes is None:
+        selected = [p for p in registry.values() if p.default]
+        if fuzz > 0:
+            selected.append(registry["differential-fuzz"])
+        return selected
+    names = list(passes)
+    unknown = [n for n in names if n not in registry]
+    if unknown:
+        raise KeyError(
+            f"unknown lint pass(es) {unknown}; one of {sorted(registry)}"
+        )
+    return [registry[n] for n in names]
+
+
+def lint_target(
+    target: LintTarget,
+    passes: Optional[Iterable[str]] = None,
+    diag: Optional[Diagnostics] = None,
+) -> Diagnostics:
+    """Run the selected passes over one target — the single lint path
+    used by both ``repro lint`` and the pipeline's lint stage."""
+    if diag is None:
+        diag = Diagnostics()
+    for lint in select_passes(passes, fuzz=target.fuzz):
+        with obs.span("lint.pass", pass_name=lint.name, code=target.name):
+            lint.run(target, diag)
+    return diag
 
 
 def run_lint(
@@ -408,22 +459,7 @@ def run_lint(
     """
     if diag is None:
         diag = Diagnostics()
-    registry = registered_passes()
-    if passes is None:
-        selected = [p for p in registry.values() if p.default]
-        if fuzz > 0:
-            selected.append(registry["differential-fuzz"])
-    else:
-        names = list(passes)
-        unknown = [n for n in names if n not in registry]
-        if unknown:
-            raise KeyError(
-                f"unknown lint pass(es) {unknown}; one of {sorted(registry)}"
-            )
-        selected = [registry[n] for n in names]
-    targets = build_targets(codes, fuzz=fuzz, seed=seed)
-    for target in targets:
-        for lint in selected:
-            with obs.span("lint.pass", pass_name=lint.name, code=target.name):
-                lint.run(target, diag)
+    select_passes(passes, fuzz=fuzz)  # fail fast on unknown pass names
+    for target in build_targets(codes, fuzz=fuzz, seed=seed):
+        lint_target(target, passes, diag)
     return diag

@@ -17,6 +17,28 @@ Subcommands:
 
       repro-uov codegen stencil5 ov-tiled --sizes T=8,L=64 --lang c
 
+- ``compile`` — push a JSON stencil spec through the full pipeline
+  (parse → dependence → uov-search → mapping-select → schedule-select
+  [→ lint] [→ execute] [→ codegen]) with chained artifact caching::
+
+      repro-uov compile examples/specs/heat7.json --lint --execute
+      repro-uov compile spec.json --sizes T=32,L=256 --format json
+
+  Exit code: 0 on success, 1 when validation or a stage fails (or a
+  lint finding reaches ``--fail-on``), 2 on usage errors.
+
+- ``run`` — execute a registered code or a spec file through the same
+  pipeline and verify it against the natural/lexicographic reference::
+
+      repro-uov run stencil5 --sizes T=8,L=64
+      repro-uov run examples/specs/heat7.json --schedule tiled
+
+- ``list`` — print the plugin registries (codes, mappings, schedules,
+  input rules, combine hooks, lint passes)::
+
+      repro-uov list
+      repro-uov list codes
+
 - ``common`` — find a UOV shared by several loops' stencils (Section 7
   future work)::
 
@@ -124,18 +146,13 @@ def _cmd_map(args) -> int:
 
 
 def _cmd_codegen(args) -> int:
-    from repro.codes import make_jacobi, make_psm, make_simple2d, make_stencil5
+    from repro.codes import get_versions
 
-    makers = {
-        "stencil5": make_stencil5,
-        "psm": make_psm,
-        "simple2d": make_simple2d,
-        "jacobi": make_jacobi,
-    }
-    if args.code not in makers:
-        print(f"unknown code {args.code!r}; one of {sorted(makers)}")
+    try:
+        versions = get_versions(args.code)
+    except KeyError as exc:
+        print(exc.args[0])
         return 2
-    versions = makers[args.code]()
     if args.version not in versions:
         print(f"unknown version {args.version!r}; one of {sorted(versions)}")
         return 2
@@ -149,6 +166,209 @@ def _cmd_codegen(args) -> int:
         from repro.codegen import generate_python
 
         print(generate_python(version, sizes, unroll_mod=args.unroll))
+    return 0
+
+
+def _spec_overrides(args) -> dict:
+    """Directive overrides (--mapping/--schedule/--tile/--uov) as a
+    dataclasses.replace kwargs dict."""
+    overrides = {}
+    if getattr(args, "mapping", None):
+        overrides["mapping"] = args.mapping
+    if getattr(args, "schedule", None):
+        overrides["schedule"] = args.schedule
+    if getattr(args, "tile", None):
+        overrides["tile"] = tuple(int(c) for c in args.tile.split(","))
+    if getattr(args, "uov", None):
+        overrides["uov"] = tuple(int(c) for c in args.uov.split(","))
+    return overrides
+
+
+def _load_spec(ref: str):
+    """Resolve a spec reference: a JSON file path, or a registered code
+    name.  Returns (spec, None) or (None, exit_code) after printing."""
+    import os
+
+    from repro.frontend import SpecError, StencilSpec
+
+    if ref.endswith(".json") or os.path.sep in ref or os.path.exists(ref):
+        if not os.path.exists(ref):
+            print(f"compile: no such spec file: {ref}", file=sys.stderr)
+            return None, 2
+        try:
+            return StencilSpec.load(ref), None
+        except SpecError as exc:
+            print(exc.diagnostics.render_text(), file=sys.stderr)
+            return None, 1
+    from repro.codes import get_spec
+
+    try:
+        return get_spec(ref), None
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return None, 2
+
+
+def _make_cache(args):
+    from repro.pipeline import ArtifactCache
+
+    if getattr(args, "no_cache", False):
+        return ArtifactCache()
+    return ArtifactCache(cache_dir=getattr(args, "cache_dir", None))
+
+
+def _render_compile_text(result) -> str:
+    lines = [
+        f"spec:    {result.spec.name}  "
+        f"(sizes {result.sizes}, seed {result.seed})"
+    ]
+    for record in result.records:
+        mark = "cached" if record.cached else f"{record.wall_s * 1e3:.1f} ms"
+        lines.append(f"  {record.name:16s} [{mark}]")
+        a = record.artifact
+        name = record.name
+        if name == "dependence":
+            lines.append(
+                f"{'':20s}distances {a.distances}"
+                f"{'' if a.ok else '  PROBLEMS: ' + '; '.join(a.problems)}"
+            )
+        elif name == "uov-search":
+            lines.append(
+                f"{'':20s}UOV {a.ov} ({a.source}"
+                + (", certified optimal" if a.optimal else "")
+                + (f", {a.nodes_visited} nodes" if a.nodes_visited else "")
+                + ")"
+            )
+        elif name == "mapping-select":
+            pct = 100.0 * a.size / a.natural_size if a.natural_size else 0.0
+            lines.append(
+                f"{'':20s}{a.name}: {a.size} locations "
+                f"({pct:.1f}% of natural {a.natural_size})"
+            )
+        elif name == "schedule-select":
+            extra = f", tile {a.tile}" if a.tile else ""
+            batch = f", {a.batches} batches" if a.batches else ""
+            lines.append(f"{'':20s}{a.name}: legal{extra}{batch}")
+        elif name == "lint":
+            lines.append(
+                f"{'':20s}{len(a.findings)} finding(s), worst "
+                f"{a.max_severity or 'none'}"
+            )
+        elif name == "execute":
+            lines.append(
+                f"{'':20s}verified {a.n_outputs} outputs against the "
+                f"natural/lex reference (sha256 {a.outputs_sha256})"
+            )
+        elif name == "codegen":
+            what = (
+                f"{len(a.source.splitlines())} lines of python"
+                if a.supported
+                else f"unsupported: {a.reason}"
+            )
+            lines.append(f"{'':20s}{what}")
+    return "\n".join(lines)
+
+
+def _run_pipeline(args, spec, *, lint: bool, execute: bool, codegen: bool):
+    """Shared compile/run driver: returns the process exit code."""
+    import dataclasses
+    import json as _json
+
+    from repro.analysis.diag import Severity
+    from repro.pipeline import StageError, compile_spec
+
+    overrides = _spec_overrides(args)
+    if overrides:
+        spec = dataclasses.replace(spec, **overrides)
+    sizes = _parse_sizes(args.sizes) if getattr(args, "sizes", None) else None
+    try:
+        result = compile_spec(
+            spec,
+            sizes=sizes,
+            seed=args.seed,
+            lint=lint,
+            lint_fuzz=getattr(args, "fuzz", 0),
+            execute=execute,
+            codegen=codegen,
+            cache=_make_cache(args),
+        )
+    except StageError as exc:
+        print(f"compile failed at {exc.stage}: {exc}", file=sys.stderr)
+        return 1
+    except ValueError as exc:
+        print(f"compile: {exc}", file=sys.stderr)
+        return 2
+    if getattr(args, "format", "text") == "json":
+        print(_json.dumps(result.to_json(), indent=2))
+    else:
+        print(_render_compile_text(result))
+        if codegen and result.artifact("codegen").supported and args.emit:
+            print()
+            print(result.artifact("codegen").source)
+    if lint:
+        findings = result.artifact("lint").findings
+        threshold = Severity.parse(args.fail_on)
+        if any(
+            Severity.parse(f["severity"]) >= threshold for f in findings
+        ):
+            return 1
+    return 0
+
+
+def _cmd_compile(args) -> int:
+    spec, err = _load_spec(args.spec)
+    if spec is None:
+        return err
+    return _run_pipeline(
+        args,
+        spec,
+        lint=args.lint,
+        execute=args.execute,
+        codegen=args.codegen or args.emit,
+    )
+
+
+def _cmd_run(args) -> int:
+    spec, err = _load_spec(args.spec)
+    if spec is None:
+        return err
+    return _run_pipeline(args, spec, lint=False, execute=True, codegen=False)
+
+
+def _cmd_list(args) -> int:
+    from repro.analysis.passes import registered_passes
+    from repro.codes import CODES
+    from repro.frontend import COMBINE_HOOKS, INPUT_RULES
+    from repro.mapping import MAPPINGS
+    from repro.schedule import SCHEDULES
+
+    registries = {
+        "codes": CODES,
+        "mappings": MAPPINGS,
+        "schedules": SCHEDULES,
+        "input-rules": INPUT_RULES,
+        "combine-hooks": COMBINE_HOOKS,
+    }
+    wanted = args.kind
+    if wanted and wanted not in registries and wanted != "passes":
+        print(
+            f"unknown registry {wanted!r}; one of "
+            f"{sorted([*registries, 'passes'])}",
+            file=sys.stderr,
+        )
+        return 2
+    for title, registry in registries.items():
+        if wanted and title != wanted:
+            continue
+        print(f"{title}:")
+        for entry in registry.entries():
+            summary = f"  {entry.summary}" if entry.summary else ""
+            print(f"  {entry.name:20s}{summary}")
+    if not wanted or wanted == "passes":
+        print("passes:")
+        for name, lint in sorted(registered_passes().items()):
+            extra = "" if lint.default else "  [off by default]"
+            print(f"  {name:20s}  {lint.description}{extra}")
     return 0
 
 
@@ -295,6 +515,102 @@ def main(argv=None) -> int:
     p_gen.add_argument("--lang", choices=("python", "c"), default="python")
     p_gen.add_argument("--unroll", action="store_true")
     p_gen.set_defaults(func=_cmd_codegen)
+
+    # Directive overrides shared by compile and run.
+    spec_flags = argparse.ArgumentParser(add_help=False)
+    sgroup = spec_flags.add_argument_group("spec directives")
+    sgroup.add_argument(
+        "--sizes", default=None, help='size bindings, e.g. "T=8,L=64"'
+    )
+    sgroup.add_argument(
+        "--mapping", default=None, help="override the spec's mapping"
+    )
+    sgroup.add_argument(
+        "--schedule", default=None, help="override the spec's schedule"
+    )
+    sgroup.add_argument(
+        "--tile", default=None, help='override tile sizes, e.g. "8,64"'
+    )
+    sgroup.add_argument(
+        "--uov", default=None, help='override the UOV, e.g. "2,0"'
+    )
+    sgroup.add_argument("--seed", type=int, default=None)
+    sgroup.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persist stage artifacts to DIR (default: in-memory only)",
+    )
+    sgroup.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore any artifact cache",
+    )
+
+    p_compile = sub.add_parser(
+        "compile",
+        help="push a JSON stencil spec through the pipeline",
+        parents=[obs_flags, spec_flags],
+    )
+    p_compile.add_argument("spec", help="spec JSON file or registered code name")
+    p_compile.add_argument(
+        "--lint", action="store_true", help="run the lint stage"
+    )
+    p_compile.add_argument(
+        "--execute",
+        action="store_true",
+        help="run and verify against the natural/lex reference",
+    )
+    p_compile.add_argument(
+        "--codegen", action="store_true", help="run the codegen stage"
+    )
+    p_compile.add_argument(
+        "--emit",
+        action="store_true",
+        help="print the generated python source (implies --codegen)",
+    )
+    p_compile.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+    p_compile.add_argument(
+        "--fail-on",
+        choices=("error", "warning"),
+        default="error",
+        help="lowest lint severity that makes the exit code 1",
+    )
+    p_compile.add_argument(
+        "--fuzz",
+        type=int,
+        default=0,
+        metavar="N",
+        help="lint-stage differential fuzz budget (default 0: off)",
+    )
+    p_compile.set_defaults(func=_cmd_compile)
+
+    p_run = sub.add_parser(
+        "run",
+        help="execute a code or spec through the pipeline and verify it",
+        parents=[obs_flags, spec_flags],
+    )
+    p_run.add_argument("spec", help="spec JSON file or registered code name")
+    p_run.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+    p_run.set_defaults(func=_cmd_run)
+
+    p_list = sub.add_parser(
+        "list",
+        help="print the plugin registries",
+        parents=[obs_flags],
+    )
+    p_list.add_argument(
+        "kind",
+        nargs="?",
+        default=None,
+        help="codes | mappings | schedules | input-rules | combine-hooks "
+        "| passes (default: all)",
+    )
+    p_list.set_defaults(func=_cmd_list)
 
     p_common = sub.add_parser(
         "common",

@@ -105,6 +105,11 @@ class Code:
     flops: int = 0
     int_ops: int = 0
     branches: int = 0
+    #: Provenance: the :class:`~repro.frontend.spec.StencilSpec` this code
+    #: was synthesized from, when it came through the frontend (``None``
+    #: for hand-written codes).  Typed loosely to keep ``codes`` free of a
+    #: frontend import.
+    spec: Optional[object] = None
 
     def iteration_count(self, sizes: Mapping[str, int]) -> int:
         n = 1

@@ -11,126 +11,52 @@ the canonical loop every storage-mapping paper since has used)::
 Stencil ``{(1,-1), (1,0), (1,1)}``; the search finds the UOV ``(2, 0)``
 (same shape as the 5-point stencil's: two rows), storage ``2L`` against
 ``T*L`` natural and ``L+2`` storage-optimized.
+
+Declared as :data:`JACOBI_SPEC` (Dirichlet boundary = ``padded-line``
+with one zero guard cell per side) and synthesized through the frontend.
 """
 
 from __future__ import annotations
 
 from typing import Mapping
 
-import numpy as np
-
-from repro.codes.base import Code, CodeVersion
-from repro.core.stencil import Stencil
-from repro.ir import ArrayDecl, ArrayRef, Assignment, LoopNest, Program
+from repro.codes.base import CodeVersion
+from repro.frontend import SpecBuilder, synthesize_code
 from repro.mapping import OVMapping2D, RollingBufferMapping, RowMajorMapping
 from repro.schedule import LexicographicSchedule, TiledSchedule, required_skew
 from repro.util.polyhedron import Polytope
 
-__all__ = ["make_jacobi", "JACOBI_UOV"]
+__all__ = ["make_jacobi", "JACOBI_SPEC", "JACOBI_UOV"]
 
 # Distance of reading A[t-1][x+dx] is (1, -dx); order matches the refs.
 JACOBI_DISTANCES = ((1, 1), (1, 0), (1, -1))
 JACOBI_WEIGHTS = (0.25, 0.5, 0.25)
 JACOBI_UOV = (2, 0)
 
-
-def _program() -> Program:
-    stmt = Assignment(
-        target=ArrayRef.of("A", "t", "x"),
-        sources=(
-            ArrayRef.of("A", "t-1", "x-1"),
-            ArrayRef.of("A", "t-1", "x"),
-            ArrayRef.of("A", "t-1", "x+1"),
-        ),
-        combine=lambda a, b, c: 0.25 * a + 0.5 * b + 0.25 * c,
-        flops=5,
-    )
-    return Program(
-        name="jacobi",
-        loop=LoopNest.of(("t", "x"), [(1, "T"), (0, "L-1")]),
-        body=(stmt,),
-        arrays=(ArrayDecl.of("A", "T+1", "L", live_out=False),),
-        size_symbols=("T", "L"),
-    )
-
-
-def _bounds(sizes: Mapping[str, int]):
-    return ((1, sizes["T"]), (0, sizes["L"] - 1))
+#: The full declarative description of the Jacobi loop.
+JACOBI_SPEC = (
+    SpecBuilder("jacobi")
+    .loop("t", 1, "T")
+    .loop("x", 0, "L-1")
+    .distances(*JACOBI_DISTANCES)
+    .weighted_sum(*JACOBI_WEIGHTS)
+    .inputs("padded-line", axis=1, pad=1, pad_value=0.0)
+    .costs(flops=5)
+    .sizes(T=5, L=9)
+    .uov(*JACOBI_UOV)
+    .build()
+)
 
 
 def _isg(sizes: Mapping[str, int]) -> Polytope:
-    return Polytope.from_loop_bounds(_bounds(sizes))
-
-
-def _make_context(sizes: Mapping[str, int], seed: int):
-    rng = np.random.default_rng(seed)
-    buf = rng.uniform(0.0, 1.0, size=sizes["L"] + 2)
-    buf[0] = buf[-1] = 0.0  # Dirichlet boundary
-    return {"input": buf}
-
-
-def _input_value(p, ctx) -> float:
-    t, x = p
-    buf = ctx["input"]
-    length = len(buf) - 2
-    return float(buf[min(max(x + 1, 0), length + 1)])
-
-
-def _input_offset(p, sizes) -> int:
-    t, x = p
-    return min(max(x + 1, 0), sizes["L"] + 1)
-
-
-def _combine(values, q, ctx) -> float:
-    return 0.25 * values[0] + 0.5 * values[1] + 0.25 * values[2]
-
-
-# Batched semantics: elementwise transliterations of the scalar functions
-# above, same floating-point operation order (bit-exact by construction).
-
-
-def _combine_batch(values, q, ctx) -> np.ndarray:
-    return 0.25 * values[0] + 0.5 * values[1] + 0.25 * values[2]
-
-
-def _input_values_batch(p, ctx) -> np.ndarray:
-    t, x = p
-    buf = ctx["input"]
-    length = len(buf) - 2
-    return buf[np.clip(x + 1, 0, length + 1)]
-
-
-def _input_offsets_batch(p, sizes) -> np.ndarray:
-    t, x = p
-    return np.clip(x + 1, 0, sizes["L"] + 1)
-
-
-def _output_points(sizes: Mapping[str, int]):
-    return [(sizes["T"], x) for x in range(sizes["L"])]
+    return Polytope.from_loop_bounds(JACOBI_SPEC.bounds_fn(sizes))
 
 
 def make_jacobi() -> dict[str, CodeVersion]:
     """Natural / OV-mapped / storage-optimized Jacobi, tiled variants too."""
-    stencil = Stencil(JACOBI_DISTANCES)
+    code = synthesize_code(JACOBI_SPEC)
+    stencil = code.stencil
     skew = required_skew(stencil)
-    code = Code(
-        name="jacobi",
-        program=_program(),
-        stencil=stencil,
-        source_distances=JACOBI_DISTANCES,
-        bounds=_bounds,
-        make_context=_make_context,
-        input_value=_input_value,
-        input_offset=_input_offset,
-        combine=_combine,
-        combine_batch=_combine_batch,
-        input_values_batch=_input_values_batch,
-        input_offsets_batch=_input_offsets_batch,
-        output_points=_output_points,
-        flops=5,
-        int_ops=0,
-        branches=0,
-    )
 
     def tile_sizes(sizes):
         return (sizes.get("tile_h", 8), sizes.get("tile_w", 64))

@@ -18,6 +18,13 @@ reproduce the paper's numbers and additionally expose the *optimal* UOV
 branch-and-bound search of Section 3.2 finds it, and it halves the
 OV-mapped footprint relative to the published variant.
 
+The statement reads a data-dependent weight table — semantics a pure
+combine expression cannot state — so the spec uses the frontend's escape
+hatch: a registered :class:`~repro.frontend.combine.SemanticsHook` named
+``"psm"`` supplies the combine, the table/string context, and the extra
+table reads, while boundaries use the ``zero-borders`` input rule (local
+alignment: border scores are zero).
+
 The storage-optimized version follows Alpern/Carter/Gatlin [1]: the loop
 runs interchanged (inner loop over the first string) with two columns of
 intermediate values plus three scalars — ``2*n0 + 3`` locations (Table 2).
@@ -34,9 +41,8 @@ from typing import Mapping
 
 import numpy as np
 
-from repro.codes.base import Code, CodeVersion
-from repro.core.stencil import Stencil
-from repro.ir import ArrayDecl, ArrayRef, Assignment, LoopNest, Program
+from repro.codes.base import CodeVersion
+from repro.frontend import COMBINE_HOOKS, SemanticsHook, SpecBuilder, synthesize_code
 from repro.mapping import OVMapping2D, RollingBufferMapping, RowMajorMapping
 from repro.schedule import (
     InterchangedSchedule,
@@ -45,7 +51,14 @@ from repro.schedule import (
 )
 from repro.util.polyhedron import Polytope
 
-__all__ = ["make_psm", "PSM_ALPHABET", "PSM_GAP", "PSM_PAPER_UOV", "PSM_OPTIMAL_UOV"]
+__all__ = [
+    "make_psm",
+    "PSM_ALPHABET",
+    "PSM_GAP",
+    "PSM_PAPER_UOV",
+    "PSM_OPTIMAL_UOV",
+    "PSM_SPEC",
+]
 
 PSM_ALPHABET = 23  # amino-acid alphabet of the paper's 23x23 weight table
 PSM_GAP = 4.0
@@ -58,36 +71,6 @@ DEFAULT_TILE = 48
 _TABLE_ELEMENTS = PSM_ALPHABET * PSM_ALPHABET
 
 
-def _program() -> Program:
-    stmt = Assignment(
-        target=ArrayRef.of("H", "i", "j"),
-        sources=(
-            ArrayRef.of("H", "i-1", "j-1"),
-            ArrayRef.of("H", "i-1", "j"),
-            ArrayRef.of("H", "i", "j-1"),
-        ),
-        combine=lambda diag, up, left: max(diag, up - PSM_GAP, left - PSM_GAP, 0.0),
-        flops=0,
-        int_ops=4,
-        branches=3,
-    )
-    return Program(
-        name="psm",
-        loop=LoopNest.of(("i", "j"), [(1, "n0"), (1, "n1")]),
-        body=(stmt,),
-        arrays=(ArrayDecl.of("H", "n0+1", "n1+1", live_out=False),),
-        size_symbols=("n0", "n1"),
-    )
-
-
-def _bounds(sizes: Mapping[str, int]):
-    return ((1, sizes["n0"]), (1, sizes["n1"]))
-
-
-def _isg(sizes: Mapping[str, int]) -> Polytope:
-    return Polytope.from_loop_bounds(_bounds(sizes))
-
-
 def _make_context(sizes: Mapping[str, int], seed: int):
     rng = np.random.default_rng(seed)
     weights = rng.integers(-3, 12, size=(PSM_ALPHABET, PSM_ALPHABET)).astype(
@@ -98,20 +81,6 @@ def _make_context(sizes: Mapping[str, int], seed: int):
     s0 = rng.integers(0, PSM_ALPHABET, size=sizes["n0"] + 1)
     s1 = rng.integers(0, PSM_ALPHABET, size=sizes["n1"] + 1)
     return {"weights": weights, "s0": s0, "s1": s1}
-
-
-def _input_value(p, ctx) -> float:
-    # Border rows/columns of the score matrix are zero (local alignment).
-    return 0.0
-
-
-def _input_offset(p, sizes) -> int:
-    i, j = p
-    # Distinct input-region addresses for the two borders, as the real
-    # code's H[0][*] row and H[*][0] column would have.
-    if i <= 0:
-        return max(0, j)
-    return sizes["n1"] + 1 + max(0, i)
 
 
 def _combine(values, q, ctx) -> float:
@@ -150,18 +119,6 @@ def _combine_batch(values, q, ctx) -> np.ndarray:
     )
 
 
-def _input_values_batch(p, ctx) -> np.ndarray:
-    i, j = p
-    return np.zeros(len(i), dtype=np.float64)
-
-
-def _input_offsets_batch(p, sizes) -> np.ndarray:
-    i, j = p
-    return np.where(
-        i <= 0, np.maximum(0, j), sizes["n1"] + 1 + np.maximum(0, i)
-    )
-
-
 def _extra_reads_batch(q, ctx) -> np.ndarray:
     i, j = q
     s0 = np.asarray(ctx["s0"])
@@ -177,14 +134,48 @@ def _extra_reads_batch(q, ctx) -> np.ndarray:
     )
 
 
-def _output_points(sizes: Mapping[str, int]):
-    # The live-out of string matching is the final scoring column
-    # H[*, n1] (it contains the alignment score H[n0, n1]); the last
-    # column is also the region that survives in every version's storage,
-    # including the interchanged double-column optimized variant, whose
-    # rolling window only retains the most recent two columns.
-    n1 = sizes["n1"]
-    return [(i, n1) for i in range(1, sizes["n0"] + 1)]
+COMBINE_HOOKS.register(
+    "psm",
+    SemanticsHook(
+        name="psm",
+        combine=_combine,
+        combine_batch=_combine_batch,
+        # At the IR level the data-dependent table term is abstracted
+        # away; the dependence structure is all the analyses need.
+        ir_combine=lambda diag, up, left: max(
+            diag, up - PSM_GAP, left - PSM_GAP, 0.0
+        ),
+        make_context=_make_context,
+        extra_read_offsets=_extra_reads,
+        extra_read_offsets_batch=_extra_reads_batch,
+    ),
+    summary="Smith-Waterman scoring over a 23x23 substitution table",
+)
+
+#: The declarative description; combine semantics come from the hook.
+#: The live-out of string matching is the final scoring column H[*, n1]
+#: (it contains the alignment score H[n0, n1]), hence ``output_axis=1``:
+#: the last column is also the region that survives in every version's
+#: storage, including the interchanged double-column optimized variant,
+#: whose rolling window only retains the most recent two columns.
+PSM_SPEC = (
+    SpecBuilder("psm")
+    .loop("i", 1, "n0")
+    .loop("j", 1, "n1")
+    .distances(*PSM_DISTANCES)
+    .hook("psm")
+    .inputs("zero-borders")
+    .costs(int_ops=4, branches=3)
+    .output_axis(1)
+    .array("H")
+    .sizes(n0=5, n1=6)
+    .uov(*PSM_PAPER_UOV)
+    .build()
+)
+
+
+def _isg(sizes: Mapping[str, int]) -> Polytope:
+    return Polytope.from_loop_bounds(PSM_SPEC.bounds_fn(sizes))
 
 
 def _tile_sizes(sizes: Mapping[str, int]) -> tuple[int, int]:
@@ -195,27 +186,8 @@ def _tile_sizes(sizes: Mapping[str, int]) -> tuple[int, int]:
 def make_psm() -> dict[str, CodeVersion]:
     """All versions of protein string matching (Figure 12-14 legend plus
     the optimal-UOV extension)."""
-    stencil = Stencil(PSM_DISTANCES)
-    code = Code(
-        name="psm",
-        program=_program(),
-        stencil=stencil,
-        source_distances=PSM_DISTANCES,
-        bounds=_bounds,
-        make_context=_make_context,
-        input_value=_input_value,
-        input_offset=_input_offset,
-        combine=_combine,
-        combine_batch=_combine_batch,
-        input_values_batch=_input_values_batch,
-        input_offsets_batch=_input_offsets_batch,
-        extra_read_offsets=_extra_reads,
-        extra_read_offsets_batch=_extra_reads_batch,
-        output_points=_output_points,
-        flops=0,
-        int_ops=4,
-        branches=3,
-    )
+    code = synthesize_code(PSM_SPEC)
+    stencil = code.stencil
 
     def natural_mapping(sizes):
         return RowMajorMapping((sizes["n0"], sizes["n1"]), origin=(1, 1))

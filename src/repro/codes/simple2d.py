@@ -6,9 +6,10 @@
       for j = 1..m:
         A[i,j] = f( A[i-1,j], A[i,j-1], A[i-1,j-1] )
 
-Row 0 of ``A`` is initialised before the loop, column 0 holds one constant,
-and only row ``n`` is used afterwards — so everything between is temporary.
-The three storage treatments of Figure 1:
+Row 0 of ``A`` is initialised before the loop, column 0 holds one constant
+(the ``row-or-constant`` input rule), and only row ``n`` is used
+afterwards — so everything between is temporary.  The three storage
+treatments of Figure 1:
 
 - **natural** (1a): the full ``n x m`` array of temporaries;
 - **OV-mapped** (1b): UOV ``(1,1)``, mapping ``(-1,1) . q + shift`` —
@@ -16,131 +17,52 @@ The three storage treatments of Figure 1:
   borders stored in the same buffer; see EXPERIMENTS.md);
 - **storage optimized** (1c): rolling buffer of ``m + 2`` locations
   (``temp1``/``temp2`` plus one row), untilable.
+
+Declared as :data:`SIMPLE2D_SPEC` and synthesized through the frontend.
 """
 
 from __future__ import annotations
 
 from typing import Mapping
 
-import numpy as np
-
-from repro.codes.base import Code, CodeVersion
-from repro.core.stencil import Stencil
-from repro.ir import ArrayDecl, ArrayRef, Assignment, LoopNest, Program
+from repro.codes.base import CodeVersion
+from repro.frontend import SpecBuilder, synthesize_code
 from repro.mapping import OVMapping2D, RollingBufferMapping, RowMajorMapping
 from repro.schedule import LexicographicSchedule, TiledSchedule
 from repro.util.polyhedron import Polytope
 
-__all__ = ["make_simple2d", "SIMPLE2D_UOV"]
+__all__ = ["make_simple2d", "SIMPLE2D_SPEC", "SIMPLE2D_UOV"]
 
 SIMPLE2D_DISTANCES = ((1, 0), (0, 1), (1, 1))
+SIMPLE2D_WEIGHTS = (0.3, 0.3, 0.4)  # up, left, diag
 SIMPLE2D_UOV = (1, 1)
 _COLUMN_CONSTANT = 0.5
 DEFAULT_TILE = 16
 
-
-def _program() -> Program:
-    stmt = Assignment(
-        target=ArrayRef.of("A", "i", "j"),
-        sources=(
-            ArrayRef.of("A", "i-1", "j"),
-            ArrayRef.of("A", "i", "j-1"),
-            ArrayRef.of("A", "i-1", "j-1"),
-        ),
-        combine=lambda up, left, diag: 0.3 * up + 0.3 * left + 0.4 * diag,
-        flops=5,
-    )
-    return Program(
-        name="simple2d",
-        loop=LoopNest.of(("i", "j"), [(1, "n"), (1, "m")]),
-        body=(stmt,),
-        arrays=(ArrayDecl.of("A", "n+1", "m+1", live_out=False),),
-        size_symbols=("n", "m"),
-    )
-
-
-def _bounds(sizes: Mapping[str, int]):
-    return ((1, sizes["n"]), (1, sizes["m"]))
+#: The full declarative description of the Figure 1 recurrence.
+SIMPLE2D_SPEC = (
+    SpecBuilder("simple2d")
+    .loop("i", 1, "n")
+    .loop("j", 1, "m")
+    .distances(*SIMPLE2D_DISTANCES)
+    .weighted_sum(*SIMPLE2D_WEIGHTS)
+    .inputs("row-or-constant", axis=1, constant=_COLUMN_CONSTANT)
+    .costs(flops=5)
+    .sizes(n=6, m=7)
+    .uov(*SIMPLE2D_UOV)
+    .build()
+)
 
 
 def _isg(sizes: Mapping[str, int]) -> Polytope:
-    return Polytope.from_loop_bounds(_bounds(sizes))
-
-
-def _make_context(sizes: Mapping[str, int], seed: int):
-    rng = np.random.default_rng(seed)
-    return {"row0": rng.uniform(0.0, 1.0, size=sizes["m"] + 1)}
-
-
-def _input_value(p, ctx) -> float:
-    i, j = p
-    if j <= 0:
-        return _COLUMN_CONSTANT  # column 0: one constant in every entry
-    return float(ctx["row0"][j])  # row 0: the initialised input row
-
-
-def _input_offset(p, sizes) -> int:
-    i, j = p
-    if j <= 0:
-        return 0
-    return j
-
-
-def _combine(values, q, ctx) -> float:
-    up, left, diag = values
-    return 0.3 * up + 0.3 * left + 0.4 * diag
-
-
-# Batched semantics: elementwise transliterations of the scalar functions
-# above, same floating-point operation order (bit-exact by construction).
-
-
-def _combine_batch(values, q, ctx) -> np.ndarray:
-    up, left, diag = values
-    return 0.3 * up + 0.3 * left + 0.4 * diag
-
-
-def _input_values_batch(p, ctx) -> np.ndarray:
-    i, j = p
-    row0 = ctx["row0"]
-    # np.where evaluates both arms, so clamp j for the row-0 gather.
-    return np.where(
-        j <= 0, _COLUMN_CONSTANT, row0[np.clip(j, 0, len(row0) - 1)]
-    )
-
-
-def _input_offsets_batch(p, sizes) -> np.ndarray:
-    i, j = p
-    return np.where(j <= 0, 0, j)
-
-
-def _output_points(sizes: Mapping[str, int]):
-    n = sizes["n"]
-    return [(n, j) for j in range(1, sizes["m"] + 1)]
+    return Polytope.from_loop_bounds(SIMPLE2D_SPEC.bounds_fn(sizes))
 
 
 def make_simple2d() -> dict[str, CodeVersion]:
     """The Figure 1 versions: natural / OV-mapped / storage-optimized,
     plus tiled variants of the tilable ones."""
-    stencil = Stencil(SIMPLE2D_DISTANCES)
-    code = Code(
-        name="simple2d",
-        program=_program(),
-        stencil=stencil,
-        source_distances=SIMPLE2D_DISTANCES,
-        bounds=_bounds,
-        make_context=_make_context,
-        input_value=_input_value,
-        input_offset=_input_offset,
-        combine=_combine,
-        combine_batch=_combine_batch,
-        input_values_batch=_input_values_batch,
-        input_offsets_batch=_input_offsets_batch,
-        output_points=_output_points,
-        flops=5,
-        int_ops=0,
-        branches=0,
-    )
+    code = synthesize_code(SIMPLE2D_SPEC)
+    stencil = code.stencil
 
     def tile_sizes(sizes):
         t = sizes.get("tile", DEFAULT_TILE)

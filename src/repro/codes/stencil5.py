@@ -23,9 +23,14 @@ storage optimized           rolling buffer                 ``L + 3``
 ==========================  ============================  =================
 
 matching Table 1 exactly.  Reads of row 0 come from the 1-D input array
-and out-of-range columns read fixed boundary guard cells, "making it
-possible to use temporary storage for a loop computation while not having
-to change code outside the loop" (Section 5).
+and out-of-range columns read fixed boundary guard cells (the
+``padded-line`` input rule), "making it possible to use temporary storage
+for a loop computation while not having to change code outside the loop"
+(Section 5).
+
+The whole computation is declared as :data:`STENCIL5_SPEC` and synthesized
+through the frontend — the IR program, stencil, and executable semantics
+all come from the spec; this module only curates the version family.
 
 Tiling uses the skew ``x' = x + 2t`` (making every distance non-negative)
 with tile sizes taken from the ``tile_h`` / ``tile_w`` entries of the size
@@ -38,16 +43,18 @@ from __future__ import annotations
 
 from typing import Mapping
 
-import numpy as np
-
-from repro.codes.base import Code, CodeVersion
-from repro.core.stencil import Stencil
-from repro.ir import ArrayDecl, ArrayRef, Assignment, LoopNest, Program
+from repro.codes.base import CodeVersion
+from repro.frontend import SpecBuilder, synthesize_code
 from repro.mapping import OVMapping2D, RollingBufferMapping, RowMajorMapping
 from repro.schedule import LexicographicSchedule, TiledSchedule, required_skew
 from repro.util.polyhedron import Polytope
 
-__all__ = ["make_stencil5", "STENCIL5_WEIGHTS", "STENCIL5_UOV"]
+__all__ = [
+    "make_stencil5",
+    "STENCIL5_SPEC",
+    "STENCIL5_WEIGHTS",
+    "STENCIL5_UOV",
+]
 
 STENCIL5_WEIGHTS = (0.05, 0.25, 0.4, 0.25, 0.05)
 # Distance of reading A[t-1][x+dx] is (1, -dx): the producer sits dx to
@@ -59,107 +66,24 @@ STENCIL5_UOV = (2, 0)
 DEFAULT_TILE_H = 8
 DEFAULT_TILE_W = 64
 
-
-def _program() -> Program:
-    loop = LoopNest.of(("t", "x"), [(1, "T"), (0, "L-1")])
-    stmt = Assignment(
-        target=ArrayRef.of("A", "t", "x"),
-        sources=tuple(
-            ArrayRef.of("A", "t-1", f"x{dx:+d}" if dx else "x")
-            for dx in (-2, -1, 0, 1, 2)
-        ),
-        combine=lambda *vals: sum(
-            w * v for w, v in zip(STENCIL5_WEIGHTS, vals)
-        ),
-        flops=9,
-    )
-    return Program(
-        name="stencil5",
-        loop=loop,
-        body=(stmt,),
-        arrays=(ArrayDecl.of("A", "T+1", "L", live_out=False),),
-        size_symbols=("T", "L"),
-    )
-
-
-def _bounds(sizes: Mapping[str, int]):
-    return ((1, sizes["T"]), (0, sizes["L"] - 1))
+#: The full declarative description; ``synthesize_code`` turns this into
+#: the IR program, stencil, and executable semantics.
+STENCIL5_SPEC = (
+    SpecBuilder("stencil5")
+    .loop("t", 1, "T")
+    .loop("x", 0, "L-1")
+    .distances(*STENCIL5_DISTANCES)
+    .weighted_sum(*STENCIL5_WEIGHTS)
+    .inputs("padded-line", axis=1, pad=2, pad_value=0.25)
+    .costs(flops=9)
+    .sizes(T=5, L=9)
+    .uov(*STENCIL5_UOV)
+    .build()
+)
 
 
 def _isg(sizes: Mapping[str, int]) -> Polytope:
-    return Polytope.from_loop_bounds(_bounds(sizes))
-
-
-def _make_context(sizes: Mapping[str, int], seed: int):
-    rng = np.random.default_rng(seed)
-    length = sizes["L"]
-    # input[0:2] and input[L+2:L+4] are constant boundary guard cells;
-    # input[2:L+2] is the initial (time 0) contents of the array.
-    buf = rng.uniform(0.0, 1.0, size=length + 4)
-    buf[0] = buf[1] = 0.25
-    buf[-1] = buf[-2] = 0.25
-    return {"input": buf}
-
-
-def _input_value(p, ctx) -> float:
-    t, x = p
-    buf = ctx["input"]
-    length = len(buf) - 4
-    if x < 0:
-        return float(buf[max(0, x + 2)])
-    if x >= length:
-        return float(buf[min(length + 3, x + 2)])
-    return float(buf[x + 2])  # row zero: the initial array contents
-
-
-def _input_offset(p, sizes) -> int:
-    t, x = p
-    length = sizes["L"]
-    return min(max(x + 2, 0), length + 3)
-
-
-def _combine(values, q, ctx) -> float:
-    w = STENCIL5_WEIGHTS
-    return (
-        w[0] * values[0]
-        + w[1] * values[1]
-        + w[2] * values[2]
-        + w[3] * values[3]
-        + w[4] * values[4]
-    )
-
-
-# Batched semantics: elementwise transliterations of the scalar functions
-# above, in the same floating-point operation order (bit-exact agreement
-# is asserted by the engine-equivalence tests).
-
-
-def _combine_batch(values, q, ctx) -> np.ndarray:
-    w = STENCIL5_WEIGHTS
-    return (
-        w[0] * values[0]
-        + w[1] * values[1]
-        + w[2] * values[2]
-        + w[3] * values[3]
-        + w[4] * values[4]
-    )
-
-
-def _input_values_batch(p, ctx) -> np.ndarray:
-    t, x = p
-    buf = ctx["input"]
-    length = len(buf) - 4
-    return buf[np.clip(x + 2, 0, length + 3)]
-
-
-def _input_offsets_batch(p, sizes) -> np.ndarray:
-    t, x = p
-    return np.clip(x + 2, 0, sizes["L"] + 3)
-
-
-def _output_points(sizes: Mapping[str, int]):
-    t = sizes["T"]
-    return [(t, x) for x in range(sizes["L"])]
+    return Polytope.from_loop_bounds(STENCIL5_SPEC.bounds_fn(sizes))
 
 
 def _tile_sizes(sizes: Mapping[str, int]) -> tuple[int, int]:
@@ -171,26 +95,9 @@ def _tile_sizes(sizes: Mapping[str, int]) -> tuple[int, int]:
 
 def make_stencil5() -> dict[str, CodeVersion]:
     """All seven versions of the 5-point stencil (the Figure 9-11 legend)."""
-    stencil = Stencil(STENCIL5_DISTANCES)
+    code = synthesize_code(STENCIL5_SPEC)
+    stencil = code.stencil
     skew = required_skew(stencil)
-    code = Code(
-        name="stencil5",
-        program=_program(),
-        stencil=stencil,
-        source_distances=STENCIL5_DISTANCES,
-        bounds=_bounds,
-        make_context=_make_context,
-        input_value=_input_value,
-        input_offset=_input_offset,
-        combine=_combine,
-        combine_batch=_combine_batch,
-        input_values_batch=_input_values_batch,
-        input_offsets_batch=_input_offsets_batch,
-        output_points=_output_points,
-        flops=9,
-        int_ops=0,
-        branches=0,
-    )
 
     def natural_mapping(sizes):
         return RowMajorMapping((sizes["T"], sizes["L"]), origin=(1, 0))

@@ -14,7 +14,7 @@ The paper's introduction claims, for the 3-point recurrence over an
 
 from __future__ import annotations
 
-from repro.codes import make_simple2d
+from repro.codes import get_versions
 from repro.core import Stencil, find_optimal_uov
 from repro.experiments.harness import ExperimentResult
 
@@ -24,7 +24,7 @@ TITLE = "Figure 1 worked example (3-point recurrence)"
 def run(mode: str = "quick") -> ExperimentResult:
     n, m = (60, 80) if mode == "full" else (12, 17)
     sizes = {"n": n, "m": m}
-    versions = make_simple2d()
+    versions = get_versions("simple2d")
     result = ExperimentResult(
         "fig1", TITLE, mode, xlabel="version", ylabel="storage"
     )

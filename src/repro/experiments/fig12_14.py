@@ -16,7 +16,7 @@ searched-optimal-UOV variants.  The qualitative findings reproduced:
 
 from __future__ import annotations
 
-from repro.codes import make_psm
+from repro.codes import get_versions
 from repro.experiments.harness import ExperimentResult, Series
 from repro.experiments.perf import sweep
 from repro.machine import MACHINES
@@ -40,7 +40,7 @@ def run(mode: str = "quick", progress=None) -> ExperimentResult:
     lengths = (
         [64, 128, 256, 512, 704] if mode == "full" else [64, 256, 512]
     )
-    versions = make_psm()
+    versions = get_versions("psm")
     chosen = [versions[k] for k in VERSION_KEYS]
     # Cap memory uniformly so every machine's paging cliff lands inside
     # the sweep (see MachineConfig.with_memory).

@@ -11,7 +11,7 @@ are pure compute + L1 behaviour.
 
 from __future__ import annotations
 
-from repro.codes import make_stencil5
+from repro.codes import get_versions
 from repro.experiments.harness import ExperimentResult
 from repro.experiments.perf import overhead_point
 from repro.machine import MACHINES
@@ -24,7 +24,7 @@ VERSION_KEYS = ("storage-optimized", "natural", "ov-interleaved", "ov")
 def run(mode: str = "quick") -> ExperimentResult:
     t_steps, length = (32, 96) if mode == "full" else (12, 48)
     sizes = {"T": t_steps, "L": length}
-    versions = make_stencil5()
+    versions = get_versions("stencil5")
     chosen = [versions[k] for k in VERSION_KEYS]
     result = ExperimentResult(
         "fig7", TITLE, mode, xlabel="machine", ylabel="cycles/iteration"

@@ -7,7 +7,7 @@ the lowest relative overhead."*  Both orderings are asserted per machine.
 
 from __future__ import annotations
 
-from repro.codes import make_psm
+from repro.codes import get_versions
 from repro.experiments.harness import ExperimentResult
 from repro.experiments.perf import overhead_point
 from repro.machine import MACHINES
@@ -20,7 +20,7 @@ VERSION_KEYS = ("storage-optimized", "natural", "ov")
 def run(mode: str = "quick") -> ExperimentResult:
     n = 40 if mode == "full" else 24
     sizes = {"n0": n, "n1": n}
-    versions = make_psm()
+    versions = get_versions("psm")
     chosen = [versions[k] for k in VERSION_KEYS]
     result = ExperimentResult(
         "fig8", TITLE, mode, xlabel="machine", ylabel="cycles/iteration"

@@ -24,7 +24,7 @@ factor is recorded in the result.
 from __future__ import annotations
 
 from repro.analysis.liveness import is_mapping_legal
-from repro.codes import make_stencil5
+from repro.codes import get_versions
 from repro.experiments.harness import ExperimentResult, Series
 from repro.experiments.perf import sweep
 from repro.machine import MACHINES
@@ -53,7 +53,7 @@ def run(mode: str = "quick", progress=None) -> ExperimentResult:
         if mode == "full"
         else [256, 2048, 8192]
     )
-    versions = make_stencil5()
+    versions = get_versions("stencil5")
     chosen = [versions[k] for k in VERSION_KEYS]
     # Cap memory uniformly so every machine's paging cliff lands inside
     # the sweep (see MachineConfig.with_memory).

@@ -1,20 +1,22 @@
-"""Cross-code overview: the compiler pipeline applied to every code.
+"""Cross-code overview: the compilation pipeline applied to every code.
 
 Not one of the paper's numbered artifacts, but its Section 1 promise in a
-table: for each benchmark code, run the full pipeline — applicability
-analysis, stencil extraction, optimal-UOV search — and compare the three
-storage treatments' footprints and schedulability.  This is the "encourage
-programmers to write natural codes and let the compiler deal with storage
-reuse" story (Section 7), measured.
+table: push each benchmark code's spec through the unified pipeline —
+dependence analysis, optimal-UOV search, mapping and schedule selection —
+and compare the three storage treatments' footprints and schedulability.
+This is the "encourage programmers to write natural codes and let the
+compiler deal with storage reuse" story (Section 7), measured through the
+same :func:`~repro.pipeline.driver.compile_spec` path ``repro compile``
+uses.
 """
 
 from __future__ import annotations
 
-from repro.analysis.dependence import extract_stencil
-from repro.analysis.legality import check_uov_applicability
-from repro.codes import make_jacobi, make_psm, make_simple2d, make_stencil5
-from repro.core import find_optimal_uov
+import dataclasses
+
+from repro.codes import CODES, get_versions
 from repro.experiments.harness import ExperimentResult
+from repro.pipeline import ArtifactCache, compile_spec
 
 TITLE = "Overview: the UOV pipeline on every benchmark code"
 
@@ -23,13 +25,6 @@ SIZES = {
     "stencil5": {"T": 64, "L": 4096},
     "psm": {"n0": 512, "n1": 512},
     "jacobi": {"T": 64, "L": 4096},
-}
-
-MAKERS = {
-    "simple2d": make_simple2d,
-    "stencil5": make_stencil5,
-    "psm": make_psm,
-    "jacobi": make_jacobi,
 }
 
 
@@ -48,28 +43,35 @@ def run(mode: str = "quick") -> ExperimentResult:
         ]
     ]
     details = {}
-    for name, maker in MAKERS.items():
+    cache = ArtifactCache()
+    for entry in CODES.entries():
+        name = entry.name
         sizes = SIZES[name]
-        versions = maker()
-        code = next(iter(versions.values())).code
-        report = check_uov_applicability(code.program, sizes)
-        stencil = extract_stencil(code.program)
-        search = find_optimal_uov(stencil)
+        # Strip the spec's UOV override so uov-search actually searches
+        # (and certifies optimality) instead of certifying the override.
+        spec = dataclasses.replace(entry.meta["spec"], uov=None)
+        compiled = compile_spec(
+            spec, sizes=sizes, execute=False, cache=cache
+        )
+        dependence = compiled.artifact("dependence")
+        search = compiled.artifact("uov-search")
+        versions = get_versions(name)
         natural = versions["natural"].storage(sizes)
         ov = versions["ov"].storage(sizes)
         optimized = versions["storage-optimized"].storage(sizes)
         details[name] = {
-            "report": report,
+            "dependence": dependence,
             "search": search,
             "natural": natural,
             "ov": ov,
             "optimized": optimized,
+            "untilable_floor": not versions["storage-optimized"].tilable,
         }
         rows.append(
             [
                 name,
-                str(list(stencil.vectors)),
-                str(search.ov),
+                str([tuple(d) for d in dependence.distances]),
+                str(tuple(search.ov)),
                 str(natural),
                 str(ov),
                 str(optimized),
@@ -81,7 +83,7 @@ def run(mode: str = "quick") -> ExperimentResult:
 
     result.claim(
         "every benchmark code passes the applicability analysis",
-        lambda: all(bool(d["report"]) for d in details.values()),
+        lambda: all(d["dependence"].ok for d in details.values()),
     )
     result.claim(
         "the search certifies optimality on every stencil",
@@ -99,10 +101,7 @@ def run(mode: str = "quick") -> ExperimentResult:
         lambda: all(
             d["optimized"] <= d["ov"] for d in details.values()
         )
-        and all(
-            not MAKERS[name]()["storage-optimized"].tilable
-            for name in MAKERS
-        ),
+        and all(d["untilable_floor"] for d in details.values()),
     )
     result.claim(
         "every OV search finishes in well under a hundred nodes",

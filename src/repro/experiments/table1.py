@@ -15,7 +15,7 @@ is recomputed from the same objects the simulator runs.
 
 from __future__ import annotations
 
-from repro.codes import make_stencil5
+from repro.codes import get_versions
 from repro.experiments.harness import ExperimentResult
 
 TITLE = "Table 1: 5-point stencil storage"
@@ -24,7 +24,7 @@ TITLE = "Table 1: 5-point stencil storage"
 def run(mode: str = "quick") -> ExperimentResult:
     t_steps, length = (64, 4096) if mode == "full" else (8, 64)
     sizes = {"T": t_steps, "L": length}
-    versions = make_stencil5()
+    versions = get_versions("stencil5")
     result = ExperimentResult("table1", TITLE, mode)
 
     natural = versions["natural"].mapping(sizes).size

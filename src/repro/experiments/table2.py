@@ -20,7 +20,7 @@ table — halves the OV-mapped footprint.
 
 from __future__ import annotations
 
-from repro.codes import make_psm
+from repro.codes import get_versions
 from repro.codes.psm import PSM_PAPER_UOV
 from repro.core import Stencil, find_optimal_uov
 from repro.experiments.harness import ExperimentResult
@@ -31,7 +31,7 @@ TITLE = "Table 2: protein string matching storage"
 def run(mode: str = "quick") -> ExperimentResult:
     n0, n1 = (512, 640) if mode == "full" else (24, 31)
     sizes = {"n0": n0, "n1": n1}
-    versions = make_psm()
+    versions = get_versions("psm")
     result = ExperimentResult("table2", TITLE, mode)
 
     natural = versions["natural"].mapping(sizes).size

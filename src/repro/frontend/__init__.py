@@ -1,0 +1,47 @@
+"""The spec-driven frontend: declarative stencils in, full ``Code`` out.
+
+Write a :class:`StencilSpec` (JSON file, dict, or :class:`SpecBuilder`
+chain) naming dimensions, bounds, source distances, the combine
+expression, and a boundary/input rule; :func:`validate_spec` checks it
+into canonical form with structured diagnostics, and
+:func:`synthesize_code` turns it into the same ``Code`` object a
+hand-written ``codes/*.py`` module would construct — IR program,
+stencil, executable scalar and batched semantics, costs.  The four
+built-in codes are themselves expressed this way, and the compilation
+pipeline (:mod:`repro.pipeline`) consumes specs directly.
+"""
+
+from repro.frontend.combine import (
+    COMBINE_HOOKS,
+    CompiledCombine,
+    SemanticsHook,
+    compile_combine,
+)
+from repro.frontend.inputs import INPUT_RULES, InputBindings, build_input_rule
+from repro.frontend.spec import SpecBuilder, SpecError, StencilSpec, validate_spec
+from repro.frontend.synth import (
+    code_to_spec,
+    make_versions,
+    resolve_uov,
+    spec_version,
+    synthesize_code,
+)
+
+__all__ = [
+    "COMBINE_HOOKS",
+    "CompiledCombine",
+    "INPUT_RULES",
+    "InputBindings",
+    "SemanticsHook",
+    "SpecBuilder",
+    "SpecError",
+    "StencilSpec",
+    "build_input_rule",
+    "code_to_spec",
+    "compile_combine",
+    "make_versions",
+    "resolve_uov",
+    "spec_version",
+    "synthesize_code",
+    "validate_spec",
+]

@@ -24,8 +24,11 @@ from repro.mapping.optimized import RollingBufferMapping
 from repro.mapping.ov2d import OVMapping2D
 from repro.mapping.padding import PaddedOVMapping2D, pad_for_cache
 from repro.mapping.ovnd import OVMappingND
+from repro.mapping.registry import MAPPINGS, build_mapping
 
 __all__ = [
+    "MAPPINGS",
+    "build_mapping",
     "StorageMapping",
     "OpCounts",
     "RowMajorMapping",

@@ -1,0 +1,64 @@
+"""The unified compilation pipeline: spec in, verified result out.
+
+A pass manager over the paper's flow with typed stages (``parse ->
+dependence -> uov-search -> mapping-select -> schedule-select -> lint ->
+execute -> codegen``), explicit artifact dataclasses between stages,
+chained content-hash caching (sharing the engine-fingerprint idiom of
+:mod:`repro.experiments.harness`), per-stage obs spans and metrics, and
+the string-keyed plugin registries (:data:`~repro.codes.CODES`,
+:data:`~repro.mapping.MAPPINGS`, :data:`~repro.schedule.SCHEDULES`) that
+replaced the scattered if/elif dispatch in ``cli.py`` and
+``experiments/``.
+"""
+
+from repro.codes import CODES
+from repro.mapping import MAPPINGS, build_mapping
+from repro.pipeline.artifacts import (
+    Artifact,
+    CodegenArtifact,
+    DependenceArtifact,
+    ExecuteArtifact,
+    LintArtifact,
+    MappingArtifact,
+    ParseArtifact,
+    ScheduleArtifact,
+    UOVArtifact,
+)
+from repro.pipeline.cache import ArtifactCache
+from repro.pipeline.driver import (
+    CompileResult,
+    PipelineContext,
+    StageRecord,
+    compile_spec,
+)
+from repro.pipeline.stages import PIPELINE_STAGES, Stage, StageError
+from repro.schedule import SCHEDULES, build_schedule
+from repro.util.registry import Registry, RegistryEntry, UnknownNameError
+
+__all__ = [
+    "Artifact",
+    "ArtifactCache",
+    "CODES",
+    "CodegenArtifact",
+    "CompileResult",
+    "DependenceArtifact",
+    "ExecuteArtifact",
+    "LintArtifact",
+    "MAPPINGS",
+    "MappingArtifact",
+    "PIPELINE_STAGES",
+    "ParseArtifact",
+    "PipelineContext",
+    "Registry",
+    "RegistryEntry",
+    "SCHEDULES",
+    "ScheduleArtifact",
+    "Stage",
+    "StageError",
+    "StageRecord",
+    "UOVArtifact",
+    "UnknownNameError",
+    "build_mapping",
+    "build_schedule",
+    "compile_spec",
+]

@@ -1,0 +1,123 @@
+"""Typed artifacts passed between pipeline stages.
+
+Every stage consumes the artifacts before it and produces exactly one of
+these dataclasses.  They are deliberately plain — JSON-native field
+types only — because they are also the unit of caching: a cache hit
+deserialises the artifact without running the stage, so nothing in an
+artifact may require live objects to reconstruct.  Live objects (the
+synthesized ``Code``, mappings, schedules) are rebuilt lazily by the
+:class:`~repro.pipeline.driver.PipelineContext` only when a downstream
+stage actually runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Mapping, Optional
+
+__all__ = [
+    "Artifact",
+    "ParseArtifact",
+    "DependenceArtifact",
+    "UOVArtifact",
+    "MappingArtifact",
+    "ScheduleArtifact",
+    "LintArtifact",
+    "ExecuteArtifact",
+    "CodegenArtifact",
+]
+
+
+@dataclass(frozen=True)
+class Artifact:
+    """Base: JSON (de)serialisation shared by every stage artifact."""
+
+    def to_json(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, data: Mapping) -> "Artifact":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class ParseArtifact(Artifact):
+    """``parse``: the validated spec in canonical JSON form."""
+
+    spec: dict
+    size_symbols: list
+    ndim: int
+
+
+@dataclass(frozen=True)
+class DependenceArtifact(Artifact):
+    """``dependence``: extracted stencil + Section 2 preconditions."""
+
+    distances: list
+    ok: bool
+    problems: list
+    initial_uov: list
+
+
+@dataclass(frozen=True)
+class UOVArtifact(Artifact):
+    """``uov-search``: the occupancy vector the rest of the flow uses."""
+
+    ov: list
+    source: str  # "search" or "override"
+    optimal: bool
+    storage: Optional[int]
+    nodes_visited: int
+
+
+@dataclass(frozen=True)
+class MappingArtifact(Artifact):
+    """``mapping-select``: the chosen storage mapping, instantiated."""
+
+    name: str
+    ov: Optional[list]
+    size: int
+    natural_size: int
+
+
+@dataclass(frozen=True)
+class ScheduleArtifact(Artifact):
+    """``schedule-select``: the chosen schedule and its legality."""
+
+    name: str
+    legal: bool
+    tile: Optional[list]
+    batches: int
+
+
+@dataclass(frozen=True)
+class LintArtifact(Artifact):
+    """``lint``: the structured findings report (diag JSON schema)."""
+
+    report: dict
+    max_severity: Optional[str]
+
+    @property
+    def findings(self) -> list:
+        return list(self.report.get("findings", []))
+
+
+@dataclass(frozen=True)
+class ExecuteArtifact(Artifact):
+    """``execute``: subject ran and matched the lex-schedule reference."""
+
+    verified: bool
+    n_outputs: int
+    outputs_sha256: str
+    subject_storage: int
+    reference_storage: int
+
+
+@dataclass(frozen=True)
+class CodegenArtifact(Artifact):
+    """``codegen``: generated Python source (when the backend supports
+    the mapping/schedule combination)."""
+
+    supported: bool
+    source: Optional[str]
+    reason: str = ""

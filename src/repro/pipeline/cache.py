@@ -1,0 +1,86 @@
+"""Content-hash artifact cache with chained per-stage keys.
+
+Reuses the idiom of :mod:`repro.experiments.harness`: every key folds in
+:func:`~repro.experiments.harness.engine_fingerprint` (a digest of all
+``repro`` sources outside ``experiments/``), so editing any analysis,
+mapping, schedule, or execution source transparently invalidates every
+cached artifact, while results survive across processes as one JSON file
+per artifact written atomically via ``os.replace``.
+
+Keys are *chained*: each stage's key hashes its parent stage's key plus
+only the stage-local payload (the spec fields that stage actually reads).
+Editing one directive therefore invalidates exactly the stages downstream
+of the first stage whose payload changed — the upstream prefix still
+hits.  The pipeline-caching tests assert both directions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Mapping, Optional, Union
+
+from repro.experiments.harness import engine_fingerprint
+
+__all__ = ["ArtifactCache"]
+
+
+class ArtifactCache:
+    """Two-level artifact store: in-process dict over optional JSON files.
+
+    ``cache_dir=None`` keeps artifacts for the lifetime of the process
+    only (enough for repeated ``compile_spec`` calls in one run); with a
+    directory, artifacts persist across processes.  ``hits`` and
+    ``misses`` count lookups, for tests and telemetry.
+    """
+
+    def __init__(self, cache_dir: Optional[Union[str, os.PathLike]] = None):
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self._memory: dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def key(self, stage: str, parent_key: Optional[str], payload: Mapping) -> str:
+        """Chained content hash identifying one stage invocation."""
+        digest = hashlib.sha256()
+        digest.update(engine_fingerprint().encode())
+        digest.update(b"\0")
+        digest.update(stage.encode())
+        digest.update(b"\0")
+        digest.update((parent_key or "").encode())
+        digest.update(b"\0")
+        digest.update(json.dumps(payload, sort_keys=True).encode())
+        return digest.hexdigest()[:24]
+
+    def _path(self, stage: str, key: str) -> Path:
+        return self.cache_dir / f"{stage}-{key}.json"
+
+    def load(self, stage: str, key: str) -> Optional[dict]:
+        record = self._memory.get(key)
+        if record is None and self.cache_dir is not None:
+            path = self._path(stage, key)
+            if path.exists():
+                try:
+                    record = json.loads(path.read_text())
+                except (OSError, json.JSONDecodeError):
+                    record = None  # corrupt entry: treat as a miss
+                if record is not None:
+                    self._memory[key] = record
+        if record is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def store(self, stage: str, key: str, artifact_json: dict) -> None:
+        self._memory[key] = artifact_json
+        if self.cache_dir is None:
+            return
+        path = self._path(stage, key)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(artifact_json, indent=2, sort_keys=True))
+        os.replace(tmp, path)  # atomic: a reader never sees a torn file

@@ -1,0 +1,246 @@
+"""The typed stages of the compilation pipeline.
+
+Stage order mirrors the paper's flow (Sections 2-5)::
+
+    parse -> dependence -> uov-search -> mapping-select
+          -> schedule-select -> lint -> execute -> codegen
+
+Each :class:`Stage` declares the slice of the spec it reads
+(``payload`` — hashed into its chained cache key) and how to produce its
+artifact from the live :class:`~repro.pipeline.driver.PipelineContext`
+(``run`` — executed only on a cache miss).  Keeping payloads minimal is
+what makes invalidation surgical: the ``schedule`` directive appears only
+from ``schedule-select`` onward, so editing it leaves the parse /
+dependence / uov-search / mapping-select prefix warm.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.pipeline.artifacts import (
+    Artifact,
+    CodegenArtifact,
+    DependenceArtifact,
+    ExecuteArtifact,
+    LintArtifact,
+    MappingArtifact,
+    ParseArtifact,
+    ScheduleArtifact,
+    UOVArtifact,
+)
+
+__all__ = ["PIPELINE_STAGES", "Stage", "StageError"]
+
+
+class StageError(RuntimeError):
+    """A stage could not produce its artifact (bad OV override, illegal
+    schedule, execution mismatch); carries the stage name."""
+
+    def __init__(self, stage: str, message: str):
+        self.stage = stage
+        super().__init__(f"[{stage}] {message}")
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One pipeline pass: what it reads (for caching) and what it does."""
+
+    name: str
+    artifact_cls: type
+    payload: Callable[["PipelineContext"], dict]  # noqa: F821
+    run: Callable[["PipelineContext"], Artifact]  # noqa: F821
+
+
+# -- stage implementations ----------------------------------------------------
+
+
+def _parse_payload(ctx) -> dict:
+    return {"structural": ctx.spec.structural_json()}
+
+
+def _parse_run(ctx) -> ParseArtifact:
+    return ParseArtifact(
+        spec=ctx.spec.to_json(),
+        size_symbols=list(ctx.spec.size_symbols),
+        ndim=ctx.spec.ndim,
+    )
+
+
+def _dependence_payload(ctx) -> dict:
+    return {}
+
+
+def _dependence_run(ctx) -> DependenceArtifact:
+    from repro.analysis.legality import check_uov_applicability
+
+    report = check_uov_applicability(ctx.code.program, sizes=ctx.sizes)
+    stencil = ctx.code.stencil
+    return DependenceArtifact(
+        distances=[list(v) for v in stencil.vectors],
+        ok=bool(report.ok),
+        problems=list(report.problems),
+        initial_uov=list(stencil.initial_uov),
+    )
+
+
+def _uov_payload(ctx) -> dict:
+    return {"uov": list(ctx.spec.uov) if ctx.spec.uov is not None else None}
+
+
+def _uov_run(ctx) -> UOVArtifact:
+    from repro.analysis.certify import UOVCounterexample, certify
+    from repro.core.search import find_optimal_uov
+
+    if ctx.spec.uov is not None:
+        ov = tuple(ctx.spec.uov)
+        verdict = certify(ov, ctx.code.stencil, counterexample_schedule=False)
+        if isinstance(verdict, UOVCounterexample):
+            raise StageError(
+                "uov-search",
+                f"uov override {list(ov)} is not universal "
+                f"(ov - {list(verdict.failing_vector)} leaves the stencil "
+                f"cone); the initial UOV "
+                f"{list(ctx.code.stencil.initial_uov)} is always safe",
+            )
+        return UOVArtifact(
+            ov=list(ov),
+            source="override",
+            optimal=False,
+            storage=None,
+            nodes_visited=0,
+        )
+    result = find_optimal_uov(ctx.code.stencil)
+    return UOVArtifact(
+        ov=list(result.ov),
+        source="search",
+        optimal=bool(result.optimal),
+        storage=int(result.storage) if result.storage is not None else None,
+        nodes_visited=int(result.nodes_visited),
+    )
+
+
+def _mapping_payload(ctx) -> dict:
+    return {"mapping": ctx.spec.mapping, "sizes": dict(ctx.sizes)}
+
+
+def _mapping_run(ctx) -> MappingArtifact:
+    mapping = ctx.subject.mapping(ctx.sizes)
+    natural = ctx.family["natural"].mapping(ctx.sizes)
+    return MappingArtifact(
+        name=ctx.spec.mapping,
+        ov=list(ctx.ov) if ctx.spec.mapping.startswith("ov") else None,
+        size=int(mapping.size),
+        natural_size=int(natural.size),
+    )
+
+
+def _schedule_payload(ctx) -> dict:
+    return {
+        "schedule": ctx.spec.schedule,
+        "tile": list(ctx.spec.tile) if ctx.spec.tile is not None else None,
+        "sizes": dict(ctx.sizes),
+    }
+
+
+def _count_batches(schedule, bounds, stencil):
+    """Number of wavefront batches, or None when the schedule admits no
+    batch decomposition (the interpreter then runs point-at-a-time)."""
+    runs = schedule.batches(bounds, stencil)
+    if runs is None:
+        return None
+    return sum(1 for _ in runs)
+
+
+def _schedule_run(ctx) -> ScheduleArtifact:
+    schedule = ctx.subject.schedule(ctx.sizes)
+    bounds = ctx.bounds
+    legal = bool(schedule.is_legal_for(ctx.code.stencil, bounds))
+    if not legal:
+        raise StageError(
+            "schedule-select",
+            f"schedule {ctx.spec.schedule!r} violates a value dependence "
+            f"of {[list(v) for v in ctx.code.stencil.vectors]}",
+        )
+    return ScheduleArtifact(
+        name=ctx.spec.schedule,
+        legal=legal,
+        tile=list(ctx.spec.tile) if ctx.spec.tile is not None else None,
+        batches=_count_batches(schedule, bounds, ctx.code.stencil),
+    )
+
+
+def _lint_payload(ctx) -> dict:
+    return {
+        "sizes": dict(ctx.sizes),
+        "seed": ctx.seed,
+        "fuzz": ctx.lint_fuzz,
+    }
+
+
+def _lint_run(ctx) -> LintArtifact:
+    from repro.analysis.diag import Diagnostics
+    from repro.analysis.passes import build_target, lint_target
+
+    versions = dict(ctx.family)
+    versions["spec"] = ctx.subject
+    target = build_target(
+        ctx.spec.name, versions, ctx.sizes, fuzz=ctx.lint_fuzz, seed=ctx.seed
+    )
+    diag = lint_target(target, diag=Diagnostics())
+    worst = diag.max_severity()
+    return LintArtifact(
+        report=diag.to_json(),
+        max_severity=str(worst) if worst is not None else None,
+    )
+
+
+def _execute_payload(ctx) -> dict:
+    return {"sizes": dict(ctx.sizes), "seed": ctx.seed}
+
+
+def _execute_run(ctx) -> ExecuteArtifact:
+    from repro.execution.verify import VersionMismatch, verify_versions
+
+    reference = ctx.family["natural"]
+    try:
+        outputs = verify_versions([reference, ctx.subject], ctx.sizes, ctx.seed)
+    except VersionMismatch as exc:
+        raise StageError("execute", str(exc))
+    checksum = hashlib.sha256(outputs.tobytes()).hexdigest()[:16]
+    return ExecuteArtifact(
+        verified=True,
+        n_outputs=int(outputs.size),
+        outputs_sha256=checksum,
+        subject_storage=int(ctx.subject.mapping(ctx.sizes).size),
+        reference_storage=int(reference.mapping(ctx.sizes).size),
+    )
+
+
+def _codegen_payload(ctx) -> dict:
+    return {"sizes": dict(ctx.sizes)}
+
+
+def _codegen_run(ctx) -> CodegenArtifact:
+    from repro.codegen.python_gen import generate_python
+
+    try:
+        source = generate_python(ctx.subject, ctx.sizes)
+    except (NotImplementedError, ValueError) as exc:
+        return CodegenArtifact(supported=False, source=None, reason=str(exc))
+    return CodegenArtifact(supported=True, source=source)
+
+
+#: The canonical stage sequence, in execution order.
+PIPELINE_STAGES: tuple[Stage, ...] = (
+    Stage("parse", ParseArtifact, _parse_payload, _parse_run),
+    Stage("dependence", DependenceArtifact, _dependence_payload, _dependence_run),
+    Stage("uov-search", UOVArtifact, _uov_payload, _uov_run),
+    Stage("mapping-select", MappingArtifact, _mapping_payload, _mapping_run),
+    Stage("schedule-select", ScheduleArtifact, _schedule_payload, _schedule_run),
+    Stage("lint", LintArtifact, _lint_payload, _lint_run),
+    Stage("execute", ExecuteArtifact, _execute_payload, _execute_run),
+    Stage("codegen", CodegenArtifact, _codegen_payload, _codegen_run),
+)

@@ -15,9 +15,12 @@ from repro.schedule.lex import InterchangedSchedule, LexicographicSchedule
 from repro.schedule.random_legal import random_legal_order, sample_legal_orders
 from repro.schedule.skew import SkewedSchedule, skew_matrix_2d
 from repro.schedule.tiling import TiledSchedule, required_skew
+from repro.schedule.registry import SCHEDULES, build_schedule
 from repro.schedule.wavefront import WavefrontSchedule
 
 __all__ = [
+    "SCHEDULES",
+    "build_schedule",
     "Schedule",
     "HierarchicalTiledSchedule",
     "LexicographicSchedule",

@@ -1,0 +1,70 @@
+"""Named schedule plugins for the compilation pipeline.
+
+Each entry builds a concrete :class:`~repro.schedule.base.Schedule` from
+the extracted stencil, the evaluated integer loop bounds, and the spec's
+option mapping (tile shape, interchange permutation, wavefront weights).
+Registering here makes a schedule reachable from a JSON spec's
+``"schedule"`` directive, ``repro compile``, and ``repro list``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Optional, Sequence
+
+from repro.core.stencil import Stencil
+from repro.schedule.base import Schedule
+from repro.schedule.lex import InterchangedSchedule, LexicographicSchedule
+from repro.schedule.tiling import TiledSchedule, required_skew
+from repro.schedule.wavefront import WavefrontSchedule
+from repro.util.registry import Registry
+
+__all__ = ["SCHEDULES", "build_schedule"]
+
+Bounds = Sequence[tuple[int, int]]
+
+#: Schedule name -> ``build(stencil, bounds, options) -> Schedule``.
+SCHEDULES: Registry[Callable] = Registry("schedule")
+
+DEFAULT_TILE = 16
+
+
+def build_schedule(
+    name: str,
+    stencil: Stencil,
+    bounds: Bounds,
+    options: Optional[Mapping] = None,
+) -> Schedule:
+    """Instantiate the registered schedule ``name``."""
+    return SCHEDULES.get(name)(stencil, tuple(bounds), dict(options or {}))
+
+
+@SCHEDULES.register("lex", summary="original lexicographic execution order")
+def _lex(stencil, bounds, options) -> Schedule:
+    return LexicographicSchedule()
+
+
+@SCHEDULES.register("interchange", summary="permuted loop order")
+def _interchange(stencil, bounds, options) -> Schedule:
+    perm = options.get("perm")
+    if perm is None:
+        perm = tuple(reversed(range(len(bounds))))
+    return InterchangedSchedule(tuple(perm))
+
+
+@SCHEDULES.register("wavefront", summary="anti-diagonal wavefront order")
+def _wavefront(stencil, bounds, options) -> Schedule:
+    weights = options.get("weights")
+    if weights is None:
+        weights = (1,) * len(bounds)
+    return WavefrontSchedule(tuple(weights))
+
+
+@SCHEDULES.register(
+    "tiled",
+    summary="rectangular tiling with automatic legalising skew",
+)
+def _tiled(stencil, bounds, options) -> Schedule:
+    tile = options.get("tile")
+    if tile is None:
+        tile = (DEFAULT_TILE,) * len(bounds)
+    return TiledSchedule(tuple(tile), skew=required_skew(stencil))

@@ -1,0 +1,109 @@
+"""String-keyed plugin registries with did-you-mean lookup errors.
+
+The pipeline dispatches codes, storage mappings, schedules, input rules
+and combine hooks by name; every such family is a :class:`Registry`.  A
+failed lookup raises :class:`UnknownNameError` — a ``KeyError`` subclass
+whose message lists the registered names and suggests close matches —
+replacing the bare ``KeyError``/if-elif fallthroughs that used to live in
+``cli.py`` and ``experiments/``.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generic, Iterator, Optional, TypeVar
+
+__all__ = ["Registry", "RegistryEntry", "UnknownNameError"]
+
+T = TypeVar("T")
+
+
+class UnknownNameError(KeyError):
+    """Lookup of a name that is not registered.
+
+    Subclasses ``KeyError`` so existing ``except KeyError`` call sites
+    (and tests matching ``unknown code``) keep working; ``str(exc)``
+    yields the full message because ``args[0]`` carries it.
+    """
+
+    def __init__(self, kind: str, name: str, known: list[str]):
+        suggestions = difflib.get_close_matches(name, known, n=3, cutoff=0.5)
+        message = f"unknown {kind} {name!r}; one of {sorted(known)}"
+        if suggestions:
+            quoted = ", ".join(repr(s) for s in suggestions)
+            message += f" (did you mean {quoted}?)"
+        super().__init__(message)
+        self.kind = kind
+        self.name = name
+        self.known = sorted(known)
+        self.suggestions = suggestions
+
+
+@dataclass(frozen=True)
+class RegistryEntry(Generic[T]):
+    """One registered plugin: the value plus its self-description."""
+
+    name: str
+    value: T
+    summary: str = ""
+    meta: dict = field(default_factory=dict)
+
+
+class Registry(Generic[T]):
+    """An ordered, write-once mapping from names to plugin entries."""
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self._entries: dict[str, RegistryEntry[T]] = {}
+
+    def register(
+        self,
+        name: str,
+        value: Optional[T] = None,
+        summary: str = "",
+        **meta: Any,
+    ):
+        """Register ``value`` under ``name``; usable as a decorator."""
+
+        def _add(obj: T) -> T:
+            if name in self._entries:
+                raise ValueError(
+                    f"{self.kind} {name!r} registered twice"
+                )
+            self._entries[name] = RegistryEntry(name, obj, summary, dict(meta))
+            return obj
+
+        if value is None:
+            return _add
+        return _add(value)
+
+    def get(self, name: str) -> T:
+        entry = self._entries.get(name)
+        if entry is None:
+            raise UnknownNameError(self.kind, name, list(self._entries))
+        return entry.value
+
+    def entry(self, name: str) -> RegistryEntry[T]:
+        if name not in self._entries:
+            raise UnknownNameError(self.kind, name, list(self._entries))
+        return self._entries[name]
+
+    def entries(self) -> tuple[RegistryEntry[T], ...]:
+        return tuple(self._entries.values())
+
+    def names(self) -> list[str]:
+        return list(self._entries)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def as_dict(self) -> dict[str, T]:
+        """Name -> value view (for legacy ``MAKERS``-style callers)."""
+        return {name: e.value for name, e in self._entries.items()}

@@ -237,3 +237,128 @@ class TestCommon:
     def test_no_common_uov(self, capsys):
         assert main(["common", "--stencils", "1,0 | 0,1"]) == 1
         assert "no common UOV" in capsys.readouterr().out
+
+
+class TestCompile:
+    def test_compile_registered_code(self, capsys):
+        assert main(["compile", "stencil5", "--execute", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "uov-search" in out and "verified" in out
+
+    def test_compile_spec_file(self, capsys, tmp_path):
+        import json
+
+        spec_path = tmp_path / "probe.json"
+        spec_path.write_text(
+            json.dumps(
+                {
+                    "name": "probe",
+                    "indices": ["t", "x"],
+                    "bounds": [[1, "T"], [0, "L - 1"]],
+                    "distances": [[1, 1], [1, 0], [1, -1]],
+                    "combine": {
+                        "kind": "weighted-sum",
+                        "weights": [0.25, 0.5, 0.25],
+                    },
+                    "inputs": {
+                        "kind": "padded-line",
+                        "axis": 1,
+                        "pad": 1,
+                        "pad_value": 0.0,
+                    },
+                    "sizes": {"T": 4, "L": 8},
+                }
+            )
+        )
+        assert (
+            main(
+                ["compile", str(spec_path), "--lint", "--execute",
+                 "--no-cache"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "UOV [2, 0]" in out
+        assert "verified" in out
+
+    def test_compile_json_format(self, capsys):
+        import json
+
+        assert (
+            main(["compile", "jacobi", "--no-cache", "--format", "json"])
+            == 0
+        )
+        doc = json.loads(capsys.readouterr().out)
+        assert [s["name"] for s in doc["stages"]][:3] == [
+            "parse", "dependence", "uov-search",
+        ]
+
+    def test_invalid_spec_reports_diagnostics_not_a_traceback(
+        self, capsys, tmp_path
+    ):
+        spec_path = tmp_path / "broken.json"
+        spec_path.write_text('{"name": "broken", "indices": ["t"]}')
+        assert main(["compile", str(spec_path)]) == 1
+        err = capsys.readouterr().err
+        assert "SPEC001" in err
+
+    def test_missing_file_is_a_usage_error(self, capsys):
+        assert main(["compile", "no/such/spec.json"]) == 2
+        capsys.readouterr()
+
+    def test_unknown_code_name_suggests(self, capsys):
+        assert main(["compile", "stencil6"]) == 2
+        assert "did you mean 'stencil5'?" in capsys.readouterr().err
+
+    def test_cache_dir_warm_second_run(self, capsys, tmp_path):
+        argv = ["compile", "jacobi", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "[cached]" in out
+
+
+class TestRun:
+    def test_run_registered_code(self, capsys):
+        assert (
+            main(["run", "stencil5", "--sizes", "T=4,L=10", "--no-cache"])
+            == 0
+        )
+        assert "verified" in capsys.readouterr().out
+
+    def test_run_with_schedule_override(self, capsys):
+        assert (
+            main(
+                ["run", "jacobi", "--schedule", "tiled", "--tile", "2,4",
+                 "--no-cache"]
+            )
+            == 0
+        )
+        assert "tiled: legal" in capsys.readouterr().out
+
+    def test_run_unknown_code(self, capsys):
+        assert main(["run", "jacobbi"]) == 2
+        assert "did you mean 'jacobi'?" in capsys.readouterr().err
+
+
+class TestList:
+    def test_list_everything(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for heading in (
+            "codes:", "mappings:", "schedules:", "input-rules:",
+            "combine-hooks:", "passes:",
+        ):
+            assert heading in out
+        assert "stencil5" in out and "rolling-buffer" in out
+
+    def test_list_one_registry(self, capsys):
+        assert main(["list", "codes"]) == 0
+        out = capsys.readouterr().out
+        assert "stencil5" in out
+        assert "mappings:" not in out
+
+    def test_list_unknown_registry(self, capsys):
+        assert main(["list", "codez"]) == 2
+        assert "unknown registry" in capsys.readouterr().err
