@@ -239,6 +239,13 @@ def _render_compile_text(result) -> str:
                 + (f", {a.nodes_visited} nodes" if a.nodes_visited else "")
                 + ")"
             )
+            if getattr(a, "degradation", None):
+                d = a.degradation
+                lines.append(
+                    f"{'':20s}DEGRADED: {d.get('reason')} after "
+                    f"{d.get('nodes_explored', 0)} nodes "
+                    f"({d.get('fallback', 'incumbent')} fallback)"
+                )
         elif name == "mapping-select":
             pct = 100.0 * a.size / a.natural_size if a.natural_size else 0.0
             lines.append(
@@ -269,6 +276,22 @@ def _render_compile_text(result) -> str:
     return "\n".join(lines)
 
 
+def _search_budget(args):
+    """A ``Budget`` for the uov-search stage from the CLI flags (or None)."""
+    from repro.resilience import Budget
+
+    wall_ms = getattr(args, "search_wall_ms", None)
+    max_nodes = getattr(args, "search_max_nodes", None)
+    memory_mb = getattr(args, "search_memory_mb", None)
+    if wall_ms is None and max_nodes is None and memory_mb is None:
+        return None
+    return Budget(
+        wall_s=wall_ms / 1e3 if wall_ms is not None else None,
+        max_nodes=max_nodes,
+        memory_mb=memory_mb,
+    )
+
+
 def _run_pipeline(args, spec, *, lint: bool, execute: bool, codegen: bool):
     """Shared compile/run driver: returns the process exit code."""
     import dataclasses
@@ -291,6 +314,7 @@ def _run_pipeline(args, spec, *, lint: bool, execute: bool, codegen: bool):
             execute=execute,
             codegen=codegen,
             cache=_make_cache(args),
+            search_budget=_search_budget(args),
         )
     except StageError as exc:
         print(f"compile failed at {exc.stage}: {exc}", file=sys.stderr)
@@ -430,6 +454,14 @@ def _cmd_experiments(args) -> int:
     argv += ["--jobs", str(args.jobs), "--cache-dir", args.cache_dir]
     if args.no_cache:
         argv.append("--no-cache")
+    if args.timeout is not None:
+        argv += ["--timeout", str(args.timeout)]
+    if args.retries:
+        argv += ["--retries", str(args.retries)]
+    if args.checkpoint:
+        argv += ["--checkpoint", args.checkpoint]
+    if args.resume:
+        argv.append("--resume")
     if args.trace:
         argv += ["--trace", args.trace]
     if args.log_level:
@@ -484,6 +516,21 @@ def main(argv=None) -> int:
         default=None,
         metavar="LEVEL",
         help="stderr log level for the repro.* loggers (e.g. INFO, DEBUG)",
+    )
+    group.add_argument(
+        "--inject",
+        default=None,
+        metavar="SPEC",
+        help="arm the fault-injection plan (chaos testing), e.g. "
+        "'harness.worker:transient:times=1'; inherited by worker "
+        "processes — see DESIGN.md §12",
+    )
+    group.add_argument(
+        "--inject-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="seed for probabilistic (p=) fault rules",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -545,6 +592,29 @@ def main(argv=None) -> int:
         "--no-cache",
         action="store_true",
         help="ignore any artifact cache",
+    )
+    bgroup = spec_flags.add_argument_group("uov-search budget (DESIGN.md §12)")
+    bgroup.add_argument(
+        "--search-max-nodes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="node budget for the uov-search stage (exhaustion degrades "
+        "gracefully to the best incumbent, at worst the trivial ov0)",
+    )
+    bgroup.add_argument(
+        "--search-wall-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="wall-time budget for the uov-search stage",
+    )
+    bgroup.add_argument(
+        "--search-memory-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="process peak-RSS watermark budget for the uov-search stage",
     )
 
     p_compile = sub.add_parser(
@@ -690,6 +760,32 @@ def main(argv=None) -> int:
         action="store_true",
         help="disable the simulation result cache",
     )
+    p_exp.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-simulation timeout in seconds (terminates the worker)",
+    )
+    p_exp.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retries per failed simulation before quarantining it",
+    )
+    p_exp.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="FILE",
+        help="JSONL progress checkpoint "
+        "(default <cache-dir>/checkpoint.jsonl when the cache is enabled)",
+    )
+    p_exp.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the checkpoint instead of starting fresh",
+    )
     p_exp.set_defaults(func=_cmd_experiments)
 
     p_ts = sub.add_parser(
@@ -708,6 +804,15 @@ def main(argv=None) -> int:
     p_ts.set_defaults(func=_cmd_trace_summary)
 
     args = parser.parse_args(argv)
+    if args.inject:
+        from repro.resilience import FaultPlan, install_plan
+
+        try:
+            plan = FaultPlan.from_spec(args.inject, seed=args.inject_seed)
+        except ValueError as exc:
+            parser.error(f"--inject: {exc}")
+        install_plan(plan)
+        plan.arm_env()  # worker processes inherit the plan
     # The experiments subcommand forwards --trace/--log-level to the
     # report driver (which also runs standalone); every other subcommand
     # gets the obs lifecycle managed right here.

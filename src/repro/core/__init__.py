@@ -33,7 +33,12 @@ from repro.core.npcomplete import (
     partition_solvable,
     reduction_from_partition,
 )
-from repro.core.search import IncumbentUpdate, SearchResult, find_optimal_uov
+from repro.core.search import (
+    IncumbentUpdate,
+    SearchResult,
+    find_optimal_uov,
+    find_uov_with_fallback,
+)
 from repro.core.stencil import Stencil
 from repro.core.storage_metric import (
     min_projection,
@@ -64,6 +69,7 @@ __all__ = [
     "expand_certificate",
     "SearchResult",
     "find_optimal_uov",
+    "find_uov_with_fallback",
     "storage_for_ov",
     "min_projection",
     "IncumbentUpdate",

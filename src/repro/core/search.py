@@ -28,7 +28,13 @@ the incumbent improves.
 
 The search keeps a legal UOV at all times (the paper's "a compiler could
 limit the amount of time and just take the best answer so far"): pass
-``max_nodes`` to cut it short and check ``SearchResult.optimal``.
+``max_nodes`` — or, more generally, a
+:class:`~repro.resilience.budget.Budget` of wall time / node count /
+memory watermark — to cut it short and check ``SearchResult.optimal``.
+A budgeted cut never raises: the result carries the best incumbent
+(``ov0 = sum(vi)`` is the certified floor) plus a structured
+:class:`~repro.resilience.budget.Degradation` record, and
+:func:`find_uov_with_fallback` extends the same contract to crashes.
 """
 
 from __future__ import annotations
@@ -44,13 +50,20 @@ from repro.core.storage_metric import (
     search_length_bound,
     storage_for_ov,
 )
+from repro.resilience.budget import Budget, Degradation, record_degradation
+from repro.resilience.faults import maybe_fault
 from repro.util.polyhedron import Polytope
 from repro.util.priorityqueue import PriorityQueue
 from repro.util.vectors import IntVector, add, norm2
 
 _LOG = logging.getLogger("repro.search")
 
-__all__ = ["IncumbentUpdate", "SearchResult", "find_optimal_uov"]
+__all__ = [
+    "IncumbentUpdate",
+    "SearchResult",
+    "find_optimal_uov",
+    "find_uov_with_fallback",
+]
 
 
 @dataclass(frozen=True)
@@ -98,6 +111,9 @@ class SearchResult:
     nodes_pruned: int = 0
     prunes: dict[str, int] = field(default_factory=dict)
     incumbent_history: tuple[IncumbentUpdate, ...] = field(default=())
+    #: Present exactly when ``optimal`` is False: why the search stopped
+    #: early (budget class or crash) and what the caller got instead.
+    degradation: Optional[Degradation] = None
 
     def __str__(self) -> str:
         status = "optimal" if self.optimal else "best-so-far"
@@ -113,6 +129,7 @@ def find_optimal_uov(
     isg: Optional[Polytope] = None,
     objective: str = "auto",
     max_nodes: Optional[int] = None,
+    budget: Optional[Budget] = None,
 ) -> SearchResult:
     """Branch-and-bound search for the best universal occupancy vector.
 
@@ -132,6 +149,12 @@ def find_optimal_uov(
     max_nodes:
         Optional node budget.  The result is still a legal UOV when the
         budget is exhausted, just not certified optimal.
+    budget:
+        Optional :class:`~repro.resilience.budget.Budget` (wall time /
+        node count / memory watermark).  Exhaustion never raises: the
+        result carries the best incumbent so far (at worst the always-
+        legal ``ov0``) plus a ``degradation`` record naming the limit
+        that tripped.  ``max_nodes`` composes with it as a node limit.
     """
     if objective == "auto":
         objective = "storage" if isg is not None else "shortest"
@@ -141,6 +164,21 @@ def find_optimal_uov(
         raise ValueError("the storage objective requires ISG bounds")
     if isg is not None and isg.dim != stencil.dim:
         raise ValueError("ISG and stencil dimensionality mismatch")
+
+    if budget is None:
+        budget = Budget(max_nodes=max_nodes)
+    elif max_nodes is not None:
+        combined = (
+            max_nodes
+            if budget.max_nodes is None
+            else min(max_nodes, budget.max_nodes)
+        )
+        budget = Budget(
+            wall_s=budget.wall_s,
+            max_nodes=combined,
+            memory_mb=budget.memory_mb,
+        )
+    meter = None if budget.unlimited else budget.start()
 
     vectors = stencil.vectors
     full_mask = (1 << len(vectors)) - 1
@@ -208,11 +246,15 @@ def find_optimal_uov(
     )
     with sp:
         while queue:
-            if max_nodes is not None and nodes_visited >= max_nodes:
+            if meter is not None and meter.check(nodes=nodes_visited):
                 exhausted = False
                 break
             x, _priority = queue.pop()
             nodes_visited += 1
+            if not (nodes_visited & 63) or nodes_visited == 1:
+                # Amortised fault-injection hook (chaos tests): a no-op
+                # global check unless a FaultPlan is armed.
+                maybe_fault("search.node")
             if not (nodes_visited & 1023) or nodes_visited == 1:
                 frontier_samples.append(len(queue))
                 sp.event(
@@ -276,6 +318,32 @@ def find_optimal_uov(
                     # Re-reached with no new PATHSET information.
                     pruned_visited += 1
 
+        degradation: Optional[Degradation] = None
+        if not exhausted:
+            reason = (
+                meter.reason
+                if meter is not None and meter.reason
+                else "node-budget"
+            )
+            degradation = Degradation(
+                reason=reason,
+                detail=(
+                    f"search stopped after {nodes_visited} nodes "
+                    f"(frontier {len(queue)})"
+                ),
+                nodes_explored=nodes_visited,
+                bound_reached=phi_cap,
+                elapsed_s=meter.elapsed_s if meter is not None else 0.0,
+                fallback="incumbent" if len(history) > 1 else "initial-uov",
+            )
+            record_degradation("core.search", degradation)
+            sp.event(
+                "search.degraded",
+                reason=degradation.reason,
+                nodes=nodes_visited,
+                fallback=degradation.fallback,
+            )
+
         sp.set(
             ov=list(incumbent),
             objective=best_objective,
@@ -310,4 +378,74 @@ def find_optimal_uov(
             "visited": pruned_visited,
         },
         incumbent_history=tuple(history),
+        degradation=degradation,
     )
+
+
+def find_uov_with_fallback(
+    stencil: Stencil,
+    isg: Optional[Polytope] = None,
+    objective: str = "auto",
+    max_nodes: Optional[int] = None,
+    budget: Optional[Budget] = None,
+) -> SearchResult:
+    """:func:`find_optimal_uov` that *cannot* fail.
+
+    Budget exhaustion is already graceful inside the search; this
+    wrapper additionally converts a crash (a bug, an injected fault, a
+    ``MemoryError``) into the paper's certified fallback: the trivial
+    UOV ``ov0 = sum(vi)``, which Theorem 2 guarantees universal for any
+    regular stencil.  The crash is preserved as a ``Degradation`` of
+    reason ``"crash"`` so it is observable (metrics, lint findings)
+    without being fatal.
+    """
+    try:
+        return find_optimal_uov(
+            stencil,
+            isg=isg,
+            objective=objective,
+            max_nodes=max_nodes,
+            budget=budget,
+        )
+    except Exception as exc:  # the fallback contract: never propagate
+        ov0 = stencil.initial_uov
+        if objective == "auto":
+            objective = "storage" if isg is not None else "shortest"
+        try:
+            storage = storage_for_ov(ov0, isg) if isg is not None else None
+            value = (
+                float(storage)
+                if objective == "storage" and storage is not None
+                else float(norm2(ov0))
+            )
+        except Exception:  # even the metric may be what crashed
+            storage, value = None, float(norm2(ov0))
+        degradation = Degradation(
+            reason="crash",
+            detail=f"{type(exc).__name__}: {exc}",
+            fallback="initial-uov",
+        )
+        record_degradation("core.search", degradation)
+        _LOG.warning(
+            "UOV search crashed (%s); falling back to the trivial UOV %s",
+            exc,
+            ov0,
+        )
+        return SearchResult(
+            ov=ov0,
+            objective=value,
+            storage=storage,
+            optimal=False,
+            nodes_visited=0,
+            nodes_pushed=0,
+            candidates=(ov0,),
+            incumbent_history=(
+                IncumbentUpdate(
+                    ov=ov0,
+                    objective=value,
+                    length=math.sqrt(norm2(ov0)),
+                    node=0,
+                ),
+            ),
+            degradation=degradation,
+        )

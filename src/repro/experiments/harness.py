@@ -11,11 +11,22 @@ an experiment needs is described as a picklable :class:`SimTask`
 (code name, version key, sizes, machine, passes, seed — CodeVersion
 closures themselves do not cross process boundaries; workers rebuild the
 version from the deterministic factory registry in :mod:`repro.codes`).
-The runner fans tasks out over a ``ProcessPoolExecutor`` when ``jobs >
-1`` and memoizes results in a content-addressed on-disk cache keyed by
-the task plus a fingerprint of the simulation engine's own sources, so a
-re-run of an unchanged figure costs zero simulations while any engine
-change transparently invalidates every cached point.
+The runner fans cache misses out over per-task worker processes when
+``jobs > 1`` and memoizes results in a content-addressed on-disk cache
+keyed by the task plus a fingerprint of the simulation engine's own
+sources, so a re-run of an unchanged figure costs zero simulations while
+any engine change transparently invalidates every cached point.
+
+The execution engine is *fault-isolated* (DESIGN.md §12): each worker
+process runs exactly one task, so a crash, hang, or injected fault takes
+down one task, never the run.  Failed tasks are retried with exponential
+backoff and deterministic jitter up to ``retry.retries`` times; a task
+that keeps failing is **quarantined** — recorded with its full identity
+(code, mapping, sizes, seed, machine) in the runner telemetry and the
+checkpoint file — rather than poisoning the batch.  ``timeout_s``
+terminates an overrunning worker; ``checkpoint_path`` appends one JSONL
+record per completed simulation so a killed run resumes
+(``repro report --resume``) with zero redundant simulations.
 """
 
 from __future__ import annotations
@@ -24,17 +35,24 @@ import hashlib
 import heapq
 import json
 import logging
+import multiprocessing
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from collections import deque
 from dataclasses import asdict, dataclass, field
+from multiprocessing.connection import wait as _connection_wait
 from pathlib import Path
-from typing import Callable, Mapping, Sequence
+from typing import Callable, Mapping, Optional, Sequence
 
 from repro import obs
 from repro.execution.simulator import SimResult
 from repro.machine.configs import MachineConfig
 from repro.machine.hierarchy import AccessStats
+from repro.resilience.cachesafe import atomic_write_json, read_verified_json
+from repro.resilience.checkpoint import CheckpointWriter, load_checkpoint
+from repro.resilience.faults import maybe_corrupt, maybe_fault
+from repro.resilience.quarantine import QuarantineRecord
+from repro.resilience.retry import RetryPolicy
 
 _LOG = logging.getLogger("repro.harness")
 
@@ -46,9 +64,11 @@ __all__ = [
     "ascii_chart",
     "SimTask",
     "SimulationRunner",
+    "TaskFailure",
     "engine_fingerprint",
     "get_runner",
     "set_runner",
+    "task_identity",
 ]
 
 
@@ -193,15 +213,47 @@ class SimTask:
         )
 
 
+def task_identity(task: SimTask) -> dict:
+    """The task's full identity, attached to every error and quarantine
+    record so a failing point is reproducible from the report alone."""
+    return {
+        "code": task.code_name,
+        "mapping": task.version_key,
+        "sizes": task.sizes_dict,
+        "machine": task.machine.name,
+        "passes": task.passes,
+        "seed": task.seed,
+    }
+
+
+class TaskFailure(RuntimeError):
+    """A task failed permanently; carries the failing task's config.
+
+    The message embeds the identity (code, mapping, sizes, seed,
+    machine) of every quarantined task, so nothing is lost when the
+    error crosses a process or log boundary; the structured records
+    stay available on ``.quarantined``.
+    """
+
+    def __init__(self, quarantined: Sequence[QuarantineRecord]):
+        self.quarantined = tuple(quarantined)
+        lines = [
+            f"{len(self.quarantined)} simulation task(s) failed permanently:"
+        ]
+        lines.extend(f"  - {record}" for record in self.quarantined)
+        super().__init__("\n".join(lines))
+
+
 def _run_sim_task(task: SimTask) -> SimResult:
     """Worker entry point: rebuild the version locally, simulate it.
 
-    Top-level (not a closure) so ``ProcessPoolExecutor`` can pickle it;
+    Top-level (not a closure) so worker processes can pickle it;
     imports deferred so a fresh worker process pays them once.
     """
     from repro.codes import get_version
     from repro.execution.simulator import simulate
 
+    maybe_fault("harness.worker", label=task.label)
     version = get_version(task.code_name, task.version_key)
     return simulate(
         version,
@@ -222,6 +274,25 @@ def _run_sim_task_timed(task: SimTask) -> tuple[SimResult, float, int]:
     t0 = time.perf_counter()
     result = _run_sim_task(task)
     return result, time.perf_counter() - t0, os.getpid()
+
+
+def _subprocess_worker(task: SimTask, conn) -> None:
+    """One-task worker process: send back ``("ok", ...)`` or ``("err", ...)``.
+
+    A worker that dies before sending anything (hard crash, OOM kill,
+    injected ``kill`` fault) is detected by the parent as EOF on the
+    pipe — the crash-isolation path the chaos suite exercises.
+    """
+    try:
+        result, wall, pid = _run_sim_task_timed(task)
+        conn.send(("ok", result, wall, pid))
+    except BaseException as exc:  # noqa: BLE001 - report, parent classifies
+        try:
+            conn.send(("err", type(exc).__name__, str(exc)))
+        except Exception:
+            pass
+    finally:
+        conn.close()
 
 
 _ENGINE_FINGERPRINT: str | None = None
@@ -254,31 +325,77 @@ def engine_fingerprint() -> str:
 
 
 class SimulationRunner:
-    """Runs :class:`SimTask` batches with caching and process fan-out.
+    """Runs :class:`SimTask` batches with caching and fault isolation.
 
-    ``jobs > 1`` dispatches cache misses to a ``ProcessPoolExecutor``;
+    ``jobs > 1`` dispatches cache misses to per-task worker processes
+    (one process per task: a crash or hang is contained to that task);
     ``cache_dir`` enables the content-addressed result cache (one JSON
-    file per point).  ``simulated`` and ``cache_hits`` count what
-    actually happened — the warm-cache experiment test asserts
-    ``simulated == 0`` on a second run.
+    file per point, digest-verified and self-healing).  ``simulated``
+    and ``cache_hits`` count what actually happened — the warm-cache
+    experiment test asserts ``simulated == 0`` on a second run.
+
+    Resilience knobs: ``timeout_s`` terminates an overrunning worker
+    (forces the process engine even at ``jobs=1``); ``retry`` (an int
+    or a :class:`~repro.resilience.retry.RetryPolicy`) bounds retries
+    with exponential backoff + deterministic jitter; tasks that exhaust
+    retries are quarantined, not fatal (unless ``strict``, when a
+    :class:`TaskFailure` carrying every task identity is raised after
+    the whole batch ran).  ``checkpoint_path`` appends one JSONL record
+    per completed simulation; ``resume=True`` preloads those records so
+    a killed run continues with zero redundant simulations.
     """
 
     #: How many slowest-task entries :meth:`telemetry` keeps.
     SLOWEST_KEPT = 5
 
-    def __init__(self, jobs: int = 1, cache_dir: str | os.PathLike | None = None):
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: str | os.PathLike | None = None,
+        timeout_s: Optional[float] = None,
+        retry: "int | RetryPolicy | None" = None,
+        checkpoint_path: str | os.PathLike | None = None,
+        resume: bool = False,
+    ):
         self.jobs = max(1, int(jobs))
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         if self.cache_dir is not None:
             # Fail fast on an unusable cache location, before any
             # simulation time is spent.
             self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.timeout_s = timeout_s
+        self.retry = RetryPolicy.of(retry)
         self.simulated = 0
         self.cache_hits = 0
         self.sim_wall_s = 0.0
         self.workers: set[int] = set()
         # Min-heap of (wall_s, label): the slowest simulations survive.
         self._slowest: list[tuple[float, str]] = []
+        # Resilience bookkeeping.
+        self.retries_used = 0
+        self.resumed = 0
+        self.quarantined: list[QuarantineRecord] = []
+        self._overlay: dict[str, dict] = {}
+        self._checkpoint: Optional[CheckpointWriter] = None
+        self.checkpoint_path = (
+            Path(checkpoint_path) if checkpoint_path is not None else None
+        )
+        if self.checkpoint_path is not None:
+            if resume:
+                checkpoint = load_checkpoint(self.checkpoint_path)
+                self._overlay = dict(checkpoint.results)
+            else:
+                # A fresh run must not inherit a previous run's records.
+                self.checkpoint_path.unlink(missing_ok=True)
+            self._checkpoint = CheckpointWriter(
+                self.checkpoint_path, meta={"engine": engine_fingerprint()}
+            )
+
+    def close(self) -> None:
+        """Flush and close the checkpoint sink (idempotent)."""
+        if self._checkpoint is not None:
+            self._checkpoint.close()
+            self._checkpoint = None
 
     def run(
         self,
@@ -293,8 +410,17 @@ class SimulationRunner:
             [SimTask.of(version, sizes, machine, passes=passes, seed=seed)]
         )[0]
 
-    def run_tasks(self, tasks: Sequence[SimTask]) -> list[SimResult]:
-        """All tasks' results, in task order."""
+    def run_tasks(
+        self, tasks: Sequence[SimTask], strict: bool = True
+    ) -> list[SimResult]:
+        """All tasks' results, in task order.
+
+        A task that fails permanently is quarantined; with ``strict``
+        (the default) a :class:`TaskFailure` naming every quarantined
+        task's full identity is raised *after* the rest of the batch
+        ran, so one poisoned point never wastes the others' work.  With
+        ``strict=False`` quarantined slots come back as ``None``.
+        """
         metrics = obs.get_metrics()
         results: list[SimResult | None] = [None] * len(tasks)
         misses: list[int] = []
@@ -302,6 +428,26 @@ class SimulationRunner:
             "runner.run_tasks", tasks=len(tasks), jobs=self.jobs
         ) as sp:
             for i, task in enumerate(tasks):
+                cached = self._overlay_load(task)
+                if cached is not None:
+                    results[i] = cached
+                    self.cache_hits += 1
+                    self.resumed += 1
+                    metrics.counter("sim.cache.hits").inc()
+                    metrics.counter("resilience.checkpoint.resumed").inc()
+                    cached.stats.record(metrics, prefix="machine")
+                    # Warm the on-disk cache too: the checkpoint is a
+                    # run-scoped file, the cache outlives it.
+                    self._cache_store(task, cached)
+                    sp.event(
+                        "sim.task",
+                        task=task.label,
+                        cache_hit=True,
+                        resumed=True,
+                        wall_s=0.0,
+                        worker=os.getpid(),
+                    )
+                    continue
                 cached = self._cache_load(task)
                 if cached is not None:
                     results[i] = cached
@@ -320,37 +466,267 @@ class SimulationRunner:
                     )
                 else:
                     misses.append(i)
+            batch_quarantined: list[QuarantineRecord] = []
             if misses:
-                pooled = self.jobs > 1 and len(misses) > 1
-                if pooled:
-                    with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-                        timed = list(
-                            pool.map(
-                                _run_sim_task_timed,
-                                [tasks[i] for i in misses],
-                            )
-                        )
+                # The process engine is required for true timeouts
+                # (only a separate process can be terminated) and for
+                # crash isolation; plain sequential runs stay in
+                # process to keep single-point latency minimal.
+                use_processes = self.timeout_s is not None or (
+                    self.jobs > 1 and len(misses) > 1
+                )
+                if use_processes:
+                    self._execute_in_processes(
+                        tasks, misses, results, batch_quarantined, sp
+                    )
                 else:
-                    timed = [_run_sim_task_timed(tasks[i]) for i in misses]
-                self.simulated += len(misses)
-                for i, (result, wall_s, worker) in zip(misses, timed):
-                    results[i] = result
-                    self._cache_store(tasks[i], result)
-                    self._record_miss(tasks[i], result, wall_s, worker, sp)
-                    if pooled:
-                        # In-process simulations already recorded their
-                        # AccessStats inside simulate(); worker-process
-                        # registries die with the pool, so fold the
-                        # returned stats in here instead.
-                        result.stats.record(metrics, prefix="machine")
-            sp.set(simulated=len(misses), cache_hits=len(tasks) - len(misses))
+                    self._execute_in_process(
+                        tasks, misses, results, batch_quarantined, sp
+                    )
+            done = sum(1 for i in misses if results[i] is not None)
+            sp.set(
+                simulated=done,
+                cache_hits=len(tasks) - len(misses),
+                quarantined=len(batch_quarantined),
+            )
         _LOG.debug(
-            "run_tasks: %d tasks, %d simulated, %d cache hits",
+            "run_tasks: %d tasks, %d simulated, %d cache hits, %d quarantined",
             len(tasks),
-            len(misses),
+            done if misses else 0,
             len(tasks) - len(misses),
+            len(batch_quarantined),
         )
+        if batch_quarantined and strict:
+            raise TaskFailure(batch_quarantined)
         return results  # type: ignore[return-value]
+
+    # -- the fault-isolated execution engines ---------------------------
+
+    def _execute_in_process(
+        self,
+        tasks: Sequence[SimTask],
+        misses: Sequence[int],
+        results: list,
+        batch_quarantined: list,
+        sp,
+    ) -> None:
+        """Sequential engine: retries inline, exceptions contained."""
+        for i in misses:
+            task = tasks[i]
+            key = self.task_key(task)
+            history: list[str] = []
+            for attempt in range(self.retry.retries + 1):
+                try:
+                    result, wall_s, worker = _run_sim_task_timed(task)
+                except Exception as exc:  # noqa: BLE001 - classified below
+                    history.append(f"{type(exc).__name__}: {exc}")
+                    if attempt < self.retry.retries:
+                        self._note_retry(task, attempt, key, sp)
+                        time.sleep(self.retry.delay(attempt, key))
+                        continue
+                    self._quarantine(
+                        task,
+                        "exception",
+                        f"{type(exc).__name__}: {exc}",
+                        attempt + 1,
+                        history,
+                        batch_quarantined,
+                        sp,
+                    )
+                    break
+                self._complete(i, task, result, wall_s, worker, results, sp)
+                break
+
+    def _execute_in_processes(
+        self,
+        tasks: Sequence[SimTask],
+        misses: Sequence[int],
+        results: list,
+        batch_quarantined: list,
+        sp,
+    ) -> None:
+        """Per-task worker processes: timeout, crash, and retry aware.
+
+        Each task gets its own process and pipe, so a hard crash is an
+        EOF on that task's pipe and a hang is a terminate() of that
+        task's process — neither touches any other in-flight task (the
+        pool-based engine this replaces lost the whole pool on one
+        crash and could not time out at all).
+        """
+        ctx = multiprocessing.get_context()
+        pending: deque = deque((i, 0, []) for i in misses)
+        delayed: list[tuple[float, int, int, list]] = []
+        # receiving pipe end -> (process, task index, attempt, history,
+        # absolute deadline or None)
+        running: dict = {}
+
+        def spawn(i: int, attempt: int, history: list) -> None:
+            task = tasks[i]
+            recv_conn, send_conn = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=_subprocess_worker, args=(task, send_conn), daemon=True
+            )
+            proc.start()
+            send_conn.close()  # parent keeps only the receiving end
+            deadline = (
+                time.monotonic() + self.timeout_s
+                if self.timeout_s is not None
+                else None
+            )
+            running[recv_conn] = (proc, i, attempt, history, deadline)
+
+        def fail(i: int, attempt: int, history: list, kind: str, msg: str):
+            task = tasks[i]
+            key = self.task_key(task)
+            history.append(f"{kind}: {msg}")
+            if attempt < self.retry.retries:
+                self._note_retry(task, attempt, key, sp)
+                ready = time.monotonic() + self.retry.delay(attempt, key)
+                heapq.heappush(delayed, (ready, i, attempt + 1, history))
+            else:
+                self._quarantine(
+                    task, kind, msg, attempt + 1, history,
+                    batch_quarantined, sp,
+                )
+
+        while pending or delayed or running:
+            now = time.monotonic()
+            while delayed and delayed[0][0] <= now:
+                _, i, attempt, history = heapq.heappop(delayed)
+                pending.append((i, attempt, history))
+            while pending and len(running) < self.jobs:
+                i, attempt, history = pending.popleft()
+                spawn(i, attempt, history)
+            if not running:
+                if delayed:
+                    time.sleep(max(0.0, delayed[0][0] - time.monotonic()))
+                continue
+            wait_for = 0.25
+            for _, (_, _, _, _, deadline) in running.items():
+                if deadline is not None:
+                    wait_for = min(wait_for, max(0.0, deadline - now))
+            if delayed:
+                wait_for = min(wait_for, max(0.0, delayed[0][0] - now))
+            ready = _connection_wait(list(running), timeout=wait_for)
+            for conn in ready:
+                proc, i, attempt, history, _ = running.pop(conn)
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    # The worker died before reporting: a hard crash
+                    # (segfault, OOM kill, injected ``kill`` fault).
+                    proc.join()
+                    fail(
+                        i, attempt, history, "crash",
+                        f"worker died (exit code {proc.exitcode})",
+                    )
+                else:
+                    proc.join()
+                    if message[0] == "ok":
+                        _, result, wall_s, worker = message
+                        self._complete(
+                            i, tasks[i], result, wall_s, worker, results, sp
+                        )
+                        # Worker-process metrics registries die with
+                        # the worker; fold the stats in here.
+                        result.stats.record(
+                            obs.get_metrics(), prefix="machine"
+                        )
+                    else:
+                        _, exc_type, exc_msg = message
+                        fail(
+                            i, attempt, history, "exception",
+                            f"{exc_type}: {exc_msg}",
+                        )
+                finally:
+                    conn.close()
+            now = time.monotonic()
+            for conn, (proc, i, attempt, history, deadline) in list(
+                running.items()
+            ):
+                if deadline is not None and now >= deadline:
+                    running.pop(conn)
+                    proc.terminate()
+                    proc.join(1.0)
+                    if proc.is_alive():
+                        proc.kill()
+                        proc.join()
+                    conn.close()
+                    fail(
+                        i, attempt, history, "timeout",
+                        f"timed out after {self.timeout_s:g}s",
+                    )
+
+    def _complete(
+        self,
+        i: int,
+        task: SimTask,
+        result: SimResult,
+        wall_s: float,
+        worker: int,
+        results: list,
+        sp,
+    ) -> None:
+        results[i] = result
+        self.simulated += 1
+        self._cache_store(task, result)
+        if self._checkpoint is not None:
+            self._checkpoint.record_result(
+                self.task_key(task), task.label, asdict(result)
+            )
+        self._record_miss(task, result, wall_s, worker, sp)
+
+    def _note_retry(self, task: SimTask, attempt: int, key: str, sp) -> None:
+        self.retries_used += 1
+        metrics = obs.get_metrics()
+        metrics.counter("resilience.retries").inc()
+        sp.event(
+            "sim.retry",
+            task=task.label,
+            attempt=attempt,
+            delay_s=round(self.retry.delay(attempt, key), 4),
+        )
+        _LOG.debug("retrying %s (attempt %d)", task.label, attempt + 1)
+
+    def _quarantine(
+        self,
+        task: SimTask,
+        kind: str,
+        message: str,
+        attempts: int,
+        history: Sequence[str],
+        batch_quarantined: list,
+        sp,
+    ) -> None:
+        record = QuarantineRecord(
+            site="harness.worker",
+            identity=task_identity(task),
+            error=kind,
+            message=message,
+            attempts=attempts,
+            history=tuple(history),
+        )
+        self.quarantined.append(record)
+        batch_quarantined.append(record)
+        obs.get_metrics().counter("resilience.quarantines").inc()
+        obs.warn_once(
+            ("quarantine", task.label),
+            f"harness: {record}",
+            event="resilience.quarantine",
+            counter="resilience.quarantine_events",
+            task=task.label,
+            error=kind,
+            attempts=attempts,
+        )
+        if self._checkpoint is not None:
+            self._checkpoint.record_quarantine(record)
+        sp.event(
+            "sim.quarantine",
+            task=task.label,
+            error=kind,
+            attempts=attempts,
+            message=message,
+        )
 
     def _record_miss(
         self,
@@ -379,7 +755,7 @@ class SimulationRunner:
         )
 
     def telemetry(self) -> dict:
-        """Aggregate cache/parallelism stats for reports and tests."""
+        """Aggregate cache/parallelism/resilience stats for reports."""
         total = self.simulated + self.cache_hits
         return {
             "simulated": self.simulated,
@@ -392,6 +768,9 @@ class SimulationRunner:
                 {"task": label, "wall_s": wall_s}
                 for wall_s, label in sorted(self._slowest, reverse=True)
             ],
+            "retries": self.retries_used,
+            "quarantined": [r.to_json() for r in self.quarantined],
+            "resumed": self.resumed,
         }
 
     # -- the content-addressed cache ------------------------------------
@@ -409,29 +788,49 @@ class SimulationRunner:
         blob = json.dumps(payload, sort_keys=True).encode()
         return hashlib.sha256(blob).hexdigest()
 
+    @staticmethod
+    def _decode_result(body) -> SimResult | None:
+        """Rebuild a SimResult from its JSON form; None on stale schema."""
+        try:
+            data = dict(body)
+            data["stats"] = AccessStats(**data["stats"])
+            return SimResult(**data)
+        except (KeyError, TypeError, ValueError):
+            return None  # treat as a miss, overwrite below
+
+    def _overlay_load(self, task: SimTask) -> SimResult | None:
+        """A resumed checkpoint result for this task, if any.
+
+        Keys fold in the engine fingerprint, so a checkpoint written by
+        an edited engine simply never matches — stale resumes degrade
+        to plain recomputation instead of wrong numbers.
+        """
+        if not self._overlay:
+            return None
+        body = self._overlay.get(self.task_key(task))
+        if body is None:
+            return None
+        return self._decode_result(body)
+
     def _cache_path(self, task: SimTask) -> Path:
         return self.cache_dir / f"{self.task_key(task)}.json"
 
     def _cache_load(self, task: SimTask) -> SimResult | None:
         if self.cache_dir is None:
             return None
-        try:
-            data = json.loads(self._cache_path(task).read_text())
-        except (OSError, ValueError):
+        body = read_verified_json(self._cache_path(task), site="harness.cache")
+        if body is None:
             return None
-        try:
-            data["stats"] = AccessStats(**data["stats"])
-            return SimResult(**data)
-        except (KeyError, TypeError):
-            return None  # stale schema: treat as a miss, overwrite below
+        return self._decode_result(body)
 
     def _cache_store(self, task: SimTask, result: SimResult) -> None:
         if self.cache_dir is None:
             return
         path = self._cache_path(task)
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(asdict(result), sort_keys=True))
-        os.replace(tmp, path)
+        atomic_write_json(path, asdict(result))
+        # Fault-injection hook: the chaos suite corrupts the entry we
+        # just wrote and asserts the next read heals it.
+        maybe_corrupt("harness.cache.store", path, label=task.label)
 
 
 _RUNNER = SimulationRunner()

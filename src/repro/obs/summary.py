@@ -168,6 +168,16 @@ def render_summary(summary: TraceSummary, top: int = 10) -> str:
 
     if summary.metrics:
         counters = summary.metrics.get("counters", {})
+        resilience = {
+            name: value
+            for name, value in counters.items()
+            if name.startswith("resilience.")
+        }
+        if resilience:
+            out.append("")
+            out.append("resilience:")
+            for name, value in sorted(resilience.items()):
+                out.append(f"  {name:<40s} {value}")
         if counters:
             out.append("")
             out.append("counters (final snapshot):")

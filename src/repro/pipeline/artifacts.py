@@ -61,13 +61,20 @@ class DependenceArtifact(Artifact):
 
 @dataclass(frozen=True)
 class UOVArtifact(Artifact):
-    """``uov-search``: the occupancy vector the rest of the flow uses."""
+    """``uov-search``: the occupancy vector the rest of the flow uses.
+
+    ``degradation`` (a :class:`repro.resilience.budget.Degradation` in
+    JSON form) is present when the search was cut short by a budget or
+    recovered from a crash — the ``ov`` is then the best incumbent
+    found, at worst the always-universal trivial ``ov0``.
+    """
 
     ov: list
-    source: str  # "search" or "override"
+    source: str  # "search", "override", or "fallback"
     optimal: bool
     storage: Optional[int]
     nodes_visited: int
+    degradation: Optional[dict] = None
 
 
 @dataclass(frozen=True)

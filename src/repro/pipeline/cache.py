@@ -12,6 +12,10 @@ only the stage-local payload (the spec fields that stage actually reads).
 Editing one directive therefore invalidates exactly the stages downstream
 of the first stage whose payload changed — the upstream prefix still
 hits.  The pipeline-caching tests assert both directions.
+
+On-disk entries are digest-wrapped and *self-healing* (DESIGN.md §12):
+a corrupt file is quarantined to ``.corrupt/`` and recomputed rather
+than deserialised or crashed on.
 """
 
 from __future__ import annotations
@@ -23,6 +27,8 @@ from pathlib import Path
 from typing import Mapping, Optional, Union
 
 from repro.experiments.harness import engine_fingerprint
+from repro.resilience.cachesafe import atomic_write_json, read_verified_json
+from repro.resilience.faults import maybe_corrupt
 
 __all__ = ["ArtifactCache"]
 
@@ -62,14 +68,14 @@ class ArtifactCache:
     def load(self, stage: str, key: str) -> Optional[dict]:
         record = self._memory.get(key)
         if record is None and self.cache_dir is not None:
-            path = self._path(stage, key)
-            if path.exists():
-                try:
-                    record = json.loads(path.read_text())
-                except (OSError, json.JSONDecodeError):
-                    record = None  # corrupt entry: treat as a miss
-                if record is not None:
-                    self._memory[key] = record
+            # Digest-verified read: a corrupt entry is quarantined to
+            # .corrupt/ and reported as a miss, so the stage reruns and
+            # the cache heals itself.
+            record = read_verified_json(
+                self._path(stage, key), site="pipeline.cache"
+            )
+            if record is not None:
+                self._memory[key] = record
         if record is None:
             self.misses += 1
             return None
@@ -81,6 +87,5 @@ class ArtifactCache:
         if self.cache_dir is None:
             return
         path = self._path(stage, key)
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(artifact_json, indent=2, sort_keys=True))
-        os.replace(tmp, path)  # atomic: a reader never sees a torn file
+        atomic_write_json(path, artifact_json, indent=2)
+        maybe_corrupt("pipeline.cache.store", path, label=f"{stage}-{key}")

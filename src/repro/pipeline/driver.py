@@ -27,6 +27,7 @@ from repro.frontend.synth import make_versions, spec_version, synthesize_code
 from repro.pipeline.artifacts import Artifact
 from repro.pipeline.cache import ArtifactCache
 from repro.pipeline.stages import PIPELINE_STAGES, Stage, StageError
+from repro.resilience.budget import Budget
 
 __all__ = ["CompileResult", "PipelineContext", "StageRecord", "compile_spec"]
 
@@ -46,11 +47,13 @@ class PipelineContext:
         sizes: Mapping[str, int],
         seed: int,
         lint_fuzz: int = 0,
+        search_budget: Optional[Budget] = None,
     ):
         self.spec = spec
         self.sizes = dict(sizes)
         self.seed = seed
         self.lint_fuzz = lint_fuzz
+        self.search_budget = search_budget
         self.artifacts: dict[str, Artifact] = {}
 
     @cached_property
@@ -151,14 +154,19 @@ def compile_spec(
     execute: bool = True,
     codegen: bool = False,
     cache: Optional[ArtifactCache] = None,
+    search_budget: Optional[Budget] = None,
 ) -> CompileResult:
     """Run the pipeline over one validated spec.
 
     ``sizes``/``seed`` default to the spec's own directives.  ``lint``
     and ``codegen`` are opt-in stages; ``execute`` (verify the directed
     version bit-for-bit against the natural/lexicographic reference) is
-    on by default.  Raises :class:`~repro.pipeline.stages.StageError`
-    when a stage cannot produce its artifact.
+    on by default.  ``search_budget`` bounds the ``uov-search`` stage
+    (wall time / nodes / memory); exhaustion degrades gracefully to the
+    best incumbent — at worst the certified trivial ``ov0`` — and the
+    artifact records the degradation.  Raises
+    :class:`~repro.pipeline.stages.StageError` when a stage cannot
+    produce its artifact.
     """
     sizes = dict(sizes) if sizes is not None else dict(spec.sizes)
     missing = [s for s in spec.size_symbols if s not in sizes]
@@ -166,7 +174,9 @@ def compile_spec(
         raise ValueError(f"no binding for size symbol(s) {missing}")
     seed = seed if seed is not None else spec.seed
     cache = cache if cache is not None else ArtifactCache()
-    ctx = PipelineContext(spec, sizes, seed, lint_fuzz=lint_fuzz)
+    ctx = PipelineContext(
+        spec, sizes, seed, lint_fuzz=lint_fuzz, search_budget=search_budget
+    )
     result = CompileResult(spec=spec, sizes=sizes, seed=seed)
     metrics = obs.get_metrics()
 

@@ -20,6 +20,8 @@ import hashlib
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.resilience.faults import maybe_fault
+
 from repro.pipeline.artifacts import (
     Artifact,
     CodegenArtifact,
@@ -87,13 +89,20 @@ def _dependence_run(ctx) -> DependenceArtifact:
 
 
 def _uov_payload(ctx) -> dict:
-    return {"uov": list(ctx.spec.uov) if ctx.spec.uov is not None else None}
+    # The budget shapes the artifact (a tighter budget may yield a
+    # different, degraded UOV), so it must be part of the cache key.
+    budget = ctx.search_budget
+    return {
+        "uov": list(ctx.spec.uov) if ctx.spec.uov is not None else None,
+        "budget": budget.to_json() if budget is not None else None,
+    }
 
 
 def _uov_run(ctx) -> UOVArtifact:
     from repro.analysis.certify import UOVCounterexample, certify
-    from repro.core.search import find_optimal_uov
+    from repro.core.search import find_uov_with_fallback
 
+    maybe_fault("pipeline.stage.uov-search", label=ctx.spec.name)
     if ctx.spec.uov is not None:
         ov = tuple(ctx.spec.uov)
         verdict = certify(ov, ctx.code.stencil, counterexample_schedule=False)
@@ -112,13 +121,21 @@ def _uov_run(ctx) -> UOVArtifact:
             storage=None,
             nodes_visited=0,
         )
-    result = find_optimal_uov(ctx.code.stencil)
+    result = find_uov_with_fallback(
+        ctx.code.stencil, budget=ctx.search_budget
+    )
+    degradation = result.degradation
     return UOVArtifact(
         ov=list(result.ov),
-        source="search",
+        source=(
+            "fallback"
+            if degradation is not None and degradation.reason == "crash"
+            else "search"
+        ),
         optimal=bool(result.optimal),
         storage=int(result.storage) if result.storage is not None else None,
         nodes_visited=int(result.nodes_visited),
+        degradation=degradation.to_json() if degradation is not None else None,
     )
 
 
@@ -181,7 +198,7 @@ def _lint_payload(ctx) -> dict:
 
 
 def _lint_run(ctx) -> LintArtifact:
-    from repro.analysis.diag import Diagnostics
+    from repro.analysis.diag import Diagnostics, Severity
     from repro.analysis.passes import build_target, lint_target
 
     versions = dict(ctx.family)
@@ -190,6 +207,25 @@ def _lint_run(ctx) -> LintArtifact:
         ctx.spec.name, versions, ctx.sizes, fuzz=ctx.lint_fuzz, seed=ctx.seed
     )
     diag = lint_target(target, diag=Diagnostics())
+    uov_artifact = ctx.artifacts.get("uov-search")
+    if uov_artifact is not None and uov_artifact.degradation:
+        # Surface graceful degradation as a structured lint finding:
+        # the compile is *correct* (the fallback UOV is certified) but
+        # possibly suboptimal, which the user should know about.
+        d = uov_artifact.degradation
+        diag.emit(
+            "RES001",
+            Severity.WARNING,
+            f"{ctx.spec.name}/uov-search",
+            f"UOV search degraded ({d.get('reason')}): using "
+            f"{list(uov_artifact.ov)} after {d.get('nodes_explored', 0)} "
+            f"nodes ({d.get('fallback', 'incumbent')} fallback)",
+            fix_hint=(
+                "raise the search budget (--search-max-nodes / "
+                "--search-wall-ms) or pin 'uov' in the spec"
+            ),
+            **{k: v for k, v in d.items() if k != "data"},
+        )
     worst = diag.max_severity()
     return LintArtifact(
         report=diag.to_json(),

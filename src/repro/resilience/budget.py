@@ -1,0 +1,214 @@
+"""Execution budgets and graceful-degradation records.
+
+The paper guarantees a provably-correct fallback for every UOV search:
+the trivial occupancy vector ``ov0 = sum(vi)`` is *always* universal
+(Section 3, Theorem 2).  A budget therefore never has to choose between
+"correct" and "on time" — when wall time, node count, or the process
+memory watermark is exhausted, the search stops and returns the best
+incumbent found so far (which is ``ov0`` when nothing better appeared),
+together with a structured :class:`Degradation` record saying what ran
+out and how far the search got.
+
+:class:`Budget` is the declarative limit; :meth:`Budget.start` yields a
+:class:`BudgetMeter` whose :meth:`~BudgetMeter.check` is cheap enough to
+sit in a branch-and-bound hot loop (wall clock and RSS are polled only
+every ``CHECK_EVERY`` ticks; the node count compares two ints).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+try:  # POSIX only; the memory watermark degrades to "unlimited" elsewhere.
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None  # type: ignore[assignment]
+
+__all__ = [
+    "Budget",
+    "BudgetMeter",
+    "Degradation",
+    "record_degradation",
+    "rss_mb",
+]
+
+
+def rss_mb() -> Optional[float]:
+    """The process's peak resident-set watermark in MiB (None if unknown).
+
+    ``ru_maxrss`` is KiB on Linux and bytes on macOS; both are
+    monotonically non-decreasing, which is exactly what a watermark
+    budget wants (a budget crossed once stays crossed).
+    """
+    if resource is None:
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return peak / (1 << 20) if sys.platform == "darwin" else peak / (1 << 10)
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Declarative limits for one bounded computation.
+
+    Any subset of the three limits may be set; ``None`` means unlimited.
+    ``memory_mb`` is a *watermark*: it compares against the process peak
+    RSS, so it catches a search whose frontier is about to thrash the
+    machine even if the current allocation momentarily shrinks.
+    """
+
+    wall_s: Optional[float] = None
+    max_nodes: Optional[int] = None
+    memory_mb: Optional[float] = None
+
+    def __post_init__(self):
+        for name in ("wall_s", "max_nodes", "memory_mb"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ValueError(f"budget {name} must be >= 0, got {value}")
+
+    @property
+    def unlimited(self) -> bool:
+        return (
+            self.wall_s is None
+            and self.max_nodes is None
+            and self.memory_mb is None
+        )
+
+    def start(self) -> "BudgetMeter":
+        return BudgetMeter(self)
+
+    def to_json(self) -> dict:
+        return {
+            "wall_s": self.wall_s,
+            "max_nodes": self.max_nodes,
+            "memory_mb": self.memory_mb,
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping) -> "Budget":
+        return cls(
+            wall_s=data.get("wall_s"),
+            max_nodes=data.get("max_nodes"),
+            memory_mb=data.get("memory_mb"),
+        )
+
+
+class BudgetMeter:
+    """A running budget: call :meth:`check` once per unit of work.
+
+    Returns the exhaustion reason (``"wall-budget"``, ``"node-budget"``,
+    ``"memory-budget"``) the first time a limit is crossed, ``None``
+    while within budget.  The expensive polls (monotonic clock, RSS)
+    are amortised over ``CHECK_EVERY`` calls; the node-count compare
+    runs every call.
+    """
+
+    #: Ticks between wall-clock / RSS polls.
+    CHECK_EVERY = 256
+
+    def __init__(self, budget: Budget):
+        self.budget = budget
+        self.t0 = time.monotonic()
+        self.ticks = 0
+        self.reason: Optional[str] = None
+
+    @property
+    def elapsed_s(self) -> float:
+        return time.monotonic() - self.t0
+
+    def check(self, nodes: Optional[int] = None) -> Optional[str]:
+        if self.reason is not None:
+            return self.reason
+        b = self.budget
+        if (
+            b.max_nodes is not None
+            and nodes is not None
+            and nodes >= b.max_nodes
+        ):
+            self.reason = "node-budget"
+            return self.reason
+        self.ticks += 1
+        if self.ticks % self.CHECK_EVERY and self.ticks != 1:
+            return None
+        if b.wall_s is not None and self.elapsed_s >= b.wall_s:
+            self.reason = "wall-budget"
+        elif b.memory_mb is not None:
+            peak = rss_mb()
+            if peak is not None and peak >= b.memory_mb:
+                self.reason = "memory-budget"
+        return self.reason
+
+
+@dataclass(frozen=True)
+class Degradation:
+    """Structured record of one graceful degradation.
+
+    ``reason`` is the machine-readable class (``wall-budget``,
+    ``node-budget``, ``memory-budget``, ``crash``); ``fallback`` names
+    what the caller got instead of the full answer (``"incumbent"`` —
+    the best legal UOV found before the cut, ``"initial-uov"`` — the
+    certified trivial ``ov0``).
+    """
+
+    reason: str
+    detail: str = ""
+    nodes_explored: int = 0
+    bound_reached: Optional[float] = None
+    elapsed_s: float = 0.0
+    fallback: str = "incumbent"
+    data: dict = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        record = {
+            "reason": self.reason,
+            "detail": self.detail,
+            "nodes_explored": self.nodes_explored,
+            "bound_reached": self.bound_reached,
+            "elapsed_s": round(self.elapsed_s, 6),
+            "fallback": self.fallback,
+        }
+        if self.data:
+            record["data"] = dict(self.data)
+        return record
+
+    @classmethod
+    def from_json(cls, data: Mapping) -> "Degradation":
+        return cls(
+            reason=data["reason"],
+            detail=data.get("detail", ""),
+            nodes_explored=data.get("nodes_explored", 0),
+            bound_reached=data.get("bound_reached"),
+            elapsed_s=data.get("elapsed_s", 0.0),
+            fallback=data.get("fallback", "incumbent"),
+            data=dict(data.get("data", {})),
+        )
+
+    def __str__(self) -> str:
+        extra = f": {self.detail}" if self.detail else ""
+        return (
+            f"degraded ({self.reason}{extra}; "
+            f"{self.nodes_explored} nodes explored, "
+            f"fallback={self.fallback})"
+        )
+
+
+def record_degradation(site: str, degradation: Degradation) -> None:
+    """Fold one degradation into obs: counters + trace event + warning."""
+    from repro import obs
+
+    metrics = obs.get_metrics()
+    metrics.counter("resilience.degradations").inc()
+    metrics.counter(f"resilience.degradations.{degradation.reason}").inc()
+    obs.warn_once(
+        ("degradation", site, degradation.reason),
+        f"{site} degraded gracefully: {degradation}",
+        event="resilience.degradation",
+        counter="resilience.degradation_events",
+        site=site,
+        reason=degradation.reason,
+        nodes_explored=degradation.nodes_explored,
+        fallback=degradation.fallback,
+    )

@@ -1,0 +1,135 @@
+"""Self-healing JSON artifact files: digests, atomic writes, quarantine.
+
+Every on-disk cache in the system (the harness's simulation-result cache
+and the pipeline's :class:`~repro.pipeline.cache.ArtifactCache`) goes
+through these three primitives:
+
+- :func:`atomic_write_json` — write to a uniquely-named temp file in the
+  same directory, then ``os.replace`` (atomic on POSIX *and* Windows):
+  a reader never observes a torn file, and a SIGKILL mid-write leaves at
+  worst an orphan ``*.tmp`` that no reader ever opens.
+- a content digest — the payload is wrapped as
+  ``{"schema": 1, "digest": sha256(body)[:16], "body": ...}`` so that
+  silent corruption (bit rot, a concurrent writer from a broken build,
+  an interrupted copy) is *detected*, not deserialised.
+- :func:`read_verified_json` — on any read failure (unparseable JSON,
+  wrapper mismatch, digest mismatch) the entry is moved to a
+  ``.corrupt/`` sidecar directory next to the cache (evidence for
+  debugging, never re-read), a deduplicated warning fires, the
+  ``resilience.cache.corrupt`` counter bumps, and the caller sees a
+  plain miss — the value is recomputed and the cache heals itself.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Optional
+
+__all__ = [
+    "CACHE_WRAPPER_SCHEMA",
+    "atomic_write_json",
+    "body_digest",
+    "quarantine_file",
+    "read_verified_json",
+]
+
+CACHE_WRAPPER_SCHEMA = 1
+
+#: Name of the sidecar directory corrupt entries are moved into.
+CORRUPT_DIR = ".corrupt"
+
+
+def body_digest(body: Any) -> str:
+    """Canonical content digest of a JSON-serialisable payload."""
+    blob = json.dumps(body, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def atomic_write_json(path: os.PathLike, body: Any, indent: Optional[int] = None) -> None:
+    """Digest-wrap ``body`` and write it atomically to ``path``.
+
+    The temp name folds in the pid so concurrent writers (two harness
+    processes racing on the same cache key) never clobber each other's
+    half-written temp; the loser's ``os.replace`` simply wins last with
+    an identical, fully-written file.
+    """
+    path = Path(path)
+    wrapper = {
+        "schema": CACHE_WRAPPER_SCHEMA,
+        "digest": body_digest(body),
+        "body": body,
+    }
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    try:
+        tmp.write_text(json.dumps(wrapper, sort_keys=True, indent=indent))
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def quarantine_file(path: os.PathLike, site: str, problem: str) -> Optional[Path]:
+    """Move a corrupt entry into ``.corrupt/`` beside it; None if gone."""
+    from repro import obs
+
+    path = Path(path)
+    sidecar = path.parent / CORRUPT_DIR
+    destination = sidecar / path.name
+    try:
+        sidecar.mkdir(exist_ok=True)
+        os.replace(path, destination)
+    except OSError:
+        try:  # quarantine failed (e.g. cross-device): delete instead
+            path.unlink(missing_ok=True)
+        except OSError:
+            return None
+        destination = None
+    obs.get_metrics().counter("resilience.cache.corrupt").inc()
+    obs.warn_once(
+        ("cache-corrupt", site),
+        f"{site}: corrupt cache entry quarantined "
+        f"({path.name}: {problem}); recomputing",
+        event="resilience.cache.corrupt",
+        counter="resilience.cache.corrupt_events",
+        site=site,
+        entry=path.name,
+        problem=problem,
+    )
+    return destination
+
+
+def read_verified_json(path: os.PathLike, site: str) -> Optional[Any]:
+    """The digest-verified body of ``path``, or None (healed) on failure.
+
+    A missing file is an ordinary miss (no quarantine, no warning); any
+    *present but unusable* file is quarantined so the next run never
+    trips over it again.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except FileNotFoundError:
+        return None
+    except OSError as exc:
+        quarantine_file(path, site, f"unreadable: {exc}")
+        return None
+    try:
+        wrapper = json.loads(text)
+    except ValueError as exc:
+        quarantine_file(path, site, f"bad JSON: {exc}")
+        return None
+    if (
+        not isinstance(wrapper, dict)
+        or wrapper.get("schema") != CACHE_WRAPPER_SCHEMA
+        or "digest" not in wrapper
+        or "body" not in wrapper
+    ):
+        quarantine_file(path, site, "missing digest wrapper")
+        return None
+    body = wrapper["body"]
+    if body_digest(body) != wrapper["digest"]:
+        quarantine_file(path, site, "digest mismatch")
+        return None
+    return body

@@ -1,0 +1,116 @@
+"""JSONL run checkpoints: a killed run resumes where it died.
+
+The harness appends one self-contained JSON line per completed
+simulation (and per quarantine) as the run progresses.  Append-and-flush
+is naturally incremental — a SIGKILL can tear at most the final line,
+and :func:`load_checkpoint` tolerates exactly that (the same contract as
+the trace loader).  ``repro report --resume`` loads the file into an
+overlay keyed by the task's content-addressed cache key, so the resumed
+run replays completed points for free and simulates only what the kill
+interrupted; because the key folds in the engine fingerprint, a
+checkpoint from an edited engine silently contributes nothing and the
+run stays correct.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Optional
+
+from repro.resilience.quarantine import QuarantineRecord
+
+__all__ = ["Checkpoint", "CheckpointWriter", "load_checkpoint"]
+
+CHECKPOINT_SCHEMA = 1
+
+
+@dataclass
+class Checkpoint:
+    """Everything recovered from one checkpoint file."""
+
+    meta: dict = field(default_factory=dict)
+    results: dict = field(default_factory=dict)  # task key -> result JSON
+    quarantines: list = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+class CheckpointWriter:
+    """Append-only JSONL checkpoint sink (parent process only)."""
+
+    def __init__(self, path: os.PathLike, meta: Optional[dict] = None):
+        self.path = Path(path)
+        if self.path.parent != Path("."):
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        fresh = not self.path.exists() or self.path.stat().st_size == 0
+        self._fh: IO[str] = open(self.path, "a")
+        if fresh:
+            header = {
+                "type": "meta",
+                "schema": CHECKPOINT_SCHEMA,
+                "pid": os.getpid(),
+            }
+            header.update(meta or {})
+            self._write(header)
+
+    def _write(self, record: dict) -> None:
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def record_result(self, key: str, label: str, result_json: dict) -> None:
+        self._write(
+            {"type": "result", "key": key, "label": label, "result": result_json}
+        )
+
+    def record_quarantine(self, record: QuarantineRecord) -> None:
+        self._write({"type": "quarantine", "record": record.to_json()})
+
+    def close(self) -> None:
+        self._fh.close()
+
+    def __enter__(self) -> "CheckpointWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def load_checkpoint(path: os.PathLike) -> Checkpoint:
+    """Parse a checkpoint file, tolerating a torn final line.
+
+    Raises ``ValueError`` for structurally bad JSON anywhere *except*
+    the last line (the signature of a killed writer); a missing file is
+    simply an empty checkpoint, so ``--resume`` on a fresh run works.
+    """
+    checkpoint = Checkpoint()
+    try:
+        rows = Path(path).read_text().splitlines()
+    except FileNotFoundError:
+        return checkpoint
+    for lineno, line in enumerate(rows, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            if lineno == len(rows):
+                continue  # torn final line: the kill we are resuming from
+            raise ValueError(
+                f"{path}: line {lineno}: bad checkpoint JSON ({exc})"
+            ) from exc
+        kind = record.get("type")
+        if kind == "meta":
+            checkpoint.meta = record
+        elif kind == "result":
+            checkpoint.results[record["key"]] = record["result"]
+        elif kind == "quarantine":
+            checkpoint.quarantines.append(
+                QuarantineRecord.from_json(record["record"])
+            )
+        # unknown types: forward compatibility, skip silently
+    return checkpoint

@@ -1,0 +1,58 @@
+"""Bounded retries with exponential backoff and deterministic jitter.
+
+The jitter is drawn from a ``random.Random`` seeded by the retry *key*
+(typically the task's cache key) and attempt number, so two runs of the
+same workload back off identically — retries never make a run
+non-reproducible — while distinct tasks retrying simultaneously still
+de-synchronise (the point of jitter).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry a failed unit of work, and how patiently.
+
+    ``delay(attempt)`` for attempt 0, 1, 2, ... is
+    ``backoff_s * multiplier**attempt`` capped at ``max_backoff_s``,
+    stretched by up to ``jitter`` (a fraction) of itself.
+    """
+
+    retries: int = 0
+    backoff_s: float = 0.05
+    multiplier: float = 2.0
+    max_backoff_s: float = 5.0
+    jitter: float = 0.5
+
+    def __post_init__(self):
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.backoff_s < 0 or self.max_backoff_s < 0:
+            raise ValueError("backoff times must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must be in [0, 1], got {self.jitter}")
+
+    @classmethod
+    def of(cls, retries: "int | RetryPolicy | None") -> "RetryPolicy":
+        """Coerce the ergonomic forms (None, int, policy) to a policy."""
+        if retries is None:
+            return cls()
+        if isinstance(retries, RetryPolicy):
+            return retries
+        return cls(retries=int(retries))
+
+    def delay(self, attempt: int, key: str = "") -> float:
+        base = min(
+            self.backoff_s * self.multiplier ** max(0, attempt),
+            self.max_backoff_s,
+        )
+        if self.jitter == 0.0:
+            return base
+        rng = random.Random(f"{key}:{attempt}")
+        return base * (1.0 + self.jitter * rng.random())

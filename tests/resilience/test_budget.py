@@ -1,0 +1,174 @@
+"""Budgets and graceful UOV degradation (DESIGN.md §12).
+
+The paper's Theorem 2 makes the trivial UOV ``ov0 = sum(vi)`` universal
+for every regular stencil, so a budgeted search can always answer — the
+tests here pin the whole degradation contract: the reason taxonomy, the
+certified fallback, the lint finding, and the obs counters.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import obs
+from repro.analysis.certify import UOVCertificate, certify
+from repro.codes import get_spec
+from repro.core.search import find_optimal_uov, find_uov_with_fallback
+from repro.core.stencil import Stencil
+from repro.pipeline import ArtifactCache, compile_spec
+from repro.resilience.budget import Budget, BudgetMeter, Degradation, rss_mb
+from repro.resilience.faults import FaultPlan, install_plan
+
+
+class TestBudget:
+    def test_unlimited_by_default(self):
+        assert Budget().unlimited
+        assert not Budget(max_nodes=10).unlimited
+
+    def test_negative_limits_rejected(self):
+        with pytest.raises(ValueError, match="must be >= 0"):
+            Budget(wall_s=-1.0)
+
+    def test_json_round_trip(self):
+        budget = Budget(wall_s=1.5, max_nodes=100, memory_mb=512.0)
+        assert Budget.from_json(budget.to_json()) == budget
+
+    def test_meter_node_budget_trips_exactly(self):
+        meter = Budget(max_nodes=5).start()
+        assert meter.check(nodes=4) is None
+        assert meter.check(nodes=5) == "node-budget"
+        # A tripped meter stays tripped.
+        assert meter.check(nodes=0) == "node-budget"
+
+    def test_meter_wall_budget_trips(self):
+        meter = Budget(wall_s=0.0).start()
+        assert meter.check() == "wall-budget"
+
+    def test_meter_memory_watermark_trips(self):
+        peak = rss_mb()
+        if peak is None:
+            pytest.skip("no RSS watermark on this platform")
+        meter = Budget(memory_mb=peak / 2).start()
+        assert meter.check() == "memory-budget"
+
+    def test_meter_amortises_expensive_polls(self):
+        meter = Budget(wall_s=3600.0).start()
+        for _ in range(BudgetMeter.CHECK_EVERY):
+            assert meter.check() is None
+
+
+class TestDegradedSearch:
+    def test_node_budget_returns_certified_trivial_uov(self, stencil5):
+        result = find_optimal_uov(stencil5, budget=Budget(max_nodes=1))
+        assert not result.optimal
+        d = result.degradation
+        assert d is not None and d.reason == "node-budget"
+        assert d.fallback == "initial-uov"
+        assert result.ov == stencil5.initial_uov
+        cert = certify(result.ov, stencil5)
+        assert isinstance(cert, UOVCertificate) and cert.verify()
+
+    def test_wall_budget_degrades_the_same_way(self, stencil5):
+        result = find_optimal_uov(stencil5, budget=Budget(wall_s=0.0))
+        assert not result.optimal
+        assert result.degradation.reason == "wall-budget"
+        cert = certify(result.ov, stencil5)
+        assert isinstance(cert, UOVCertificate) and cert.verify()
+
+    def test_generous_budget_changes_nothing(self, stencil5):
+        free = find_optimal_uov(stencil5)
+        bounded = find_optimal_uov(
+            stencil5, budget=Budget(wall_s=3600.0, max_nodes=10**6)
+        )
+        assert bounded.ov == free.ov and bounded.optimal
+        assert bounded.degradation is None
+
+    def test_max_nodes_composes_with_budget_as_min(self, stencil5):
+        result = find_optimal_uov(
+            stencil5, max_nodes=1, budget=Budget(max_nodes=10**6)
+        )
+        assert not result.optimal
+        assert result.nodes_visited == 1
+
+    def test_partial_search_keeps_best_incumbent(self):
+        # Enough nodes to improve on ov0 = (5, 0) but not to finish.
+        stencil = Stencil([(1, -2), (1, -1), (1, 0), (1, 1), (1, 2)])
+        result = find_optimal_uov(stencil, budget=Budget(max_nodes=200))
+        cert = certify(result.ov, stencil)
+        assert isinstance(cert, UOVCertificate) and cert.verify()
+        if not result.optimal:
+            assert result.degradation.nodes_explored == result.nodes_visited
+
+    def test_degradation_counters_fire(self, stencil5):
+        obs.reset_metrics()
+        with pytest.warns(UserWarning, match="degraded gracefully"):
+            find_optimal_uov(stencil5, budget=Budget(max_nodes=1))
+        counters = obs.get_metrics().snapshot()["counters"]
+        assert counters["resilience.degradations"] == 1
+        assert counters["resilience.degradations.node-budget"] == 1
+
+
+class TestCrashFallback:
+    def test_injected_crash_falls_back_to_trivial_uov(self, stencil5):
+        install_plan(FaultPlan.from_spec("search.node:crash"))
+        result = find_uov_with_fallback(stencil5)
+        assert result.ov == stencil5.initial_uov
+        assert result.degradation.reason == "crash"
+        assert result.degradation.fallback == "initial-uov"
+        assert "InjectedCrash" in result.degradation.detail
+        cert = certify(result.ov, stencil5)
+        assert isinstance(cert, UOVCertificate) and cert.verify()
+
+    def test_no_fault_means_no_degradation(self, stencil5):
+        result = find_uov_with_fallback(stencil5)
+        assert result.optimal and result.degradation is None
+
+    def test_degradation_json_round_trip(self):
+        d = Degradation(
+            reason="crash",
+            detail="boom",
+            nodes_explored=7,
+            fallback="initial-uov",
+            data={"x": 1},
+        )
+        assert Degradation.from_json(d.to_json()) == d
+
+
+class TestPipelineDegradation:
+    def test_budgeted_compile_degrades_and_lints(self):
+        spec = dataclasses.replace(get_spec("stencil5"), uov=None)
+        with pytest.warns(UserWarning, match="degraded gracefully"):
+            result = compile_spec(
+                spec,
+                lint=True,
+                execute=True,
+                cache=ArtifactCache(),
+                search_budget=Budget(max_nodes=1),
+            )
+        uov = result.artifact("uov-search")
+        assert not uov.optimal
+        assert uov.degradation["reason"] == "node-budget"
+        # The degraded UOV still compiles, schedules, and verifies
+        # bit-for-bit against the reference execution.
+        assert result.artifact("execute").verified
+        findings = result.artifact("lint").findings
+        codes = {f["code"] for f in findings}
+        assert "RES001" in codes
+        (finding,) = [f for f in findings if f["code"] == "RES001"]
+        assert finding["severity"] == "warning"
+
+    def test_budget_is_part_of_the_cache_key(self):
+        spec = dataclasses.replace(get_spec("stencil5"), uov=None)
+        cache = ArtifactCache()
+        with pytest.warns(UserWarning):
+            compile_spec(
+                spec,
+                execute=False,
+                cache=cache,
+                search_budget=Budget(max_nodes=1),
+            )
+        # A different budget must not hit the degraded entry.
+        full = compile_spec(spec, execute=False, cache=cache)
+        uov = full.artifact("uov-search")
+        assert "uov-search" in full.stages_run
+        assert uov.optimal and uov.degradation is None

@@ -1,0 +1,156 @@
+"""The deterministic fault-injection framework itself."""
+
+import os
+
+import pytest
+
+from repro.resilience.faults import (
+    FaultPlan,
+    FaultRule,
+    InjectedCrash,
+    InjectedTransient,
+    active_plan,
+    install_plan,
+    maybe_corrupt,
+    maybe_fault,
+    reset_plan,
+)
+
+
+class TestSpecGrammar:
+    def test_minimal_clause(self):
+        rule = FaultRule.from_clause("harness.worker:crash")
+        assert rule.site == "harness.worker" and rule.kind == "crash"
+        assert rule.times == 1 and rule.after == 0 and rule.p == 1.0
+
+    def test_full_clause_round_trips(self):
+        clause = "harness.worker:kill:times=2,after=1,match=L=16,p=0.5,delay=9.0"
+        rule = FaultRule.from_clause(clause)
+        assert rule.times == 2 and rule.after == 1
+        assert rule.match == "L=16" and rule.p == 0.5 and rule.delay == 9.0
+        assert FaultRule.from_clause(rule.to_clause()) == rule
+
+    def test_multi_clause_spec(self):
+        plan = FaultPlan.from_spec(
+            "harness.worker:transient;harness.cache.store:corrupt"
+        )
+        assert len(plan.rules) == 2
+        assert FaultPlan.from_spec(plan.spec()).spec() == plan.spec()
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultRule.from_clause("site:explode")
+
+    def test_bad_option_rejected(self):
+        with pytest.raises(ValueError, match="bad fault option"):
+            FaultRule.from_clause("site:crash:bogus=1")
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ValueError, match="no clauses"):
+            FaultPlan.from_spec(" ; ")
+
+
+class TestInjection:
+    def test_fires_exactly_times(self):
+        install_plan(FaultPlan.from_spec("s:transient:times=2"))
+        for _ in range(2):
+            with pytest.raises(InjectedTransient):
+                maybe_fault("s")
+        maybe_fault("s")  # exhausted: a no-op
+        assert active_plan().injected("s") == 2
+
+    def test_after_skips_leading_calls(self):
+        install_plan(FaultPlan.from_spec("s:crash:after=2"))
+        maybe_fault("s")
+        maybe_fault("s")
+        with pytest.raises(InjectedCrash):
+            maybe_fault("s")
+
+    def test_match_filters_by_label(self):
+        install_plan(FaultPlan.from_spec("s:crash:match=L=16"))
+        maybe_fault("s", label="L=24")  # no match: no fault
+        with pytest.raises(InjectedCrash):
+            maybe_fault("s", label="T=6,L=16")
+
+    def test_site_mismatch_never_fires(self):
+        install_plan(FaultPlan.from_spec("s:crash"))
+        maybe_fault("other.site")
+
+    def test_probability_is_deterministic_per_seed(self):
+        def fired(seed):
+            plan = FaultPlan.from_spec("s:crash:times=100,p=0.5", seed=seed)
+            hits = []
+            for i in range(20):
+                try:
+                    plan.fire("s")
+                    hits.append(False)
+                except InjectedCrash:
+                    hits.append(True)
+            return hits
+
+        assert fired(1) == fired(1)  # same seed, same pattern
+        assert fired(1) != fired(2)  # different seed, different pattern
+        assert any(fired(1)) and not all(fired(1))
+
+    def test_disarmed_is_a_noop(self):
+        install_plan(None)
+        maybe_fault("anything")
+        assert not maybe_corrupt("anything", "/nonexistent")
+
+
+class TestCrossProcessCounting:
+    def test_sentinel_dir_claims_are_exclusive(self, tmp_path):
+        spec = "s:transient:times=3"
+        a = FaultPlan.from_spec(spec, scratch_dir=tmp_path)
+        b = FaultPlan.from_spec(spec, scratch_dir=tmp_path)
+        # Two "processes" share the scratch dir: 3 slots total, not 6.
+        fires = 0
+        for plan in (a, b, a, b, a, b):
+            try:
+                plan.fire("s")
+            except InjectedTransient:
+                fires += 1
+        assert fires == 3
+        assert a.injected() == b.injected() == 3
+
+    def test_env_round_trip(self, tmp_path):
+        plan = FaultPlan.from_spec(
+            "s:kill:times=2", seed=7, scratch_dir=tmp_path
+        )
+        env: dict = {}
+        plan.arm_env(env)
+        clone = FaultPlan.from_env(env)
+        assert clone.spec() == plan.spec()
+        assert clone.seed == 7 and clone.scratch_dir == tmp_path
+
+    def test_reset_plan_rearms_from_environment(self, tmp_path):
+        plan = FaultPlan.from_spec("s:crash", scratch_dir=tmp_path)
+        plan.arm_env(os.environ)
+        install_plan(None)
+        maybe_fault("s")  # installed None wins over the environment
+        reset_plan()
+        with pytest.raises(InjectedCrash):
+            maybe_fault("s")
+
+
+class TestCorruption:
+    def test_corrupt_scribbles_deterministically(self, tmp_path):
+        target = tmp_path / "entry.json"
+        target.write_bytes(b"A" * 100)
+        install_plan(FaultPlan.from_spec("store:corrupt"))
+        assert maybe_corrupt("store", target)
+        data = target.read_bytes()
+        assert data == b"A" * 50 + b"\x00#injected-corruption"
+        # times=1 exhausted: the next write is left alone.
+        target.write_bytes(b"B" * 10)
+        assert not maybe_corrupt("store", target)
+        assert target.read_bytes() == b"B" * 10
+
+    def test_injection_counter_reaches_metrics(self):
+        from repro import obs
+
+        install_plan(FaultPlan.from_spec("s:transient"))
+        with pytest.raises(InjectedTransient):
+            maybe_fault("s")
+        counters = obs.get_metrics().snapshot()["counters"]
+        assert counters["resilience.faults.injected"] == 1

@@ -1,0 +1,181 @@
+"""Chaos suite for the fault-isolated simulation harness.
+
+Every fault class the injector can produce — worker kill, crash
+exception, transient exception, hang — is driven through the real
+``SimulationRunner`` engines and must end in either a successful retry
+or a quarantine that names the task, never a lost run.
+"""
+
+import os
+
+import pytest
+
+from repro.codes import get_version
+from repro.experiments.harness import (
+    SimTask,
+    SimulationRunner,
+    TaskFailure,
+    task_identity,
+)
+from repro.machine.configs import PENTIUM_PRO
+from repro.resilience.faults import FaultPlan, install_plan
+from repro.resilience.retry import RetryPolicy
+
+SIZES = {"T": 4, "L": 12}
+MACHINE = PENTIUM_PRO.scaled(64)
+
+#: Zero-backoff policy: chaos tests retry instantly.
+FAST = RetryPolicy(retries=2, backoff_s=0.0, jitter=0.0)
+
+
+@pytest.fixture
+def task():
+    return SimTask.of(get_version("stencil5", "ov"), SIZES, MACHINE)
+
+
+def arm(spec: str, tmp_path, seed: int = 0) -> FaultPlan:
+    """Install + env-arm a plan with cross-process sentinel counting."""
+    plan = FaultPlan.from_spec(spec, seed=seed, scratch_dir=tmp_path / "faults")
+    install_plan(plan)
+    plan.arm_env()
+    return plan
+
+
+class TestRetryPolicy:
+    def test_of_coercions(self):
+        assert RetryPolicy.of(None).retries == 0
+        assert RetryPolicy.of(3).retries == 3
+        assert RetryPolicy.of(FAST) is FAST
+
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(
+            retries=5, backoff_s=1.0, multiplier=2.0, max_backoff_s=3.0,
+            jitter=0.0,
+        )
+        assert [policy.delay(a) for a in range(4)] == [1.0, 2.0, 3.0, 3.0]
+
+    def test_jitter_is_deterministic_per_key(self):
+        policy = RetryPolicy(retries=1, backoff_s=1.0, jitter=0.5)
+        assert policy.delay(0, "k") == policy.delay(0, "k")
+        assert policy.delay(0, "k1") != policy.delay(0, "k2")
+
+    def test_invalid_policies_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+
+class TestTransientRecovery:
+    def test_in_process_transient_is_retried_to_success(self, task, tmp_path):
+        arm("harness.worker:transient:times=2", tmp_path)
+        runner = SimulationRunner(retry=FAST)
+        (result,) = runner.run_tasks([task])
+        assert result is not None
+        assert runner.simulated == 1
+        assert runner.retries_used == 2
+        assert not runner.quarantined
+
+    def test_subprocess_transient_is_retried_to_success(self, task, tmp_path):
+        arm("harness.worker:transient:times=1", tmp_path)
+        runner = SimulationRunner(timeout_s=60.0, retry=FAST)
+        (result,) = runner.run_tasks([task])
+        assert result is not None
+        assert runner.retries_used == 1 and not runner.quarantined
+
+    def test_result_after_retries_matches_clean_run(self, task, tmp_path):
+        clean = SimulationRunner().run_tasks([task])[0]
+        arm("harness.worker:transient:times=1", tmp_path)
+        retried = SimulationRunner(retry=FAST).run_tasks([task])[0]
+        assert retried == clean
+
+
+class TestCrashQuarantine:
+    def test_worker_kill_is_retried_then_succeeds(self, task, tmp_path):
+        # The worker dies twice without a traceback (os._exit); the
+        # sentinel dir makes "twice" hold across replacement workers.
+        arm("harness.worker:kill:times=2", tmp_path)
+        runner = SimulationRunner(timeout_s=60.0, retry=FAST)
+        (result,) = runner.run_tasks([task])
+        assert result is not None
+        assert runner.retries_used == 2 and not runner.quarantined
+
+    def test_exhausted_retries_quarantine_with_identity(self, task, tmp_path):
+        arm("harness.worker:crash:times=10", tmp_path)
+        runner = SimulationRunner(retry=RetryPolicy(retries=1, backoff_s=0.0))
+        with pytest.raises(TaskFailure) as exc_info:
+            runner.run_tasks([task])
+        (record,) = exc_info.value.quarantined
+        assert record.identity == task_identity(task)
+        assert record.identity["code"] == "stencil5"
+        assert record.identity["mapping"] == "ov"
+        assert record.identity["sizes"] == SIZES
+        assert record.attempts == 2
+        # The propagated error itself names the failing config.
+        assert "stencil5" in str(exc_info.value)
+        assert "mapping=ov" in str(exc_info.value)
+
+    def test_non_strict_returns_none_for_quarantined(self, task, tmp_path):
+        arm("harness.worker:crash:times=10", tmp_path)
+        runner = SimulationRunner()  # no retries
+        results = runner.run_tasks([task], strict=False)
+        assert results == [None]
+        assert len(runner.quarantined) == 1
+        assert runner.quarantined[0].error == "exception"
+
+    def test_one_poisoned_task_does_not_sink_the_batch(self, tmp_path):
+        version = get_version("stencil5", "ov")
+        tasks = [
+            SimTask.of(version, {"T": 4, "L": length}, MACHINE)
+            for length in (8, 12, 16)
+        ]
+        arm("harness.worker:crash:times=10,match=L=12", tmp_path)
+        runner = SimulationRunner()
+        results = runner.run_tasks(tasks, strict=False)
+        assert results[0] is not None and results[2] is not None
+        assert results[1] is None
+        assert runner.simulated == 2
+
+    def test_quarantine_counter_fires(self, task, tmp_path):
+        from repro import obs
+
+        arm("harness.worker:crash:times=10", tmp_path)
+        SimulationRunner().run_tasks([task], strict=False)
+        counters = obs.get_metrics().snapshot()["counters"]
+        assert counters["resilience.quarantines"] == 1
+
+
+class TestTimeout:
+    def test_hung_worker_is_terminated_and_quarantined(self, task, tmp_path):
+        arm("harness.worker:timeout:delay=60", tmp_path)
+        runner = SimulationRunner(timeout_s=0.5)
+        with pytest.raises(TaskFailure):
+            runner.run_tasks([task])
+        (record,) = runner.quarantined
+        assert record.error == "timeout"
+        assert "0.5" in record.message
+
+    def test_hang_then_retry_succeeds(self, task, tmp_path):
+        arm("harness.worker:timeout:times=1,delay=60", tmp_path)
+        runner = SimulationRunner(timeout_s=1.0, retry=FAST)
+        (result,) = runner.run_tasks([task])
+        assert result is not None
+        assert runner.retries_used == 1
+
+
+class TestParallelChaos:
+    def test_parallel_batch_with_faults_matches_clean_run(self, tmp_path):
+        version = get_version("stencil5", "ov")
+        tasks = [
+            SimTask.of(version, {"T": 4, "L": length}, MACHINE)
+            for length in (8, 12, 16, 20)
+        ]
+        clean = SimulationRunner(jobs=2).run_tasks(tasks)
+        arm("harness.worker:kill:times=2", tmp_path)
+        chaotic = SimulationRunner(jobs=2, retry=FAST).run_tasks(tasks)
+        assert chaotic == clean
+
+    def test_worker_pids_are_isolated(self, task, tmp_path):
+        runner = SimulationRunner(timeout_s=60.0)
+        runner.run_tasks([task])
+        assert runner.workers and os.getpid() not in runner.workers
