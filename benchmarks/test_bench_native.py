@@ -1,0 +1,179 @@
+"""The native tier's speedup and exactness at benchmark scale.
+
+The acceptance bar for the compiled engine: at least 5x over the
+vectorized NumPy engine on stencil5 at N=512 with a *warm* shared-object
+cache (compile time is a one-off, so it is excluded by warming first),
+and ``np.array_equal`` storage against both the interpreter oracle and
+the vectorized engine — bit for bit, not approximately.
+
+Run as a script to refresh the committed ``BENCH_native.json``::
+
+    PYTHONPATH=src python benchmarks/test_bench_native.py --save
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.codegen.build import discover_toolchain
+from repro.execution import execute, execute_native, execute_vectorized
+
+requires_cc = pytest.mark.skipif(
+    discover_toolchain() is None,
+    reason="no C toolchain on PATH (or REPRO_CC=none)",
+)
+
+N512 = {"T": 512, "L": 512}
+LARGE = {"T": 512, "L": 4096}  # scalar-free: only vectorized vs native
+BENCH_SIZES = {"T": 128, "L": 128}  # per-round sizes for the timed fixtures
+
+
+@pytest.fixture(scope="module")
+def stencil5_ov(stencil5_versions):
+    return stencil5_versions["ov"]
+
+
+@pytest.fixture(scope="module")
+def warm_native(stencil5_ov):
+    """Compile every size used below once, so timings are load-only."""
+    for sizes in (BENCH_SIZES, N512, LARGE):
+        execute_native(stencil5_ov, sizes, fallback=False)
+    return stencil5_ov
+
+
+@requires_cc
+def test_native_speedup_5x_at_n512(warm_native):
+    t0 = time.perf_counter()
+    vectorized = execute_vectorized(warm_native, N512, fallback=False)
+    t_vector = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    native = execute_native(warm_native, N512, fallback=False)
+    t_native = time.perf_counter() - t0
+
+    assert native.engine_used == "native"
+    assert np.array_equal(native.storage, vectorized.storage)
+    assert np.array_equal(
+        native.output_values(), vectorized.output_values()
+    )
+    speedup = t_vector / t_native
+    assert speedup >= 5.0, (
+        f"native engine only {speedup:.1f}x faster "
+        f"({t_vector:.3f}s vectorized vs {t_native:.3f}s native)"
+    )
+
+
+@requires_cc
+def test_native_matches_at_large_size(warm_native):
+    # Too big for the scalar oracle; the vectorized engine (itself
+    # differentially tested against the oracle) is the reference here.
+    native = execute_native(warm_native, LARGE, fallback=False)
+    vectorized = execute_vectorized(warm_native, LARGE, fallback=False)
+    assert np.array_equal(native.storage, vectorized.storage)
+
+
+@requires_cc
+def test_bench_native_engine(benchmark, warm_native):
+    result = benchmark.pedantic(
+        execute_native,
+        args=(warm_native, BENCH_SIZES),
+        kwargs={"fallback": False},
+        rounds=3,
+        iterations=1,
+    )
+    reference = execute(warm_native, BENCH_SIZES)
+    assert np.array_equal(result.storage, reference.storage)
+
+
+@requires_cc
+def test_bench_native_engine_n512(benchmark, warm_native):
+    result = benchmark.pedantic(
+        execute_native,
+        args=(warm_native, N512),
+        kwargs={"fallback": False},
+        rounds=3,
+        iterations=1,
+    )
+    assert result.engine_used == "native"
+
+
+def _time(fn, *args, **kwargs):
+    t0 = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return time.perf_counter() - t0, result
+
+
+def main(argv):
+    """Refresh BENCH_native.json: wall clocks per engine at two sizes."""
+    import json
+    import platform
+    from datetime import datetime, timezone
+    from pathlib import Path
+
+    if "--save" not in argv:
+        print(__doc__)
+        return 2
+    toolchain = discover_toolchain()
+    if toolchain is None:
+        print("no C toolchain; BENCH_native.json not written")
+        return 1
+
+    from repro.codes import make_stencil5
+
+    version = make_stencil5()["ov"]
+    results = {}
+    for label, sizes in (("stencil5@512x512", N512), ("stencil5@512x4096", LARGE)):
+        execute_native(version, sizes, fallback=False)  # warm the .so cache
+        t_native, native = _time(
+            execute_native, version, sizes, fallback=False
+        )
+        t_vector, vectorized = _time(
+            execute_vectorized, version, sizes, fallback=False
+        )
+        entry = {
+            "sizes": sizes,
+            "native_s": round(t_native, 6),
+            "vectorized_s": round(t_vector, 6),
+            "native_vs_vectorized": round(t_vector / t_native, 2),
+            "bit_identical": bool(
+                np.array_equal(native.storage, vectorized.storage)
+            ),
+        }
+        if sizes is N512:  # the scalar oracle is affordable here only
+            t_scalar, scalar = _time(execute, version, sizes)
+            entry["interpreter_s"] = round(t_scalar, 6)
+            entry["native_vs_interpreter"] = round(t_scalar / t_native, 2)
+            entry["bit_identical"] = entry["bit_identical"] and bool(
+                np.array_equal(native.storage, scalar.storage)
+            )
+        results[label] = entry
+
+    out = Path(__file__).resolve().parent.parent / "BENCH_native.json"
+    payload = {
+        "context": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "toolchain": toolchain.describe(),
+            "datetime": datetime.now(timezone.utc).isoformat(
+                timespec="seconds"
+            ),
+        },
+        "benchmarks": results,
+    }
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out} ({len(results)} sizes)")
+    for label, entry in results.items():
+        print(
+            f"  {label}: native {entry['native_s']}s, "
+            f"vectorized {entry['vectorized_s']}s "
+            f"({entry['native_vs_vectorized']}x)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main(sys.argv[1:]))

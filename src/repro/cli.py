@@ -262,13 +262,23 @@ def _render_compile_text(result) -> str:
                 f"{a.max_severity or 'none'}"
             )
         elif name == "execute":
+            engine_used = getattr(a, "engine_used", "interpreter")
             lines.append(
                 f"{'':20s}verified {a.n_outputs} outputs against the "
-                f"natural/lex reference (sha256 {a.outputs_sha256})"
+                f"natural/lex reference (sha256 {a.outputs_sha256}, "
+                f"engine {engine_used})"
             )
+            if getattr(a, "degradation", None):
+                d = a.degradation
+                lines.append(
+                    f"{'':20s}DEGRADED: {d.get('reason')}"
+                    + (f" ({d.get('detail')})" if d.get("detail") else "")
+                    + f"; ran {engine_used} instead"
+                )
         elif name == "codegen":
             what = (
-                f"{len(a.source.splitlines())} lines of python"
+                f"{len(a.source.splitlines())} lines of "
+                f"{getattr(a, 'lang', 'python')}"
                 if a.supported
                 else f"unsupported: {a.reason}"
             )
@@ -315,6 +325,7 @@ def _run_pipeline(args, spec, *, lint: bool, execute: bool, codegen: bool):
             codegen=codegen,
             cache=_make_cache(args),
             search_budget=_search_budget(args),
+            engine=getattr(args, "engine", "interpreter"),
         )
     except StageError as exc:
         print(f"compile failed at {exc.stage}: {exc}", file=sys.stderr)
@@ -582,6 +593,13 @@ def main(argv=None) -> int:
         "--uov", default=None, help='override the UOV, e.g. "2,0"'
     )
     sgroup.add_argument("--seed", type=int, default=None)
+    sgroup.add_argument(
+        "--engine",
+        choices=("interpreter", "vectorized", "native"),
+        default="interpreter",
+        help="execution engine for the execute stage (native compiles the "
+        "generated C and degrades to vectorized when no compiler exists)",
+    )
     sgroup.add_argument(
         "--cache-dir",
         default=None,

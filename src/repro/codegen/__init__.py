@@ -8,13 +8,22 @@ modterm of non-prime OVs removed by unrolling the inner loop.
 - :mod:`repro.codegen.python_gen` — emits runnable Python for any code
   version; the test suite ``exec``'s the result and checks it against the
   interpreter, so the generator is verified end to end.
-- :mod:`repro.codegen.c_gen` — emits the equivalent C (the form the
-  paper's experiments compiled with gcc); not compiled here, but kept
-  textually faithful for inspection and documentation.
+- :mod:`repro.codegen.c_gen` — emits self-contained, compilable C (the
+  form the paper's experiments compiled with gcc); the native execution
+  tier compiles and runs it, and the differential suite holds it
+  bit-identical to the interpreter.
+- :mod:`repro.codegen.build` — toolchain discovery and the content-hash
+  shared-object compilation cache behind the native tier.
 - :mod:`repro.codegen.unroll` — mod-removal by unrolling (Section 4.2).
 """
 
-from repro.codegen.c_gen import generate_c
+from repro.codegen.build import (
+    Toolchain,
+    compile_so,
+    discover_toolchain,
+    toolchain_fingerprint,
+)
+from repro.codegen.c_gen import generate_c, halo_geometry
 from repro.codegen.python_gen import build_runner, generate_python
 from repro.codegen.unroll import unrollable_modulus
 
@@ -22,5 +31,10 @@ __all__ = [
     "generate_python",
     "build_runner",
     "generate_c",
+    "halo_geometry",
+    "Toolchain",
+    "discover_toolchain",
+    "toolchain_fingerprint",
+    "compile_so",
     "unrollable_modulus",
 ]

@@ -1,0 +1,288 @@
+"""C toolchain discovery and the shared-object compilation cache.
+
+The native execution tier turns :func:`repro.codegen.c_gen.generate_c`
+output into a loadable shared object.  This module owns the two
+non-portable parts:
+
+- **Toolchain discovery** (:func:`discover_toolchain`): the ``REPRO_CC``
+  environment variable wins (set it to ``none`` or the empty string to
+  *disable* native compilation — the CI no-compiler leg uses this), then
+  the first of ``cc``/``gcc``/``clang`` on PATH.  The discovered
+  :class:`Toolchain` carries a fingerprint — a digest of the resolved
+  compiler path, its ``--version`` banner, and the flag set — which is
+  folded into both the ``.so`` content hash and the repo-wide
+  :func:`~repro.experiments.harness.engine_fingerprint`, so upgrading
+  the compiler invalidates every cached artifact instead of silently
+  reusing objects built by a different code generator.
+- **Compilation caching** (:func:`compile_so`): shared objects are
+  content-hash-named (``sha256(source + toolchain fingerprint)``) under
+  a cache directory, installed atomically (unique temp + ``os.replace``)
+  so concurrent builders never observe a torn object, and self-healing:
+  a ``.so`` that fails to *load* is quarantined to ``.corrupt/`` (the
+  :mod:`repro.resilience.cachesafe` idiom) and rebuilt once.
+
+Flags are ``-O2 -march=native -fPIC -shared -ffp-contract=off`` — the
+paper's ``gcc -O2`` plus modern arch tuning; ``-ffp-contract=off`` is
+load-bearing (GCC's C default contracts ``a*b + c`` into FMA, which
+would break the bit-for-bit differential tests against the interpreter).
+Toolchains that reject ``-march=native`` are retried without it, and the
+surviving flag set is what the fingerprint records.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import shutil
+import subprocess
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+__all__ = [
+    "CC_ENV",
+    "CompileError",
+    "Toolchain",
+    "compile_so",
+    "default_so_cache_dir",
+    "discover_toolchain",
+    "reset_toolchain_cache",
+    "toolchain_fingerprint",
+]
+
+#: Environment override for the compiler: a path/name to use, or
+#: ``none`` / empty to disable native compilation entirely.
+CC_ENV = "REPRO_CC"
+
+#: Environment override for the shared-object cache directory.
+SO_CACHE_ENV = "REPRO_SO_CACHE"
+
+#: Candidate compilers, tried in order, when ``REPRO_CC`` is unset.
+CC_CANDIDATES = ("cc", "gcc", "clang")
+
+#: Baseline flag set; see the module docstring for why -ffp-contract=off.
+BASE_FLAGS = ("-O2", "-fPIC", "-shared", "-ffp-contract=off")
+
+#: Arch tuning, dropped (with a deduplicated warning) where unsupported.
+ARCH_FLAG = "-march=native"
+
+#: Seconds before a wedged compiler invocation is abandoned.
+COMPILE_TIMEOUT_S = 120.0
+
+
+class CompileError(RuntimeError):
+    """A compiler invocation failed (non-zero exit, timeout, missing cc)."""
+
+
+@dataclass(frozen=True)
+class Toolchain:
+    """One discovered C compiler: resolved path, identity, flag set."""
+
+    cc: str
+    version: str
+    flags: tuple[str, ...] = BASE_FLAGS + (ARCH_FLAG,)
+
+    @property
+    def fingerprint(self) -> str:
+        """Digest of everything that affects generated object code."""
+        digest = hashlib.sha256()
+        for part in (self.cc, self.version, " ".join(self.flags)):
+            digest.update(part.encode())
+            digest.update(b"\0")
+        return digest.hexdigest()[:16]
+
+    def describe(self) -> str:
+        return f"{self.cc} ({self.version.splitlines()[0]})"
+
+
+#: Memoised discovery result: ``None`` = not probed yet, ``(tc,)`` =
+#: probed (tc may itself be None when no compiler exists).
+_TOOLCHAIN: Optional[tuple[Optional[Toolchain]]] = None
+
+
+def reset_toolchain_cache() -> None:
+    """Forget the memoised discovery (tests flip PATH / REPRO_CC)."""
+    global _TOOLCHAIN
+    _TOOLCHAIN = None
+    from repro.experiments import harness
+
+    harness._ENGINE_FINGERPRINT = None
+
+
+def discover_toolchain() -> Optional[Toolchain]:
+    """The usable C toolchain, or ``None`` when native is unavailable.
+
+    Probes once per process (reset with :func:`reset_toolchain_cache`):
+    resolves the compiler, captures its ``--version`` banner, and checks
+    ``-march=native`` acceptance with a throwaway compile so the flag
+    set recorded in the fingerprint is the one real builds use.
+    """
+    global _TOOLCHAIN
+    if _TOOLCHAIN is not None:
+        return _TOOLCHAIN[0]
+
+    from repro import obs
+
+    override = os.environ.get(CC_ENV)
+    if override is not None and override.strip().lower() in ("", "none"):
+        _TOOLCHAIN = (None,)
+        return None
+    candidates = (override,) if override else CC_CANDIDATES
+    for name in candidates:
+        path = shutil.which(name)
+        if path is None:
+            continue
+        try:
+            probe = subprocess.run(
+                [path, "--version"],
+                capture_output=True,
+                text=True,
+                timeout=COMPILE_TIMEOUT_S,
+            )
+        except (OSError, subprocess.TimeoutExpired):
+            continue
+        if probe.returncode != 0:
+            continue
+        version = probe.stdout.strip() or probe.stderr.strip()
+        flags = BASE_FLAGS + (ARCH_FLAG,)
+        if not _accepts_flags(path, flags):
+            if _accepts_flags(path, BASE_FLAGS):
+                obs.warn_once(
+                    ("native-no-march", path),
+                    f"{name}: {ARCH_FLAG} rejected; compiling without "
+                    "arch tuning",
+                    event="native.no_march_native",
+                    counter="native.no_march_native",
+                    cc=path,
+                )
+                flags = BASE_FLAGS
+            else:
+                continue
+        tc = Toolchain(cc=path, version=version, flags=flags)
+        obs.event("native.toolchain", cc=path, fingerprint=tc.fingerprint)
+        _TOOLCHAIN = (tc,)
+        return tc
+    _TOOLCHAIN = (None,)
+    return None
+
+
+def _accepts_flags(cc: str, flags: tuple[str, ...]) -> bool:
+    """Whether one tiny compile with ``flags`` succeeds."""
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="repro-ccprobe-") as tmp:
+        src = Path(tmp) / "probe.c"
+        src.write_text("int repro_probe(void) { return 0; }\n")
+        out = Path(tmp) / "probe.so"
+        try:
+            result = subprocess.run(
+                [cc, *flags, "-o", str(out), str(src)],
+                capture_output=True,
+                timeout=COMPILE_TIMEOUT_S,
+            )
+        except (OSError, subprocess.TimeoutExpired):
+            return False
+        return result.returncode == 0
+
+
+def toolchain_fingerprint() -> str:
+    """The toolchain identity folded into the engine fingerprint.
+
+    ``"none"`` when no compiler is available — so gaining or losing a
+    toolchain also (correctly) invalidates cached pipeline artifacts,
+    whose execute stage records which engine actually ran.
+    """
+    tc = discover_toolchain()
+    return tc.fingerprint if tc is not None else "none"
+
+
+def default_so_cache_dir() -> Path:
+    """Where compiled objects live: ``$REPRO_SO_CACHE`` or the XDG-style
+    user cache (shared across runs so warm starts never recompile)."""
+    override = os.environ.get(SO_CACHE_ENV)
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro" / "native"
+
+
+def source_key(source: str, toolchain: Toolchain) -> str:
+    """Content hash naming one compiled object."""
+    digest = hashlib.sha256()
+    digest.update(source.encode())
+    digest.update(b"\0")
+    digest.update(toolchain.fingerprint.encode())
+    return digest.hexdigest()[:24]
+
+
+def compile_so(
+    source: str,
+    toolchain: Optional[Toolchain] = None,
+    cache_dir: Optional[os.PathLike] = None,
+    label: str = "?",
+) -> Path:
+    """Compile ``source`` (or find it pre-compiled) and return the ``.so``.
+
+    Cache hits cost one ``stat``; misses compile into a per-pid temp
+    inside the cache directory and ``os.replace`` it in, so two racing
+    processes converge on one identical object.  Raises
+    :class:`CompileError` when no toolchain exists or the compile fails
+    (callers degrade to the vectorized engine on that).
+    """
+    from repro import obs
+
+    if toolchain is None:
+        toolchain = discover_toolchain()
+    if toolchain is None:
+        raise CompileError(
+            "no C toolchain available (cc/gcc/clang not on PATH, or "
+            f"{CC_ENV} set to 'none')"
+        )
+    cache = Path(cache_dir) if cache_dir is not None else default_so_cache_dir()
+    cache.mkdir(parents=True, exist_ok=True)
+    key = source_key(source, toolchain)
+    so_path = cache / f"run-{key}.so"
+    metrics = obs.get_metrics()
+    if so_path.exists():
+        metrics.counter("native.compile.cache_hits").inc()
+        return so_path
+
+    metrics.counter("native.compiles").inc()
+    with obs.span("native.compile", label=label, key=key, cc=toolchain.cc):
+        c_path = cache / f"run-{key}.{os.getpid()}.c"
+        tmp_so = cache / f"run-{key}.{os.getpid()}.so.tmp"
+        try:
+            c_path.write_text(source)
+            try:
+                result = subprocess.run(
+                    [
+                        toolchain.cc,
+                        *toolchain.flags,
+                        "-o",
+                        str(tmp_so),
+                        str(c_path),
+                    ],
+                    capture_output=True,
+                    text=True,
+                    timeout=COMPILE_TIMEOUT_S,
+                )
+            except (OSError, subprocess.TimeoutExpired) as exc:
+                raise CompileError(f"{toolchain.cc} failed to run: {exc}")
+            if result.returncode != 0:
+                raise CompileError(
+                    f"{toolchain.cc} exited {result.returncode} compiling "
+                    f"{label}:\n{result.stderr.strip()[:2000]}"
+                )
+            os.replace(tmp_so, so_path)
+        finally:
+            tmp_so.unlink(missing_ok=True)
+            c_path.unlink(missing_ok=True)
+    return so_path
+
+
+def quarantine_so(so_path: os.PathLike, problem: str) -> None:
+    """Move an unloadable object aside so the next run rebuilds it."""
+    from repro.resilience.cachesafe import quarantine_file
+
+    quarantine_file(so_path, site="native.so-cache", problem=problem)

@@ -1,54 +1,254 @@
-"""Generate C source for a code version.
+"""Generate compilable, self-contained C for a code version.
 
-The paper's experiments are C compiled with gcc -O2; this generator emits
-the equivalent C for any benchmark version so the transformation the
-compiler would perform is inspectable in the form the paper used.  The
-output is self-contained (storage declaration, loop nest, mapped
-references) but intentionally leaves ``combine`` as a macro the reader
-supplies — the point of the artifact is the *storage mapping and loop
-structure*, which is fully concrete.
+The paper's experiments are C compiled with ``gcc -O2``; this generator
+emits the equivalent C for any benchmark version — and, since the native
+execution tier landed, the output is *hardened for compilation*, not just
+inspection:
 
-The C is not compiled inside this repository (the evaluation runs on the
-simulator instead); a test suite pass checks structural properties of the
-emitted text (balanced braces, one store through the mapping, the right
-loop bounds), and the Python twin of every version is executed and
-verified bit-for-bit, so the shared expression printer is exercised for
-real.
+- the storage declaration, loop nest, and mapped references are fully
+  concrete (sizes, tile shapes, and mapping constants folded in);
+- ``combine`` is lowered to a concrete inlined expression for
+  spec-expressed codes (``weighted-sum`` / ``expr`` combines go through
+  the same AST whitelist as :mod:`repro.frontend.combine`, printed as
+  C99 hex-float constants so the compiled arithmetic is bit-identical to
+  the interpreter's); only :class:`~repro.frontend.combine.SemanticsHook`
+  codes (psm's data-dependent table lookup) keep the function-pointer
+  form;
+- boundary reads index a caller-filled *halo buffer* — a row-major array
+  over the extended box of out-of-ISG producers (:func:`halo_geometry`)
+  — so the compiled object needs no Python callback on the hot path;
+- pointers are ``restrict``-qualified and mapping ``%`` is emitted in
+  the sign-safe Euclidean form, matching Python's floor semantics.
+
+:mod:`repro.codegen.build` compiles this output into a shared object and
+:mod:`repro.execution.native` runs it through ctypes; the differential
+test suite holds the compiled results bit-for-bit equal to both the
+scalar interpreter and the vectorized NumPy engine.  A structural test
+pass additionally checks text properties (balanced braces, one store
+through the mapping, the right loop bounds) and compile-checks the
+emitted source whenever a toolchain is present.
 """
 
 from __future__ import annotations
 
-from typing import Mapping
+import ast
+from typing import Mapping, Sequence
 
 from repro.codes.base import CodeVersion
 from repro.schedule.lex import InterchangedSchedule, LexicographicSchedule
 from repro.schedule.tiling import TiledSchedule
 
-__all__ = ["generate_c"]
+__all__ = ["combine_to_c", "generate_c", "halo_geometry"]
+
+#: The fixed entry-point signature every generated translation unit
+#: exports (``combine`` is NULL / unused for inlined-combine codes).
+C_PROLOGUE = [
+    "typedef double (*combine_fn)(const double *v, const int *q);",
+    "",
+    "void run(double *restrict storage,",
+    "         const double *restrict halo,",
+    "         combine_fn combine) {",
+]
+
+
+def halo_geometry(
+    distances: Sequence[Sequence[int]],
+    bounds: Sequence[tuple[int, int]],
+) -> tuple[tuple[int, ...], tuple[int, ...], tuple[int, ...]]:
+    """Geometry of the boundary-input halo for one (stencil, box) pair.
+
+    Every source read of iteration ``q`` targets the producer
+    ``p = q - d``; producers outside the ISG box are *loop inputs*.  The
+    halo is the smallest box containing every reachable producer:
+    per-axis ``[lo - max(0, max_d), hi + max(0, -min_d)]``.  Returns
+    ``(ext_lo, ext_hi, strides)`` where ``strides`` flattens the halo
+    box row-major — the same flattening the generated C indexes with and
+    :func:`repro.execution.native.fill_halo` fills.
+    """
+    ext_lo = []
+    ext_hi = []
+    for k, (lo, hi) in enumerate(bounds):
+        ds = [d[k] for d in distances]
+        ext_lo.append(lo - max(0, max(ds)))
+        ext_hi.append(hi + max(0, -min(ds)))
+    strides = [1] * len(bounds)
+    for k in range(len(bounds) - 2, -1, -1):
+        strides[k] = strides[k + 1] * (ext_hi[k + 1] - ext_lo[k + 1] + 1)
+    return tuple(ext_lo), tuple(ext_hi), tuple(strides)
+
+
+def _hex_double(value: float) -> str:
+    """A C99 hexadecimal double literal: parses to the exact bit pattern
+    of the Python float, so compiled constants never round differently."""
+    value = float(value)
+    if value == int(value) and abs(value) < 1 << 53:
+        # Small integral values print exactly in decimal; keep them
+        # readable (0.0, 2.0, -1.0) instead of 0x0p+0.
+        return f"{value:.1f}"
+    return value.hex()
+
+
+class _CombineLowering:
+    """Lower a whitelisted combine AST to a C expression over ``v[k]``.
+
+    Mirrors the semantics of :mod:`repro.frontend.combine` exactly:
+    left-associated arithmetic, variadic ``min``/``max`` as left folds of
+    the pairwise helpers (which replicate Python's ``b > a ? b : a``
+    tie behaviour), ``abs`` as ``fabs``.  Tracks which helpers the
+    expression needs so the emitter only prints the ones used.
+    """
+
+    def __init__(self):
+        self.helpers: set[str] = set()
+
+    def lower(self, node: ast.AST) -> str:
+        if isinstance(node, ast.Expression):
+            return self.lower(node.body)
+        if isinstance(node, ast.Constant):
+            return _hex_double(node.value)
+        if isinstance(node, ast.Name):
+            return f"v[{int(node.id[1:])}]"
+        if isinstance(node, ast.BinOp):
+            op = {ast.Add: "+", ast.Sub: "-", ast.Mult: "*", ast.Div: "/"}[
+                type(node.op)
+            ]
+            return f"({self.lower(node.left)} {op} {self.lower(node.right)})"
+        if isinstance(node, ast.UnaryOp):
+            inner = self.lower(node.operand)
+            return f"(-{inner})" if isinstance(node.op, ast.USub) else inner
+        if isinstance(node, ast.Call):
+            name = node.func.id
+            args = [self.lower(a) for a in node.args]
+            if name == "abs":
+                self.helpers.add("fabs")
+                return f"fabs({args[0]})"
+            helper = {"min": "repro_min2", "max": "repro_max2"}[name]
+            self.helpers.add(helper)
+            out = args[0]
+            for arg in args[1:]:
+                out = f"{helper}({out}, {arg})"
+            return out
+        raise NotImplementedError(
+            f"no C lowering for AST node {type(node).__name__}"
+        )
+
+
+def combine_to_c(combine_json: Mapping, n_sources: int) -> tuple[str, set]:
+    """The inlined C expression (over ``v[0..n)``) for one combine
+    description, plus the set of helper definitions it needs.
+
+    Raises ``NotImplementedError`` for ``hook`` combines — those keep
+    the function-pointer form.
+    """
+    kind = combine_json.get("kind")
+    if kind == "weighted-sum":
+        weights = combine_json["weights"]
+        if len(weights) != n_sources:
+            raise ValueError(
+                f"weighted-sum has {len(weights)} weights for "
+                f"{n_sources} sources"
+            )
+        # Left-associated multiply-adds: exactly the expression the
+        # scalar/batched Python combines evaluate.
+        expr = " + ".join(
+            f"{_hex_double(w)} * v[{k}]" for k, w in enumerate(weights)
+        )
+        return expr, set()
+    if kind == "expr":
+        from repro.frontend.combine import _validate_expr
+
+        tree = ast.parse(combine_json["expr"], mode="eval")
+        _validate_expr(tree, n_sources)
+        lowering = _CombineLowering()
+        return lowering.lower(tree), lowering.helpers
+    raise NotImplementedError(
+        f"combine kind {kind!r} has no inlined C form (hooks keep the "
+        "function-pointer contract)"
+    )
+
+
+_HELPER_DEFS = {
+    # Python's variadic max/min keep the *later* argument only when it is
+    # strictly greater/smaller — the ternaries below reproduce that tie
+    # behaviour (including signed zeros) bit for bit.
+    "repro_max2": (
+        "static double repro_max2(double a, double b) "
+        "{ return b > a ? b : a; }"
+    ),
+    "repro_min2": (
+        "static double repro_min2(double a, double b) "
+        "{ return b < a ? b : a; }"
+    ),
+}
 
 
 def generate_c(version: CodeVersion, sizes: Mapping[str, int]) -> str:
-    """Emit a C function ``void run(double *storage, ...)``."""
+    """Emit a self-contained C translation unit for one code version.
+
+    The exported entry point is::
+
+        void run(double *restrict storage,
+                 const double *restrict halo,
+                 double (*combine)(const double *v, const int *q));
+
+    ``storage`` is the mapped temporary buffer (``mapping.size`` doubles,
+    zero-initialised), ``halo`` the boundary-input buffer laid out by
+    :func:`halo_geometry`, and ``combine`` the per-iteration semantics
+    callback — only called (and only required) when the code's combine
+    is a :class:`~repro.frontend.combine.SemanticsHook`; spec-expressed
+    combines are inlined and ignore the pointer.
+    """
     code = version.code
     indices = list(code.program.loop.indices)
     bounds = code.bounds(sizes)
     mapping = version.mapping(sizes)
     schedule = version.schedule(sizes)
+    spec = getattr(code, "spec", None)
+    combine_json = spec.combine if spec is not None else {"kind": "hook"}
 
+    inlined = None
+    helpers: set = set()
+    try:
+        inlined, helpers = combine_to_c(
+            combine_json, len(code.source_distances)
+        )
+    except NotImplementedError:
+        pass
+
+    ext_lo, ext_hi, strides = halo_geometry(code.source_distances, bounds)
+    halo_size = strides[0] * (ext_hi[0] - ext_lo[0] + 1)
+
+    combine_note = (
+        "inlined " + combine_json.get("kind", "?")
+        if inlined is not None
+        else f"function pointer (hook {combine_json.get('name', '?')!r})"
+    )
     lines = [
         "/* generated by repro.codegen.c_gen",
         f" * code: {code.name}, version: {version.key}",
         f" * schedule: {schedule.name}",
         f" * mapping: {mapping!r} ({mapping.size} doubles)",
+        f" * combine: {combine_note}",
+        f" * halo: box {list(ext_lo)}..{list(ext_hi)} row-major, "
+        f"{halo_size} doubles",
+        " * compile with -ffp-contract=off: FMA contraction would break",
+        " * bit-identity with the interpreter.",
         " */",
-        "void run(double *storage, const double *input,",
-        "         double (*combine)(const double *, const int *),",
-        "         double (*input_value)(const int *)) {",
     ]
+    if "fabs" in helpers:
+        lines.append("#include <math.h>")
+        helpers.discard("fabs")
+    for helper in sorted(helpers):
+        lines.append(_HELPER_DEFS[helper])
+    if helpers:
+        lines.append("")
+    lines.extend(C_PROLOGUE)
+
     depth, loops = _loops_c(schedule, indices, bounds)
     lines.extend("    " + ln for ln in loops)
     pad = "    " * (depth + 1)
-    lines.extend(pad + ln for ln in _body_c(version, mapping, indices, bounds))
+    body = _body_c(version, mapping, indices, bounds, ext_lo, strides, inlined)
+    lines.extend(pad + ln for ln in body)
     for k in range(depth, 0, -1):
         lines.append("    " * k + "}")
     lines.append("}")
@@ -111,11 +311,27 @@ def _loops_c(schedule, indices, bounds):
     )
 
 
-def _body_c(version, mapping, indices, bounds):
+def _halo_index_c(indices, distance, ext_lo, strides) -> str:
+    """The flattened halo offset of producer ``q - d`` as a C expression.
+
+    ``sum_k strides[k] * (q_k - d_k - ext_lo[k])`` folded into
+    ``sum_k strides[k] * q_k + C`` so the emitted address is one affine
+    form, like the mapped references.
+    """
+    from repro.mapping.expr import affine
+
+    constant = -sum(
+        s * (d + lo) for s, d, lo in zip(strides, distance, ext_lo)
+    )
+    return affine(list(strides), list(indices), constant).to_c()
+
+
+def _body_c(version, mapping, indices, bounds, ext_lo, strides, inlined):
     code = version.code
+    dim = len(bounds)
     lo = [b[0] for b in bounds]
     hi = [b[1] for b in bounds]
-    lines = [f"double v[{len(code.source_distances)}];", "int p[2];"]
+    lines = [f"double v[{len(code.source_distances)}];"]
     for n, d in enumerate(code.source_distances):
         terms = []
         for name, c in zip(indices, d):
@@ -129,14 +345,17 @@ def _body_c(version, mapping, indices, bounds):
             f"{l} <= {t} && {t} <= {h}" for l, t, h in zip(lo, terms, hi)
         )
         addr = mapping.expression(terms).to_c()
+        halo_addr = _halo_index_c(indices, d, ext_lo, strides)
         lines.append(f"if ({guard}) {{")
         lines.append(f"    v[{n}] = storage[{addr}];")
         lines.append("} else {")
-        lines.append(f"    p[0] = {terms[0]}; p[1] = {terms[1]};")
-        lines.append(f"    v[{n}] = input_value(p);")
+        lines.append(f"    v[{n}] = halo[{halo_addr}];")
         lines.append("}")
-    q = "{" + ", ".join(indices) + "}"
     store = mapping.expression(indices).to_c()
-    lines.append(f"int qq[] = {q};")
-    lines.append(f"storage[{store}] = combine(v, qq);")
+    if inlined is not None:
+        lines.append(f"storage[{store}] = {inlined};")
+    else:
+        q = "{" + ", ".join(indices) + "}"
+        lines.append(f"int qq[{dim}] = {q};")
+        lines.append(f"storage[{store}] = combine(v, qq);")
     return lines

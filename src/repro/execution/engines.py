@@ -1,0 +1,64 @@
+"""Engine selection: one name → one ``execute``-shaped callable.
+
+The pipeline's execute stage, the CLI's ``--engine`` flag, and the
+experiment harness all pick an engine by name; this module is the single
+registry so they agree on the names and the dispatch.  All three engines
+share the :class:`~repro.execution.interpreter.ExecutionResult` contract
+and produce bit-identical live-out values on every legal version — the
+choice is purely a speed/availability trade:
+
+- ``interpreter`` — the scalar oracle; always available, slowest.
+- ``vectorized`` — NumPy wavefront batches (~an order of magnitude);
+  always available, falls back to scalar per (code, schedule) gaps.
+- ``native`` — compiled C via ctypes (fastest); requires a toolchain
+  and degrades to ``vectorized`` with a structured record otherwise.
+
+``result.engine_used`` reports what actually ran, so callers that asked
+for ``native`` on a compiler-less machine can see (and surface) the
+degradation instead of silently trusting the requested name.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.execution.interpreter import ExecutionResult, execute
+from repro.execution.vectorized import execute_vectorized
+
+__all__ = ["DEFAULT_ENGINE", "ENGINES", "run_engine"]
+
+#: Engine names in fallback-ladder order (fastest first).
+ENGINES = ("native", "vectorized", "interpreter")
+
+DEFAULT_ENGINE = "vectorized"
+
+
+def run_engine(
+    engine: str,
+    version,
+    sizes: Mapping[str, int],
+    seed: int = 0,
+    check_legality: bool = False,
+) -> ExecutionResult:
+    """Run ``version`` through the named engine.
+
+    Unknown names raise ``ValueError`` listing the registry, so a typo'd
+    ``--engine`` dies loudly instead of defaulting somewhere surprising.
+    """
+    if engine == "interpreter":
+        return execute(
+            version, sizes, seed=seed, check_legality=check_legality
+        )
+    if engine == "vectorized":
+        return execute_vectorized(
+            version, sizes, seed=seed, check_legality=check_legality
+        )
+    if engine == "native":
+        from repro.execution.native import execute_native
+
+        return execute_native(
+            version, sizes, seed=seed, check_legality=check_legality
+        )
+    raise ValueError(
+        f"unknown engine {engine!r}; one of {list(ENGINES)}"
+    )

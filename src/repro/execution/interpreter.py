@@ -23,7 +23,17 @@ __all__ = ["ExecutionResult", "execute"]
 
 
 class ExecutionResult:
-    """Outcome of interpreting one version."""
+    """Outcome of executing one version (any engine).
+
+    ``engine_used`` names the engine that actually produced the numbers
+    (``"interpreter"``, ``"vectorized"``, ``"native"``) — an engine that
+    degrades overwrites it truthfully.  ``degradation`` carries the
+    structured :class:`~repro.resilience.budget.Degradation` record when
+    a requested engine fell back, ``None`` on the happy path.
+    """
+
+    engine_used: str = "interpreter"
+    degradation = None
 
     def __init__(
         self,

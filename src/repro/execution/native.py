@@ -1,0 +1,282 @@
+"""Native compiled execution: generated C → shared object → ctypes.
+
+The third and fastest engine.  :func:`execute_native` computes exactly
+what the scalar interpreter and the vectorized engine compute — bit for
+bit, same storage end-state, same :class:`ExecutionResult` — by
+compiling the version's generated C (:mod:`repro.codegen.c_gen`) with
+the discovered toolchain (:mod:`repro.codegen.build`) and running the
+loop nest at machine speed.
+
+Bit-identity holds because the generated C replays the interpreter's
+arithmetic exactly: combines are inlined left-associated with hex-float
+constants, mapping ``%`` is emitted sign-safe, and the build always
+passes ``-ffp-contract=off`` so the compiler cannot fuse multiply-adds.
+The differential suite in ``tests/native/`` asserts equality against
+both engines for every code × version × odd-size combination.
+
+Boundary inputs cross the FFI once, not per point: before the call the
+engine precomputes every out-of-ISG producer value into a row-major
+*halo buffer* over the extended box (:func:`fill_halo`, geometry shared
+with the code generator), so the compiled loop reads two flat ``double``
+arrays and touches Python only for :class:`SemanticsHook` combines
+(psm's table lookup), which keep a ctypes callback.
+
+When the tier is unavailable — no compiler on PATH, ``REPRO_CC=none``,
+codegen gap, compile failure — the engine *degrades, never lies*: it
+records a structured :class:`~repro.resilience.budget.Degradation`
+(reason + detail, ``resilience.*`` counters, deduplicated warning),
+runs the vectorized engine instead, and returns its result with
+``engine_used`` naming the engine that actually produced the numbers.
+``fallback=False`` turns every degradation into a raise, for benchmarks
+that must not silently measure the wrong engine.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import os
+from typing import Mapping, Optional
+
+import numpy as np
+
+from repro import obs
+from repro.codes.base import Code, CodeVersion, Context
+from repro.execution.interpreter import ExecutionResult
+from repro.execution.vectorized import execute_vectorized
+from repro.resilience.budget import Degradation, record_degradation
+
+__all__ = ["NativeFallback", "execute_native", "fill_halo"]
+
+
+class NativeFallback(UserWarning):
+    """The native engine fell back to the vectorized engine."""
+
+
+#: ``double combine(const double *v, const int *q)`` — the hook-combine
+#: callback type matching the generated ``combine_fn`` typedef.
+_COMBINE_FN = ctypes.CFUNCTYPE(
+    ctypes.c_double,
+    ctypes.POINTER(ctypes.c_double),
+    ctypes.POINTER(ctypes.c_int),
+)
+
+
+def fill_halo(code: Code, bounds, ctx: Context) -> np.ndarray:
+    """The boundary-input buffer the generated C indexes.
+
+    A flat row-major array over the extended box of
+    :func:`~repro.codegen.c_gen.halo_geometry`; every position *outside*
+    the ISG box holds ``input_value`` of that producer (batched through
+    ``input_values_batch`` when the code has it), positions inside the
+    ISG are never read by the compiled code and stay zero.
+    """
+    from repro.codegen.c_gen import halo_geometry
+
+    ext_lo, ext_hi, _ = halo_geometry(code.source_distances, bounds)
+    shape = tuple(hi - lo + 1 for lo, hi in zip(ext_lo, ext_hi))
+    halo = np.zeros(shape, dtype=np.float64)
+
+    axes = [
+        np.arange(lo, hi + 1, dtype=np.int64)
+        for lo, hi in zip(ext_lo, ext_hi)
+    ]
+    grids = np.meshgrid(*axes, indexing="ij")
+    outside = np.zeros(shape, dtype=bool)
+    for g, (lo, hi) in zip(grids, bounds):
+        outside |= (g < lo) | (g > hi)
+    if not outside.any():
+        return halo.ravel()
+    pcols = tuple(g[outside] for g in grids)
+    if code.input_values_batch is not None:
+        halo[outside] = np.asarray(
+            code.input_values_batch(pcols, ctx), dtype=np.float64
+        )
+    else:
+        points = np.stack(pcols, axis=1)
+        halo[outside] = [
+            code.input_value(tuple(int(c) for c in p), ctx) for p in points
+        ]
+    return halo.ravel()
+
+
+def _hook_callback(code: Code, ctx: Context):
+    """A ctypes callback adapting a SemanticsHook combine to the C ABI.
+
+    One Python call per iteration — the hook contract trades speed for
+    expressiveness (psm's data-dependent table reads cannot be inlined),
+    so hook codes run native mainly for contract coverage, not speed.
+    """
+    n = len(code.source_distances)
+    dim = len(code.program.loop.indices)
+    combine = code.combine
+
+    def call(v_ptr, q_ptr):
+        values = v_ptr[:n]
+        q = tuple(q_ptr[:dim])
+        return combine(values, q, ctx)
+
+    return _COMBINE_FN(call)
+
+
+def _load_run(so_path) -> ctypes._CFuncPtr:
+    """The ``run`` symbol of one compiled object, argtypes set."""
+    lib = ctypes.CDLL(str(so_path))
+    run = lib.run
+    run.restype = None
+    run.argtypes = [
+        ctypes.POINTER(ctypes.c_double),
+        ctypes.POINTER(ctypes.c_double),
+        _COMBINE_FN,
+    ]
+    return run
+
+
+def _degrade(
+    version: CodeVersion,
+    sizes: Mapping[str, int],
+    seed: int,
+    check_legality: bool,
+    fallback: bool,
+    reason: str,
+    detail: str,
+) -> ExecutionResult:
+    """Structured fallback to the vectorized engine (or raise)."""
+    if not fallback:
+        raise ValueError(
+            f"cannot run {version} natively ({reason}): {detail}"
+        )
+    degradation = Degradation(
+        reason=reason, detail=detail, fallback="vectorized-engine"
+    )
+    record_degradation("execution.native", degradation)
+    obs.warn_once(
+        ("native-fallback", version.code.name, reason),
+        f"native engine unavailable for {version} ({reason}); "
+        "running the vectorized engine instead",
+        NativeFallback,
+        event="native.fallback",
+        counter="native.fallbacks",
+        code=version.code.name,
+        version=version.key,
+        reason=reason,
+    )
+    result = execute_vectorized(
+        version, sizes, seed=seed, check_legality=check_legality
+    )
+    result.degradation = degradation
+    return result
+
+
+def execute_native(
+    version: CodeVersion,
+    sizes: Mapping[str, int],
+    seed: int = 0,
+    check_legality: bool = False,
+    fallback: bool = True,
+    cache_dir: Optional[os.PathLike] = None,
+) -> ExecutionResult:
+    """Run one version to completion through the compiled tier.
+
+    ``cache_dir`` overrides the shared-object cache location (tests use
+    a temp dir); ``fallback=False`` raises instead of degrading when the
+    tier is unavailable.
+    """
+    from repro.codegen.build import (
+        CompileError,
+        compile_so,
+        discover_toolchain,
+        quarantine_so,
+    )
+    from repro.codegen.c_gen import generate_c
+
+    code: Code = version.code
+
+    toolchain = discover_toolchain()
+    if toolchain is None:
+        return _degrade(
+            version, sizes, seed, check_legality, fallback,
+            "no-toolchain",
+            "no C compiler on PATH (or REPRO_CC=none)",
+        )
+
+    try:
+        source = generate_c(version, sizes)
+    except NotImplementedError as exc:
+        return _degrade(
+            version, sizes, seed, check_legality, fallback,
+            "codegen-unsupported", str(exc),
+        )
+
+    label = f"{code.name}/{version.key}"
+    try:
+        so_path = compile_so(
+            source, toolchain=toolchain, cache_dir=cache_dir, label=label
+        )
+    except CompileError as exc:
+        return _degrade(
+            version, sizes, seed, check_legality, fallback,
+            "compile-failed", str(exc),
+        )
+
+    try:
+        run = _load_run(so_path)
+    except OSError as exc:
+        # Self-heal: a truncated/corrupt object is quarantined and
+        # rebuilt once; only a second failure degrades.
+        quarantine_so(so_path, f"unloadable: {exc}")
+        try:
+            so_path = compile_so(
+                source, toolchain=toolchain, cache_dir=cache_dir, label=label
+            )
+            run = _load_run(so_path)
+        except (CompileError, OSError) as exc2:
+            return _degrade(
+                version, sizes, seed, check_legality, fallback,
+                "load-failed", str(exc2),
+            )
+
+    ctx = code.make_context(sizes, seed)
+    bounds = code.bounds(sizes)
+    mapping = version.mapping(sizes)
+
+    if check_legality:
+        from repro.analysis.liveness import find_mapping_violation
+
+        schedule = version.schedule(sizes)
+        violation = find_mapping_violation(
+            mapping, code.stencil, schedule.order(bounds)
+        )
+        if violation is not None:
+            raise ValueError(f"illegal version {version}: {violation}")
+
+    storage = np.zeros(mapping.size, dtype=np.float64)
+    halo = fill_halo(code, bounds, ctx)
+
+    spec = getattr(code, "spec", None)
+    needs_hook = spec is None or spec.combine.get("kind") == "hook"
+    combine_cb = (
+        _hook_callback(code, ctx) if needs_hook else _COMBINE_FN()
+    )
+
+    with obs.span(
+        "native.run",
+        code=code.name,
+        version=version.key,
+        sizes=dict(sizes),
+        so=os.path.basename(so_path),
+    ):
+        run(
+            storage.ctypes.data_as(ctypes.POINTER(ctypes.c_double)),
+            halo.ctypes.data_as(ctypes.POINTER(ctypes.c_double)),
+            combine_cb,
+        )
+
+    metrics = obs.get_metrics()
+    metrics.counter("native.runs").inc()
+    metrics.counter("native.points").inc(code.iteration_count(sizes))
+
+    result = ExecutionResult(
+        version, sizes, storage, mapping.compiled(), bounds, ctx
+    )
+    result.engine_used = "native"
+    return result

@@ -184,7 +184,9 @@ def execute_vectorized(
     metrics.counter("vectorized.scatter_elements").inc(sum(batch_sizes))
     metrics.histogram("vectorized.batch_size").observe_many(batch_sizes)
 
-    return ExecutionResult(version, sizes, storage, mapping_fn, bounds, ctx)
+    result = ExecutionResult(version, sizes, storage, mapping_fn, bounds, ctx)
+    result.engine_used = "vectorized"
+    return result
 
 
 def _offsets(mapping_fn, cols: tuple[np.ndarray, ...], n: int) -> np.ndarray:

@@ -28,11 +28,15 @@ def verify_versions(
     versions: Iterable[CodeVersion],
     sizes: Mapping[str, int],
     seed: int = 0,
+    engine: str = "interpreter",
 ) -> np.ndarray:
     """Run every version and assert identical live-out values.
 
     Returns the (shared) output vector.  Raises :class:`VersionMismatch`
     naming the offending version and the first differing output index.
+    ``engine`` selects the execution engine (all versions run through
+    the same one; cross-engine agreement is the native differential
+    suite's job, not this referee's).
     """
     versions = list(versions)
     if not versions:
@@ -40,7 +44,12 @@ def verify_versions(
     reference = None
     reference_key = None
     for version in versions:
-        result = execute(version, sizes, seed=seed)
+        if engine == "interpreter":
+            result = execute(version, sizes, seed=seed)
+        else:
+            from repro.execution.engines import run_engine
+
+            result = run_engine(engine, version, sizes, seed=seed)
         outputs = result.output_values()
         if reference is None:
             reference, reference_key = outputs, version.key

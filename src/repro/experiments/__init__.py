@@ -17,6 +17,7 @@ module         reproduces
 ``fig12_14``   Figures 12-14 — PSM scaling, 3 machines
 ``npc``        Section 3.1 — NP-completeness reduction sanity
 ``overview``   the whole pipeline applied to every benchmark code
+``engines``    interpreter vs vectorized vs compiled-native wall clock
 =============  ====================================================
 
 Each module exposes ``run(mode)`` returning
@@ -46,6 +47,7 @@ __all__ = [
 #: Registry of experiment module names, in presentation order.
 ALL_EXPERIMENTS = (
     "overview",
+    "engines",
     "fig1",
     "fig3",
     "fig5",

@@ -304,11 +304,17 @@ def engine_fingerprint() -> str:
     Hashes all of :mod:`repro` except ``experiments/`` (which merely
     arranges tasks and renders results), so editing a figure script keeps
     the cache warm while touching the tracer, caches, cost model, codes,
-    schedules, or mappings invalidates every cached point.
+    schedules, or mappings invalidates every cached point.  The C
+    toolchain identity (compiler path + version banner + flags, or
+    ``"none"``) is folded in too: results can come from the native tier,
+    so upgrading gcc — or losing it — invalidates cached artifacts and
+    checkpoints instead of silently reusing objects built by a different
+    compiler.
     """
     global _ENGINE_FINGERPRINT
     if _ENGINE_FINGERPRINT is None:
         import repro
+        from repro.codegen.build import toolchain_fingerprint
 
         root = Path(repro.__file__).parent
         digest = hashlib.sha256()
@@ -320,6 +326,8 @@ def engine_fingerprint() -> str:
             digest.update(b"\0")
             digest.update(path.read_bytes())
             digest.update(b"\0")
+        digest.update(b"toolchain:")
+        digest.update(toolchain_fingerprint().encode())
         _ENGINE_FINGERPRINT = digest.hexdigest()[:16]
     return _ENGINE_FINGERPRINT
 

@@ -55,7 +55,10 @@ class Expr:
         raise NotImplementedError
 
     def to_c(self) -> str:
-        # The generated grammar is common to both languages.
+        # The generated grammar is common to both languages for leaves;
+        # composite nodes override to recurse through ``to_c`` (Python's
+        # floor-``%`` and C's truncating ``%`` differ on negative
+        # operands, so a nested Mod must not be printed via to_python).
         return self.to_python()
 
     # Operator sugar keeps mapping construction readable.
@@ -136,6 +139,14 @@ class Add(Expr):
             return f"{self.left.to_python()} - {right.right.to_python()}"
         return f"{self.left.to_python()} + {right.to_python()}"
 
+    def to_c(self) -> str:
+        right = self.right
+        if isinstance(right, Const) and right.value < 0:
+            return f"{self.left.to_c()} - {-right.value}"
+        if isinstance(right, Mul) and isinstance(right.left, Const) and right.left.value == -1:
+            return f"{self.left.to_c()} - {right.right.to_c()}"
+        return f"{self.left.to_c()} + {right.to_c()}"
+
 
 @dataclass(frozen=True)
 class Mul(Expr):
@@ -178,6 +189,14 @@ class Mul(Expr):
             return f"-{_parenthesised(self.right)}"
         return f"{_parenthesised(self.left)} * {_parenthesised(self.right)}"
 
+    def to_c(self) -> str:
+        if isinstance(self.left, Const) and self.left.value == -1:
+            return f"-{_parenthesised(self.right, lang='c')}"
+        return (
+            f"{_parenthesised(self.left, lang='c')} * "
+            f"{_parenthesised(self.right, lang='c')}"
+        )
+
 
 @dataclass(frozen=True)
 class Mod(Expr):
@@ -202,6 +221,16 @@ class Mod(Expr):
 
     def to_python(self) -> str:
         return f"{_parenthesised(self.left)} % {self.right.to_python()}"
+
+    def to_c(self) -> str:
+        # Python's ``%`` floors, C's truncates toward zero: they disagree
+        # exactly when the left operand is negative.  The emitted C uses
+        # the sign-safe Euclidean form (modulus is a positive constant by
+        # construction) so compiled code matches the interpreter bit for
+        # bit for every operand sign; compilers fold the second ``%`` away
+        # whenever they can prove the operand non-negative.
+        m = self.right.to_c()
+        return f"(({_parenthesised(self.left, lang='c')} % {m} + {m}) % {m})"
 
 
 def affine(
@@ -238,7 +267,8 @@ def _coerce(value: Union[Expr, int]) -> Expr:
     return Const(int(value))
 
 
-def _parenthesised(e: Expr) -> str:
+def _parenthesised(e: Expr, lang: str = "python") -> str:
+    text = e.to_c() if lang == "c" else e.to_python()
     if isinstance(e, (Var, Const)):
-        return e.to_python()
-    return f"({e.to_python()})"
+        return text
+    return f"({text})"

@@ -111,20 +111,31 @@ class LintArtifact(Artifact):
 
 @dataclass(frozen=True)
 class ExecuteArtifact(Artifact):
-    """``execute``: subject ran and matched the lex-schedule reference."""
+    """``execute``: subject ran and matched the lex-schedule reference.
+
+    ``engine`` is what the compile *requested*; ``engine_used`` what
+    actually produced the numbers (they differ exactly when the native
+    tier degraded, in which case ``degradation`` holds the structured
+    record in JSON form).
+    """
 
     verified: bool
     n_outputs: int
     outputs_sha256: str
     subject_storage: int
     reference_storage: int
+    engine: str = "interpreter"
+    engine_used: str = "interpreter"
+    degradation: Optional[dict] = None
 
 
 @dataclass(frozen=True)
 class CodegenArtifact(Artifact):
-    """``codegen``: generated Python source (when the backend supports
-    the mapping/schedule combination)."""
+    """``codegen``: generated source (when the backend supports the
+    mapping/schedule combination) — Python by default, C when the
+    compile targets the native engine."""
 
     supported: bool
     source: Optional[str]
     reason: str = ""
+    lang: str = "python"

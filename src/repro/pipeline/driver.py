@@ -48,12 +48,14 @@ class PipelineContext:
         seed: int,
         lint_fuzz: int = 0,
         search_budget: Optional[Budget] = None,
+        engine: str = "interpreter",
     ):
         self.spec = spec
         self.sizes = dict(sizes)
         self.seed = seed
         self.lint_fuzz = lint_fuzz
         self.search_budget = search_budget
+        self.engine = engine
         self.artifacts: dict[str, Artifact] = {}
 
     @cached_property
@@ -155,6 +157,7 @@ def compile_spec(
     codegen: bool = False,
     cache: Optional[ArtifactCache] = None,
     search_budget: Optional[Budget] = None,
+    engine: str = "interpreter",
 ) -> CompileResult:
     """Run the pipeline over one validated spec.
 
@@ -164,10 +167,18 @@ def compile_spec(
     on by default.  ``search_budget`` bounds the ``uov-search`` stage
     (wall time / nodes / memory); exhaustion degrades gracefully to the
     best incumbent — at worst the certified trivial ``ov0`` — and the
-    artifact records the degradation.  Raises
+    artifact records the degradation.  ``engine`` picks the execution
+    engine for the execute stage (``interpreter`` / ``vectorized`` /
+    ``native``) and switches codegen to C for ``native``; an unavailable
+    native tier degrades to the vectorized engine and the execute
+    artifact records it.  Raises
     :class:`~repro.pipeline.stages.StageError` when a stage cannot
     produce its artifact.
     """
+    from repro.execution.engines import ENGINES
+
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; one of {list(ENGINES)}")
     sizes = dict(sizes) if sizes is not None else dict(spec.sizes)
     missing = [s for s in spec.size_symbols if s not in sizes]
     if missing:
@@ -175,7 +186,12 @@ def compile_spec(
     seed = seed if seed is not None else spec.seed
     cache = cache if cache is not None else ArtifactCache()
     ctx = PipelineContext(
-        spec, sizes, seed, lint_fuzz=lint_fuzz, search_budget=search_budget
+        spec,
+        sizes,
+        seed,
+        lint_fuzz=lint_fuzz,
+        search_budget=search_budget,
+        engine=engine,
     )
     result = CompileResult(spec=spec, sizes=sizes, seed=seed)
     metrics = obs.get_metrics()

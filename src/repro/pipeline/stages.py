@@ -234,17 +234,38 @@ def _lint_run(ctx) -> LintArtifact:
 
 
 def _execute_payload(ctx) -> dict:
-    return {"sizes": dict(ctx.sizes), "seed": ctx.seed}
+    # The engine is part of the key: the artifact records which engine
+    # verified the outputs (and any degradation), so an engine switch
+    # must rerun the stage rather than reuse another engine's record.
+    return {"sizes": dict(ctx.sizes), "seed": ctx.seed, "engine": ctx.engine}
 
 
 def _execute_run(ctx) -> ExecuteArtifact:
-    from repro.execution.verify import VersionMismatch, verify_versions
+    import numpy as np
+
+    from repro.execution.engines import run_engine
 
     reference = ctx.family["natural"]
-    try:
-        outputs = verify_versions([reference, ctx.subject], ctx.sizes, ctx.seed)
-    except VersionMismatch as exc:
-        raise StageError("execute", str(exc))
+    ref_result = run_engine(ctx.engine, reference, ctx.sizes, seed=ctx.seed)
+    subject_result = run_engine(ctx.engine, ctx.subject, ctx.sizes, seed=ctx.seed)
+    outputs = ref_result.output_values()
+    subject_outputs = subject_result.output_values()
+    if subject_outputs.shape != outputs.shape:
+        raise StageError(
+            "execute",
+            f"spec version produced {subject_outputs.shape} outputs, "
+            f"natural produced {outputs.shape}",
+        )
+    mismatch = np.nonzero(subject_outputs != outputs)[0]
+    if mismatch.size:
+        k = int(mismatch[0])
+        raise StageError(
+            "execute",
+            f"spec version disagrees with natural at output {k}: "
+            f"{subject_outputs[k]!r} != {outputs[k]!r} "
+            f"(engine {ctx.engine}, sizes {dict(ctx.sizes)})",
+        )
+    degradation = subject_result.degradation
     checksum = hashlib.sha256(outputs.tobytes()).hexdigest()[:16]
     return ExecuteArtifact(
         verified=True,
@@ -252,21 +273,29 @@ def _execute_run(ctx) -> ExecuteArtifact:
         outputs_sha256=checksum,
         subject_storage=int(ctx.subject.mapping(ctx.sizes).size),
         reference_storage=int(reference.mapping(ctx.sizes).size),
+        engine=ctx.engine,
+        engine_used=subject_result.engine_used,
+        degradation=degradation.to_json() if degradation is not None else None,
     )
 
 
 def _codegen_payload(ctx) -> dict:
-    return {"sizes": dict(ctx.sizes)}
+    return {"sizes": dict(ctx.sizes), "engine": ctx.engine}
 
 
 def _codegen_run(ctx) -> CodegenArtifact:
+    from repro.codegen.c_gen import generate_c
     from repro.codegen.python_gen import generate_python
 
+    lang = "c" if ctx.engine == "native" else "python"
+    generate = generate_c if lang == "c" else generate_python
     try:
-        source = generate_python(ctx.subject, ctx.sizes)
+        source = generate(ctx.subject, ctx.sizes)
     except (NotImplementedError, ValueError) as exc:
-        return CodegenArtifact(supported=False, source=None, reason=str(exc))
-    return CodegenArtifact(supported=True, source=source)
+        return CodegenArtifact(
+            supported=False, source=None, reason=str(exc), lang=lang
+        )
+    return CodegenArtifact(supported=True, source=source, lang=lang)
 
 
 #: The canonical stage sequence, in execution order.

@@ -124,6 +124,68 @@ class TestCGeneration:
         assert "t0 +=" in source and "t1 +=" in source
         assert "continue;" in source  # the skew guard
 
+    def test_spec_combine_is_inlined(self):
+        # Spec-expressed codes (weighted-sum / expr) carry no reader-
+        # supplied macro: the combine is a concrete inlined expression
+        # and the function pointer is never called.
+        source = generate_c(make_stencil5()["ov"], {"T": 4, "L": 12})
+        assert "combine(v" not in source
+        # 0.4 as a C99 hex literal: exact bit pattern, no decimal rounding.
+        assert (0.4).hex() in source
+
+    def test_hook_combine_keeps_function_pointer(self):
+        # psm's semantics are a SemanticsHook (data-dependent table
+        # reads); only hooks keep the combine function-pointer form.
+        source = generate_c(make_psm()["ov"], {"n0": 5, "n1": 6})
+        assert "combine(v, qq)" in source
+
+    def test_mod_is_sign_safe_in_c(self):
+        # Python's % floors, C's truncates: the emitted form must agree
+        # with the interpreter for negative operands too.
+        source = generate_c(make_psm()["ov"], {"n0": 5, "n1": 6})
+        assert "% 2 + 2) % 2" in source
+
+    def test_pointers_are_restrict_qualified(self):
+        source = generate_c(make_stencil5()["natural"], {"T": 4, "L": 12})
+        assert "double *restrict storage" in source
+        assert "const double *restrict halo" in source
+
+    @pytest.mark.skipif(
+        __import__(
+            "repro.codegen.build", fromlist=["discover_toolchain"]
+        ).discover_toolchain()
+        is None,
+        reason="no C toolchain on PATH",
+    )
+    @pytest.mark.parametrize(
+        "maker,key,sizes",
+        ALL_CASES,
+        ids=[f"{m.__name__}-{k}" for m, k, s in ALL_CASES],
+    )
+    def test_emitted_c_compile_checks_clean(self, maker, key, sizes, tmp_path):
+        import subprocess
+
+        from repro.codegen.build import discover_toolchain
+
+        toolchain = discover_toolchain()
+        source = generate_c(maker()[key], sizes)
+        c_file = tmp_path / "gen.c"
+        c_file.write_text(source)
+        result = subprocess.run(
+            [
+                toolchain.cc,
+                "-std=c99",
+                "-Wall",
+                "-Werror",
+                "-fsyntax-only",
+                str(c_file),
+            ],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0, result.stderr + "\n" + source
+
 
 class TestUnrollHelpers:
     def test_period_of_stencil5_uov(self):

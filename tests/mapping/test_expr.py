@@ -74,9 +74,15 @@ class TestPrinting:
         # Python and C give % higher precedence than +, so this is exact.
         assert e.to_python() == "2 * x + t % 2"
 
-    def test_c_matches_python_for_our_grammar(self):
-        e = affine((3, -1), ("a", "b"), 7) % 5
-        assert e.to_c() == e.to_python()
+    def test_c_matches_python_except_sign_safe_mod(self):
+        # Mod-free expressions render identically in both languages.
+        plain = affine((3, -1), ("a", "b"), 7)
+        assert plain.to_c() == plain.to_python()
+        # Python's % floors, C's truncates: the C rendering wraps the
+        # modulus in the Euclidean form so negative operands agree.
+        e = plain % 5
+        assert e.to_python() == "(3 * a - b + 7) % 5"
+        assert e.to_c() == "(((3 * a - b + 7) % 5 + 5) % 5)"
 
 
 @given(

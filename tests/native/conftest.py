@@ -1,0 +1,24 @@
+"""Native-tier fixtures: one shared-object cache per test session.
+
+A session-scoped cache directory keeps every compiled object out of the
+user's real cache and makes the warm-load assertions deterministic: the
+first test that touches a version pays its compile, every later test
+hits the cache.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codegen.build import discover_toolchain
+
+HAS_CC = discover_toolchain() is not None
+
+requires_cc = pytest.mark.skipif(
+    not HAS_CC, reason="no C toolchain on PATH (or REPRO_CC=none)"
+)
+
+
+@pytest.fixture(scope="session")
+def so_cache(tmp_path_factory) -> str:
+    return str(tmp_path_factory.mktemp("so-cache"))

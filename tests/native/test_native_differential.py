@@ -1,0 +1,107 @@
+"""Differential suite: native vs interpreter vs vectorized, bit for bit.
+
+The native tier's whole claim is that compiling the generated C changes
+*nothing* about the numbers: same storage end-state, same live-out
+values, for every code x mapping x schedule combination, at sizes chosen
+to be odd / non-power-of-two so flattened indexing and halo geometry
+get no accidental alignment help.
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.codes import make_jacobi, make_psm, make_simple2d, make_stencil5
+from repro.execution import (
+    execute,
+    execute_native,
+    execute_vectorized,
+    verify_versions,
+)
+from repro.frontend import StencilSpec, make_versions, synthesize_code
+
+from tests.native.conftest import requires_cc
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parents[2] / "examples" / "specs").glob(
+        "*.json"
+    )
+)
+
+#: Odd, non-power-of-two sizes per code.
+ODD_SIZES = {
+    make_stencil5: {"T": 4, "L": 13},
+    make_psm: {"n0": 5, "n1": 7},
+    make_simple2d: {"n": 5, "m": 7},
+    make_jacobi: {"T": 3, "L": 11},
+}
+
+
+def version_cases():
+    cases = []
+    for maker, sizes in ODD_SIZES.items():
+        for key, version in maker().items():
+            cases.append(
+                pytest.param(version, sizes, id=f"{version.code.name}-{key}")
+            )
+    return cases
+
+
+def example_cases():
+    cases = []
+    for path in EXAMPLES:
+        spec = StencilSpec.load(path)
+        code = synthesize_code(spec)
+        for key, version in make_versions(code).items():
+            cases.append(
+                pytest.param(
+                    version, dict(spec.sizes), id=f"{spec.name}-{key}"
+                )
+            )
+    return cases
+
+
+@requires_cc
+class TestNativeDifferential:
+    @pytest.mark.parametrize("version,sizes", version_cases())
+    def test_native_matches_both_engines(self, version, sizes, so_cache):
+        native = execute_native(version, sizes, cache_dir=so_cache)
+        assert native.engine_used == "native"
+        assert native.degradation is None
+        scalar = execute(version, sizes)
+        vector = execute_vectorized(version, sizes)
+        assert np.array_equal(native.storage, scalar.storage)
+        assert np.array_equal(native.storage, vector.storage)
+        assert np.array_equal(
+            native.output_values(), scalar.output_values()
+        )
+
+    @pytest.mark.parametrize("version,sizes", example_cases())
+    def test_example_specs_match(self, version, sizes, so_cache):
+        native = execute_native(version, sizes, cache_dir=so_cache)
+        assert native.engine_used == "native"
+        reference = execute(version, sizes)
+        assert np.array_equal(native.storage, reference.storage)
+
+    def test_seeded_inputs_flow_through_halo(self, so_cache):
+        # psm's context (weight table, random strings) is seed-dependent;
+        # the halo fill and the hook callback must both see the same ctx.
+        version = make_psm()["ov-optimal"]
+        sizes = {"n0": 5, "n1": 7}
+        for seed in (0, 7):
+            native = execute_native(
+                version, sizes, seed=seed, cache_dir=so_cache
+            )
+            scalar = execute(version, sizes, seed=seed)
+            assert np.array_equal(native.storage, scalar.storage)
+
+    def test_verify_versions_accepts_native(self, so_cache, monkeypatch):
+        monkeypatch.setenv("REPRO_SO_CACHE", so_cache)
+        family = make_stencil5()
+        outputs = verify_versions(
+            [family["natural"], family["ov"], family["ov-tiled"]],
+            {"T": 4, "L": 13},
+            engine="native",
+        )
+        assert outputs.size > 0
