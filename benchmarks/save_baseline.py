@@ -52,6 +52,10 @@ def main(argv: list[str]) -> int:
     import numpy
 
     baseline = {
+        # Shared BENCH schema (validated by repro perf-check; see
+        # repro.obs.perfgate): schema + context fingerprint + benchmarks
+        # keyed entries, each with at least median_s.
+        "schema": 1,
         "context": {
             "python": platform.python_version(),
             "numpy": numpy.__version__,

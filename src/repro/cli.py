@@ -65,10 +65,24 @@ Subcommands:
       repro-uov find --stencil "1,0;0,1;1,1" --trace /tmp/t.jsonl
       repro-uov trace-summary /tmp/t.jsonl
 
+- ``stats`` — aggregate a persistent run ledger (written by ``--ledger``
+  or ``REPRO_LEDGER``) into an engine comparison, top-k slowest runs,
+  and so-cache hit rates::
+
+      repro-uov run stencil5 --sizes T=8,L=64 --ledger runs.jsonl
+      repro-uov stats runs.jsonl
+
+- ``perf-check`` — noise-tolerant (median-of-k + MAD) performance
+  regression gate against the committed ``BENCH_*.json`` baselines;
+  exits nonzero on a real slowdown (CI job)::
+
+      repro-uov perf-check --rounds 5 --threshold 0.5
+
 Every subcommand accepts the observability flags ``--trace FILE``
 (structured JSONL tracing), ``--profile`` (print the metrics registry to
-stderr at exit), and ``--log-level LEVEL`` (stderr logging for the
-``repro.*`` loggers) — see DESIGN.md §8.
+stderr at exit; arms native kernel timers), ``--ledger FILE`` (append
+to the persistent run ledger), and ``--log-level LEVEL`` (stderr
+logging for the ``repro.*`` loggers) — see DESIGN.md §8 and §14.
 """
 
 from __future__ import annotations
@@ -477,6 +491,8 @@ def _cmd_experiments(args) -> int:
         argv += ["--trace", args.trace]
     if args.log_level:
         argv += ["--log-level", args.log_level]
+    if args.ledger:
+        argv += ["--ledger", args.ledger]
     return report_main(argv)
 
 
@@ -500,6 +516,56 @@ def _cmd_trace_summary(args) -> int:
 
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
     return 0
+
+
+def _cmd_stats(args) -> int:
+    import os
+
+    from repro.obs.ledger import LEDGER_ENV, render_stats
+
+    path = args.file or os.environ.get(LEDGER_ENV)
+    if not path:
+        print(
+            "stats: no ledger file (pass FILE or set REPRO_LEDGER)",
+            file=sys.stderr,
+        )
+        return 2
+    if not os.path.exists(path):
+        print(f"stats: no such ledger file: {path}", file=sys.stderr)
+        return 2
+    print(render_stats(path, top=args.top))
+    return 0
+
+
+def _cmd_perf_check(args) -> int:
+    from repro.obs.perfgate import render_results, run_gate
+
+    ok, results = run_gate(
+        args.repo_root,
+        rounds=args.rounds,
+        threshold=args.threshold,
+        mad_tolerance=args.mad_tolerance,
+    )
+    print(render_results(results))
+    if args.json_out:
+        import json
+
+        try:
+            with open(args.json_out, "w") as fh:
+                json.dump(
+                    {"ok": ok, "results": [r.to_json() for r in results]},
+                    fh,
+                    indent=2,
+                )
+                fh.write("\n")
+        except OSError as exc:
+            print(
+                f"perf-check: cannot write {args.json_out}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+    print("perf-check: " + ("PASS" if ok else "FAIL"))
+    return 0 if ok else 1
 
 
 def main(argv=None) -> int:
@@ -527,6 +593,14 @@ def main(argv=None) -> int:
         default=None,
         metavar="LEVEL",
         help="stderr log level for the repro.* loggers (e.g. INFO, DEBUG)",
+    )
+    group.add_argument(
+        "--ledger",
+        default=None,
+        metavar="FILE",
+        help="append run records (compile/execute/experiment) to a "
+        "persistent JSONL ledger (also: REPRO_LEDGER env; query with "
+        "repro-uov stats FILE)",
     )
     group.add_argument(
         "--inject",
@@ -821,6 +895,70 @@ def main(argv=None) -> int:
     )
     p_ts.set_defaults(func=_cmd_trace_summary)
 
+    p_stats = sub.add_parser(
+        "stats",
+        help="aggregate a persistent run ledger (engine comparison, "
+        "top-k slowest, cache hit rates)",
+        parents=[obs_flags],
+    )
+    p_stats.add_argument(
+        "file",
+        nargs="?",
+        default=None,
+        help="ledger JSONL written by --ledger/REPRO_LEDGER "
+        "(default: $REPRO_LEDGER)",
+    )
+    p_stats.add_argument(
+        "--top",
+        type=int,
+        default=5,
+        metavar="K",
+        help="how many slowest executions to list (default 5)",
+    )
+    p_stats.set_defaults(func=_cmd_stats)
+
+    p_perf = sub.add_parser(
+        "perf-check",
+        help="noise-tolerant perf regression gate against the committed "
+        "BENCH_*.json baselines",
+        parents=[obs_flags],
+    )
+    p_perf.add_argument(
+        "--repo-root",
+        default=".",
+        metavar="DIR",
+        help="directory holding the BENCH_*.json baselines (default .)",
+    )
+    p_perf.add_argument(
+        "--rounds",
+        type=int,
+        default=5,
+        metavar="K",
+        help="measured runs per probe, compared by median (default 5)",
+    )
+    p_perf.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        metavar="FRAC",
+        help="relative slowdown that fails a probe (default 0.20)",
+    )
+    p_perf.add_argument(
+        "--mad-tolerance",
+        type=float,
+        default=3.0,
+        metavar="X",
+        help="also require median - baseline > X * MAD before failing "
+        "(noise abstention, default 3.0)",
+    )
+    p_perf.add_argument(
+        "--json-out",
+        default=None,
+        metavar="FILE",
+        help="also write the per-probe results as JSON to FILE",
+    )
+    p_perf.set_defaults(func=_cmd_perf_check)
+
     args = parser.parse_args(argv)
     if args.inject:
         from repro.resilience import FaultPlan, install_plan
@@ -841,6 +979,14 @@ def main(argv=None) -> int:
             log_level=args.log_level,
             program=f"repro-uov {args.command}",
         )
+    if args.profile:
+        # Arm kernel-level profiling too: the native engine compiles its
+        # instrumented variant and reports real kernel time.
+        obs.set_profiling(True)
+    if own_obs:
+        # Opens the run ledger when --ledger or REPRO_LEDGER names one;
+        # otherwise ledger_record stays a no-op.
+        obs.configure_ledger(args.ledger)
     try:
         return args.func(args)
     finally:
@@ -848,7 +994,9 @@ def main(argv=None) -> int:
             print("-- metrics --", file=sys.stderr)
             print(obs.render_profile(), file=sys.stderr)
         if own_obs and args.trace:
-            obs.shutdown()
+            obs.shutdown()  # also closes the ledger
+        elif own_obs:
+            obs.shutdown_ledger()
 
 
 if __name__ == "__main__":

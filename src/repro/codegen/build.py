@@ -121,12 +121,15 @@ def discover_toolchain() -> Optional[Toolchain]:
     if _TOOLCHAIN is not None:
         return _TOOLCHAIN[0]
 
+    import time
+
     from repro import obs
 
     override = os.environ.get(CC_ENV)
     if override is not None and override.strip().lower() in ("", "none"):
         _TOOLCHAIN = (None,)
         return None
+    probe_t0 = time.perf_counter()
     candidates = (override,) if override else CC_CANDIDATES
     for name in candidates:
         path = shutil.which(name)
@@ -160,8 +163,14 @@ def discover_toolchain() -> Optional[Toolchain]:
                 continue
         tc = Toolchain(cc=path, version=version, flags=flags)
         obs.event("native.toolchain", cc=path, fingerprint=tc.fingerprint)
+        obs.get_metrics().gauge("native.toolchain.probe_s").set(
+            time.perf_counter() - probe_t0
+        )
         _TOOLCHAIN = (tc,)
         return tc
+    obs.get_metrics().gauge("native.toolchain.probe_s").set(
+        time.perf_counter() - probe_t0
+    )
     _TOOLCHAIN = (None,)
     return None
 
@@ -248,7 +257,10 @@ def compile_so(
         metrics.counter("native.compile.cache_hits").inc()
         return so_path
 
+    import time
+
     metrics.counter("native.compiles").inc()
+    compile_t0 = time.perf_counter()
     with obs.span("native.compile", label=label, key=key, cc=toolchain.cc):
         c_path = cache / f"run-{key}.{os.getpid()}.c"
         tmp_so = cache / f"run-{key}.{os.getpid()}.so.tmp"
@@ -278,6 +290,9 @@ def compile_so(
         finally:
             tmp_so.unlink(missing_ok=True)
             c_path.unlink(missing_ok=True)
+    metrics.histogram("native.compile.wall_s").observe(
+        time.perf_counter() - compile_t0
+    )
     return so_path
 
 

@@ -182,7 +182,11 @@ _HELPER_DEFS = {
 }
 
 
-def generate_c(version: CodeVersion, sizes: Mapping[str, int]) -> str:
+def generate_c(
+    version: CodeVersion,
+    sizes: Mapping[str, int],
+    profile: bool = False,
+) -> str:
     """Emit a self-contained C translation unit for one code version.
 
     The exported entry point is::
@@ -197,6 +201,13 @@ def generate_c(version: CodeVersion, sizes: Mapping[str, int]) -> str:
     callback — only called (and only required) when the code's combine
     is a :class:`~repro.frontend.combine.SemanticsHook`; spec-expressed
     combines are inlined and ignore the pointer.
+
+    ``profile=True`` additionally exports a ``double repro_kernel_ns``
+    global and brackets the loop nest with ``clock_gettime(MONOTONIC)``
+    so the caller can read the kernel's own wall time, excluding FFI and
+    halo setup.  The timing is outside the nest, so the computed values
+    stay bit-identical to the unprofiled object (which has a different
+    content hash and therefore its own cache slot).
     """
     code = version.code
     indices = list(code.program.loop.indices)
@@ -235,6 +246,12 @@ def generate_c(version: CodeVersion, sizes: Mapping[str, int]) -> str:
         " * bit-identity with the interpreter.",
         " */",
     ]
+    if profile:
+        lines.append("#include <time.h>")
+        lines.append("/* kernel-only wall time of the last run() call,")
+        lines.append(" * readable through the dynamic symbol table. */")
+        lines.append("double repro_kernel_ns;")
+        lines.append("")
     if "fabs" in helpers:
         lines.append("#include <math.h>")
         helpers.discard("fabs")
@@ -243,6 +260,9 @@ def generate_c(version: CodeVersion, sizes: Mapping[str, int]) -> str:
     if helpers:
         lines.append("")
     lines.extend(C_PROLOGUE)
+    if profile:
+        lines.append("    struct timespec repro_t0, repro_t1;")
+        lines.append("    clock_gettime(CLOCK_MONOTONIC, &repro_t0);")
 
     depth, loops = _loops_c(schedule, indices, bounds)
     lines.extend("    " + ln for ln in loops)
@@ -251,6 +271,15 @@ def generate_c(version: CodeVersion, sizes: Mapping[str, int]) -> str:
     lines.extend(pad + ln for ln in body)
     for k in range(depth, 0, -1):
         lines.append("    " * k + "}")
+    if profile:
+        lines.append("    clock_gettime(CLOCK_MONOTONIC, &repro_t1);")
+        lines.append(
+            "    repro_kernel_ns = "
+            "(repro_t1.tv_sec - repro_t0.tv_sec) * 1e9"
+        )
+        lines.append(
+            "        + (repro_t1.tv_nsec - repro_t0.tv_nsec);"
+        )
     lines.append("}")
     return "\n".join(lines) + "\n"
 

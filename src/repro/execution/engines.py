@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Mapping
 
+from repro import obs
 from repro.execution.interpreter import ExecutionResult, execute
 from repro.execution.vectorized import execute_vectorized
 
@@ -44,21 +45,32 @@ def run_engine(
 
     Unknown names raise ``ValueError`` listing the registry, so a typo'd
     ``--engine`` dies loudly instead of defaulting somewhere surprising.
-    """
-    if engine == "interpreter":
-        return execute(
-            version, sizes, seed=seed, check_legality=check_legality
-        )
-    if engine == "vectorized":
-        return execute_vectorized(
-            version, sizes, seed=seed, check_legality=check_legality
-        )
-    if engine == "native":
-        from repro.execution.native import execute_native
 
-        return execute_native(
-            version, sizes, seed=seed, check_legality=check_legality
+    The ``engine.run`` span records both the *requested* engine and
+    ``engine_used`` — what actually produced the numbers — so a trace
+    summary shows degraded native runs instead of hiding them.
+    """
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; one of {list(ENGINES)}"
         )
-    raise ValueError(
-        f"unknown engine {engine!r}; one of {list(ENGINES)}"
-    )
+    with obs.span("engine.run", requested=engine) as sp:
+        if engine == "interpreter":
+            result = execute(
+                version, sizes, seed=seed, check_legality=check_legality
+            )
+        elif engine == "vectorized":
+            result = execute_vectorized(
+                version, sizes, seed=seed, check_legality=check_legality
+            )
+        else:
+            from repro.execution.native import execute_native
+
+            result = execute_native(
+                version, sizes, seed=seed, check_legality=check_legality
+            )
+        sp.set(engine_used=result.engine_used)
+        obs.get_metrics().counter(
+            f"engine.runs.{result.engine_used}"
+        ).inc()
+    return result

@@ -118,8 +118,12 @@ def _hook_callback(code: Code, ctx: Context):
     return _COMBINE_FN(call)
 
 
-def _load_run(so_path) -> ctypes._CFuncPtr:
-    """The ``run`` symbol of one compiled object, argtypes set."""
+def _load_run(so_path):
+    """``(lib, run)`` of one compiled object, argtypes set.
+
+    The library handle rides along so profiled objects can expose
+    globals (``repro_kernel_ns``) read back via ``in_dll``.
+    """
     lib = ctypes.CDLL(str(so_path))
     run = lib.run
     run.restype = None
@@ -128,7 +132,7 @@ def _load_run(so_path) -> ctypes._CFuncPtr:
         ctypes.POINTER(ctypes.c_double),
         _COMBINE_FN,
     ]
-    return run
+    return lib, run
 
 
 def _degrade(
@@ -174,12 +178,17 @@ def execute_native(
     check_legality: bool = False,
     fallback: bool = True,
     cache_dir: Optional[os.PathLike] = None,
+    profile: Optional[bool] = None,
 ) -> ExecutionResult:
     """Run one version to completion through the compiled tier.
 
     ``cache_dir`` overrides the shared-object cache location (tests use
     a temp dir); ``fallback=False`` raises instead of degrading when the
-    tier is unavailable.
+    tier is unavailable.  ``profile`` compiles the instrumented variant
+    of the kernel (``clock_gettime`` around the loop nest) and reports
+    the kernel's own wall time as ``result.kernel_s`` plus the
+    ``native.kernel_s`` histogram; the default (None) follows the global
+    ``obs.profiling()`` flag that ``--profile`` arms.
     """
     from repro.codegen.build import (
         CompileError,
@@ -190,6 +199,8 @@ def execute_native(
     from repro.codegen.c_gen import generate_c
 
     code: Code = version.code
+    if profile is None:
+        profile = obs.profiling()
 
     toolchain = discover_toolchain()
     if toolchain is None:
@@ -200,7 +211,7 @@ def execute_native(
         )
 
     try:
-        source = generate_c(version, sizes)
+        source = generate_c(version, sizes, profile=profile)
     except NotImplementedError as exc:
         return _degrade(
             version, sizes, seed, check_legality, fallback,
@@ -219,7 +230,7 @@ def execute_native(
         )
 
     try:
-        run = _load_run(so_path)
+        lib, run = _load_run(so_path)
     except OSError as exc:
         # Self-heal: a truncated/corrupt object is quarantined and
         # rebuilt once; only a second failure degrades.
@@ -228,7 +239,7 @@ def execute_native(
             so_path = compile_so(
                 source, toolchain=toolchain, cache_dir=cache_dir, label=label
             )
-            run = _load_run(so_path)
+            lib, run = _load_run(so_path)
         except (CompileError, OSError) as exc2:
             return _degrade(
                 version, sizes, seed, check_legality, fallback,
@@ -258,25 +269,39 @@ def execute_native(
         _hook_callback(code, ctx) if needs_hook else _COMBINE_FN()
     )
 
+    kernel_s = None
     with obs.span(
         "native.run",
         code=code.name,
         version=version.key,
         sizes=dict(sizes),
         so=os.path.basename(so_path),
-    ):
+        profiled=profile,
+    ) as sp:
         run(
             storage.ctypes.data_as(ctypes.POINTER(ctypes.c_double)),
             halo.ctypes.data_as(ctypes.POINTER(ctypes.c_double)),
             combine_cb,
         )
+        if profile:
+            # The instrumented object reports its own clock_gettime
+            # bracket around the loop nest — FFI and halo setup excluded.
+            kernel_s = (
+                ctypes.c_double.in_dll(lib, "repro_kernel_ns").value * 1e-9
+            )
+            sp.set(kernel_s=kernel_s)
 
     metrics = obs.get_metrics()
     metrics.counter("native.runs").inc()
     metrics.counter("native.points").inc(code.iteration_count(sizes))
+    if kernel_s is not None:
+        metrics.histogram("native.kernel_s").observe(kernel_s)
+        metrics.counter("native.profiled_runs").inc()
 
     result = ExecutionResult(
         version, sizes, storage, mapping.compiled(), bounds, ctx
     )
     result.engine_used = "native"
+    if kernel_s is not None:
+        result.kernel_s = kernel_s
     return result

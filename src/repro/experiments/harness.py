@@ -282,10 +282,26 @@ def _subprocess_worker(task: SimTask, conn) -> None:
     A worker that dies before sending anything (hard crash, OOM kill,
     injected ``kill`` fault) is detected by the parent as EOF on the
     pipe — the crash-isolation path the chaos suite exercises.
+
+    The ``ok`` message carries the worker's whole observability state —
+    the full metrics snapshot (not just ``machine.*``) and the
+    ``warn_once`` dedup keys — so the parent's registry ends up exactly
+    as if the task had run in-process, and a warning the worker already
+    surfaced is not repeated for every later task.
     """
+    from repro import obs
+
     try:
+        # A forked worker inherits the parent registry — including
+        # counts merged back from *earlier* workers.  Start from zero so
+        # the snapshot sent home is exactly this task's contribution.
+        obs.reset_metrics()
         result, wall, pid = _run_sim_task_timed(task)
-        conn.send(("ok", result, wall, pid))
+        obs_payload = {
+            "metrics": obs.get_metrics().snapshot(),
+            "dedup": list(obs.seen_keys()),
+        }
+        conn.send(("ok", result, wall, pid, obs_payload))
     except BaseException as exc:  # noqa: BLE001 - report, parent classifies
         try:
             conn.send(("err", type(exc).__name__, str(exc)))
@@ -631,15 +647,16 @@ class SimulationRunner:
                 else:
                     proc.join()
                     if message[0] == "ok":
-                        _, result, wall_s, worker = message
+                        _, result, wall_s, worker, obs_payload = message
                         self._complete(
                             i, tasks[i], result, wall_s, worker, results, sp
                         )
-                        # Worker-process metrics registries die with
-                        # the worker; fold the stats in here.
-                        result.stats.record(
-                            obs.get_metrics(), prefix="machine"
-                        )
+                        # Worker-process registries die with the worker:
+                        # merge the *whole* snapshot (machine.*, engine
+                        # counters, resilience events — everything the
+                        # task recorded) plus its warning-dedup keys.
+                        obs.merge_snapshot(obs_payload["metrics"])
+                        obs.merge_dedup(obs_payload["dedup"])
                     else:
                         _, exc_type, exc_msg = message
                         fail(

@@ -37,8 +37,19 @@ import logging
 import sys
 from typing import Any, Optional
 
-from repro.obs.events import reset_dedup, warn_once
-from repro.obs.metrics import Metrics, get_metrics, reset_metrics
+from repro.obs.events import merge_dedup, reset_dedup, seen_keys, warn_once
+from repro.obs.ledger import (
+    configure_ledger,
+    get_ledger,
+    ledger_record,
+    shutdown_ledger,
+)
+from repro.obs.metrics import (
+    Metrics,
+    get_metrics,
+    merge_snapshot,
+    reset_metrics,
+)
 from repro.obs.tracer import NULL_SPAN, Span, Tracer
 
 __all__ = [
@@ -46,16 +57,25 @@ __all__ = [
     "Span",
     "Tracer",
     "configure",
+    "configure_ledger",
     "enabled",
     "event",
+    "get_ledger",
     "get_metrics",
     "get_tracer",
+    "ledger_record",
     "log",
+    "merge_dedup",
+    "merge_snapshot",
+    "profiling",
     "render_profile",
     "reset",
     "reset_dedup",
     "reset_metrics",
+    "seen_keys",
+    "set_profiling",
     "shutdown",
+    "shutdown_ledger",
     "span",
     "warn_once",
 ]
@@ -103,6 +123,23 @@ def configure(
 def shutdown() -> None:
     """Finalize the trace (metrics snapshot record) and close the file."""
     _close_trace(write_snapshot=True)
+    shutdown_ledger()
+
+
+_PROFILING = False
+
+
+def set_profiling(on: bool) -> None:
+    """Arm deep profiling (``--profile``): subsystems that can measure
+    more precisely at a small cost — e.g. the native tier's
+    ``clock_gettime`` kernel timers — check this flag."""
+    global _PROFILING
+    _PROFILING = bool(on)
+
+
+def profiling() -> bool:
+    """True when ``--profile`` asked for per-kernel instrumentation."""
+    return _PROFILING
 
 
 def _close_trace(write_snapshot: bool) -> None:
@@ -146,6 +183,9 @@ def render_profile() -> str:
 
 def reset() -> None:
     """Tests only: clear metrics and warning dedup, drop any tracer."""
+    global _PROFILING
     _close_trace(write_snapshot=False)
+    shutdown_ledger()
     reset_metrics()
     reset_dedup()
+    _PROFILING = False

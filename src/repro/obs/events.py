@@ -14,7 +14,7 @@ from __future__ import annotations
 import warnings
 from typing import Hashable, Type
 
-__all__ = ["warn_once", "reset_dedup", "seen_keys"]
+__all__ = ["warn_once", "reset_dedup", "seen_keys", "merge_dedup"]
 
 _SEEN: set[Hashable] = set()
 
@@ -52,3 +52,15 @@ def reset_dedup() -> None:
 
 def seen_keys() -> frozenset:
     return frozenset(_SEEN)
+
+
+def merge_dedup(keys) -> None:
+    """Adopt another process's dedup keys (worker-result merge).
+
+    A warning the worker already surfaced on its own stderr should not
+    fire again in the parent when a later task hits the same condition
+    in-process.  Keys travel back over the task result pipe (pickled
+    tuples survive intact), so the parent's dedup set ends up exactly
+    as if every task had run locally.
+    """
+    _SEEN.update(keys)

@@ -25,6 +25,7 @@ __all__ = [
     "Histogram",
     "Metrics",
     "get_metrics",
+    "merge_snapshot",
     "reset_metrics",
 ]
 
@@ -141,6 +142,30 @@ class Metrics:
             },
         }
 
+    def merge_snapshot(self, snap: dict) -> None:
+        """Fold another registry's ``snapshot()`` into this one.
+
+        The worker-process merge path: counters add, gauges are
+        last-write-wins (the incoming value wins, matching ``set``),
+        histogram summaries combine count/sum/min/max exactly — only
+        ``mean`` is recomputed, so merging N worker snapshots equals
+        having observed every sample locally.
+        """
+        for name, value in snap.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snap.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, h in snap.get("histograms", {}).items():
+            if not h.get("count"):
+                continue
+            local = self.histogram(name)
+            local.count += h["count"]
+            local.total += h["sum"]
+            if h["min"] is not None and h["min"] < local.min:
+                local.min = h["min"]
+            if h["max"] is not None and h["max"] > local.max:
+                local.max = h["max"]
+
     def reset(self) -> None:
         self._counters.clear()
         self._gauges.clear()
@@ -178,6 +203,11 @@ _METRICS = Metrics()
 def get_metrics() -> Metrics:
     """The process-wide registry every subsystem records into."""
     return _METRICS
+
+
+def merge_snapshot(snap: dict) -> None:
+    """Fold a snapshot into the process-wide registry (worker results)."""
+    _METRICS.merge_snapshot(snap)
 
 
 def reset_metrics() -> None:

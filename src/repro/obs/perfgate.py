@@ -1,0 +1,386 @@
+"""``repro perf-check`` — a noise-tolerant performance regression gate.
+
+Compares fresh median-of-k measurements of a few cheap, representative
+probes against the committed ``BENCH_*.json`` baselines and exits
+nonzero on a slowdown.  Two defenses against flakiness:
+
+- **median-of-k**: each probe runs ``rounds`` times after a warmup; the
+  median is compared, so one scheduler hiccup cannot fail the gate;
+- **MAD threshold**: a probe only *fails* when its median exceeds the
+  baseline by the relative ``threshold`` AND by several times the run's
+  own median absolute deviation — when the machine is too noisy to
+  measure the difference, the gate abstains rather than cries wolf.
+
+Both BENCH files share one schema (validated here before any timing
+runs): ``{"schema": 1, "context": {python, numpy, machine, datetime,
+[toolchain]}, "benchmarks": {key: {"median_s": float, ...}}}`` — the
+``context`` block fingerprints the environment that produced the
+numbers, and extra per-entry fields (the native file's ``native_s``,
+speedup ratios, ``bit_identical``) ride along untouched.
+
+Test hook: ``REPRO_PERF_INJECT_SLOWDOWN=<factor>`` multiplies every
+measured sample — CI proves the gate trips on an injected slowdown and
+passes on a clean re-run.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from statistics import median
+from typing import Callable, Optional, Sequence
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "PERF_INJECT_ENV",
+    "BaselineError",
+    "CheckResult",
+    "Probe",
+    "check_samples",
+    "default_probes",
+    "injected_slowdown",
+    "load_baseline",
+    "mad",
+    "measure",
+    "render_results",
+    "run_gate",
+    "validate_baseline",
+]
+
+BENCH_SCHEMA = 1
+PERF_INJECT_ENV = "REPRO_PERF_INJECT_SLOWDOWN"
+
+#: Required keys of the shared ``context`` env-fingerprint block.
+CONTEXT_KEYS = ("python", "numpy", "machine", "datetime")
+
+
+class BaselineError(ValueError):
+    """A BENCH_*.json file does not conform to the shared schema."""
+
+
+def validate_baseline(payload, path="baseline") -> dict:
+    """Validate the shared BENCH schema; returns the payload.
+
+    Raises :class:`BaselineError` naming the first violation — the gate
+    refuses to time anything against a malformed baseline.
+    """
+    if not isinstance(payload, dict):
+        raise BaselineError(f"{path}: not a JSON object")
+    if payload.get("schema") != BENCH_SCHEMA:
+        raise BaselineError(
+            f"{path}: schema {payload.get('schema')!r} "
+            f"(expected {BENCH_SCHEMA})"
+        )
+    context = payload.get("context")
+    if not isinstance(context, dict):
+        raise BaselineError(f"{path}: missing context block")
+    for key in CONTEXT_KEYS:
+        if key not in context:
+            raise BaselineError(f"{path}: context missing {key!r}")
+    benchmarks = payload.get("benchmarks")
+    if not isinstance(benchmarks, dict) or not benchmarks:
+        raise BaselineError(f"{path}: missing or empty benchmarks block")
+    for key, entry in benchmarks.items():
+        if not isinstance(entry, dict):
+            raise BaselineError(f"{path}: benchmarks[{key!r}] not an object")
+        m = entry.get("median_s")
+        if not isinstance(m, (int, float)) or m <= 0:
+            raise BaselineError(
+                f"{path}: benchmarks[{key!r}].median_s must be a "
+                f"positive number, got {m!r}"
+            )
+    return payload
+
+
+def load_baseline(path: os.PathLike) -> dict:
+    """Read and validate one BENCH file."""
+    import json
+
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise BaselineError(f"{path}: missing baseline file") from None
+    except ValueError as exc:
+        raise BaselineError(f"{path}: bad JSON: {exc}") from None
+    return validate_baseline(payload, str(path))
+
+
+# -- measurement ---------------------------------------------------------
+
+
+def injected_slowdown() -> float:
+    """The test-hook multiplier (1.0 when unset/invalid)."""
+    raw = os.environ.get(PERF_INJECT_ENV, "")
+    try:
+        factor = float(raw)
+    except ValueError:
+        return 1.0
+    return factor if factor > 0 else 1.0
+
+
+def measure(
+    run: Callable[[], object],
+    rounds: int = 5,
+    warmup: int = 1,
+) -> list[float]:
+    """Wall-clock ``run`` ``rounds`` times (after ``warmup`` unmeasured
+    calls); the injection multiplier applies to every sample."""
+    for _ in range(warmup):
+        run()
+    factor = injected_slowdown()
+    samples = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        run()
+        samples.append((time.perf_counter() - t0) * factor)
+    return samples
+
+
+def mad(samples: Sequence[float]) -> float:
+    """Median absolute deviation — a robust spread estimate."""
+    if not samples:
+        return 0.0
+    m = median(samples)
+    return median([abs(x - m) for x in samples])
+
+
+def check_samples(
+    samples: Sequence[float],
+    baseline_s: float,
+    threshold: float = 0.20,
+    mad_tolerance: float = 3.0,
+) -> tuple[bool, str]:
+    """The gate's verdict for one probe: ``(ok, reason)``.
+
+    Fails only when the fresh median is *both* relatively slower than
+    ``baseline_s`` by more than ``threshold`` *and* slower by more than
+    ``mad_tolerance`` × the samples' own MAD — i.e. the slowdown is
+    large **and** statistically distinguishable from this run's noise.
+    """
+    med = median(samples)
+    spread = mad(samples)
+    ratio = med / baseline_s
+    if ratio <= 1.0 + threshold:
+        return True, f"ok ({ratio:.2f}x baseline)"
+    if (med - baseline_s) <= mad_tolerance * spread:
+        return True, (
+            f"within noise ({ratio:.2f}x baseline, "
+            f"MAD {spread * 1e3:.2f}ms)"
+        )
+    return False, (
+        f"SLOWDOWN {ratio:.2f}x baseline "
+        f"(median {med * 1e3:.2f}ms vs {baseline_s * 1e3:.2f}ms, "
+        f"MAD {spread * 1e3:.2f}ms)"
+    )
+
+
+# -- probes --------------------------------------------------------------
+
+
+@dataclass
+class Probe:
+    """One gated measurement tied to a committed baseline entry."""
+
+    name: str
+    baseline_file: str  # BENCH_baseline.json | BENCH_native.json
+    baseline_key: str
+    make_run: Callable[[], Optional[Callable[[], object]]]
+    #: When ``make_run`` returns None, the probe is skipped (e.g. no
+    #: toolchain for the native probe) — a skip never fails the gate.
+
+
+def default_probes() -> list[Probe]:
+    """The standard gate: one probe per engine tier, all sub-second."""
+
+    def vectorized_run():
+        from repro.codes import make_stencil5
+        from repro.execution import execute_vectorized
+
+        version = make_stencil5()["ov"]
+        sizes = {"T": 128, "L": 128}
+        return lambda: execute_vectorized(version, sizes, fallback=False)
+
+    def batched_trace_run():
+        from repro.codes import make_stencil5
+        from repro.execution.trace import line_trace
+
+        version = make_stencil5()["ov"]
+        sizes = {"T": 128, "L": 128}
+        return lambda: sum(
+            1 for _ in line_trace(version, sizes, 32, batched=True)
+        )
+
+    def native_run():
+        from repro.codegen.build import discover_toolchain
+
+        if discover_toolchain() is None:
+            return None
+        from repro.codes import make_stencil5
+        from repro.execution.native import execute_native
+
+        version = make_stencil5()["ov"]
+        sizes = {"T": 512, "L": 512}
+        execute_native(version, sizes, fallback=False)  # warm the .so
+        return lambda: execute_native(version, sizes, fallback=False)
+
+    return [
+        Probe(
+            "vectorized-stencil5@128",
+            "BENCH_baseline.json",
+            "benchmarks/test_bench_vectorized.py::"
+            "test_bench_vectorized_engine",
+            vectorized_run,
+        ),
+        Probe(
+            "batched-trace-stencil5@128",
+            "BENCH_baseline.json",
+            "benchmarks/test_bench_vectorized.py::test_bench_batched_trace",
+            batched_trace_run,
+        ),
+        Probe(
+            "native-stencil5@512",
+            "BENCH_native.json",
+            "stencil5@512x512",
+            native_run,
+        ),
+    ]
+
+
+# -- the gate ------------------------------------------------------------
+
+
+@dataclass
+class CheckResult:
+    probe: str
+    baseline_key: str
+    baseline_s: Optional[float]
+    median_s: Optional[float]
+    mad_s: Optional[float]
+    ok: bool
+    reason: str
+
+    def to_json(self) -> dict:
+        return {
+            "probe": self.probe,
+            "baseline_key": self.baseline_key,
+            "baseline_s": self.baseline_s,
+            "median_s": self.median_s,
+            "mad_s": self.mad_s,
+            "ok": self.ok,
+            "reason": self.reason,
+        }
+
+
+def run_gate(
+    repo_root: os.PathLike,
+    probes: Optional[list[Probe]] = None,
+    rounds: int = 5,
+    threshold: float = 0.20,
+    mad_tolerance: float = 3.0,
+) -> tuple[bool, list[CheckResult]]:
+    """Run every probe against its committed baseline.
+
+    Returns ``(all_ok, results)``; results carry per-probe detail for
+    rendering and for the run ledger.  Baseline files are validated
+    against the shared schema *before* anything is timed.
+    """
+    from repro import obs
+
+    repo_root = Path(repo_root)
+    probes = default_probes() if probes is None else probes
+    baselines: dict[str, dict] = {}
+    results: list[CheckResult] = []
+    for probe in probes:
+        if probe.baseline_file not in baselines:
+            try:
+                baselines[probe.baseline_file] = load_baseline(
+                    repo_root / probe.baseline_file
+                )
+            except BaselineError as exc:
+                baselines[probe.baseline_file] = {}
+                results.append(
+                    CheckResult(
+                        probe.name, probe.baseline_key, None, None, None,
+                        False, f"baseline invalid: {exc}",
+                    )
+                )
+                continue
+        baseline = baselines[probe.baseline_file]
+        if not baseline:
+            results.append(
+                CheckResult(
+                    probe.name, probe.baseline_key, None, None, None,
+                    False, f"baseline invalid: {probe.baseline_file}",
+                )
+            )
+            continue
+        entry = baseline["benchmarks"].get(probe.baseline_key)
+        if entry is None:
+            results.append(
+                CheckResult(
+                    probe.name, probe.baseline_key, None, None, None,
+                    False,
+                    f"no baseline entry {probe.baseline_key!r} "
+                    f"in {probe.baseline_file}",
+                )
+            )
+            continue
+        with obs.span("perfgate.probe", probe=probe.name):
+            run = probe.make_run()
+            if run is None:
+                results.append(
+                    CheckResult(
+                        probe.name, probe.baseline_key,
+                        entry["median_s"], None, None,
+                        True, "skipped (prerequisite unavailable)",
+                    )
+                )
+                continue
+            samples = measure(run, rounds=rounds)
+        ok, reason = check_samples(
+            samples, entry["median_s"], threshold, mad_tolerance
+        )
+        results.append(
+            CheckResult(
+                probe.name,
+                probe.baseline_key,
+                entry["median_s"],
+                median(samples),
+                mad(samples),
+                ok,
+                reason,
+            )
+        )
+    all_ok = all(r.ok for r in results)
+    metrics = obs.get_metrics()
+    metrics.counter("perfgate.runs").inc()
+    if not all_ok:
+        metrics.counter("perfgate.failures").inc()
+    obs.ledger_record(
+        "perf-check",
+        ok=all_ok,
+        rounds=rounds,
+        threshold=threshold,
+        injected=injected_slowdown(),
+        results=[r.to_json() for r in results],
+    )
+    return all_ok, results
+
+
+def render_results(results: list[CheckResult]) -> str:
+    lines = [
+        f"{'probe':<28s} {'baseline':>10s} {'fresh':>10s} "
+        f"{'status':<8s} detail"
+    ]
+    for r in results:
+        base = f"{r.baseline_s * 1e3:.2f}ms" if r.baseline_s else "-"
+        fresh = f"{r.median_s * 1e3:.2f}ms" if r.median_s else "-"
+        status = "ok" if r.ok else "FAIL"
+        lines.append(
+            f"{r.probe:<28s} {base:>10s} {fresh:>10s} "
+            f"{status:<8s} {r.reason}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,365 @@
+"""Streaming Mattson stack-distance profiler over line-address traces.
+
+The paper's central trade — a universal occupancy vector buys dense
+reuse at the cost of extra address arithmetic — shows up in the address
+stream as *reuse distance*: the number of distinct cache lines touched
+between two accesses to the same line.  Mattson's classic result makes
+one pass over the trace answer "what would the miss ratio be?" for
+**every** fully-associative LRU cache size at once: an access whose
+stack distance is ``d`` hits in any LRU cache of capacity ``>= d``
+lines and misses in any smaller one.  So a histogram of stack distances
+*is* the whole working-set curve.
+
+:class:`ReuseProfiler` implements the streaming form with a growable
+Fenwick (binary-indexed) tree over access timestamps — O(log M) per
+access, O(M log M) per trace, no stored trace — and keeps one global
+histogram plus optional per-region (per-array) histograms, so the
+profile can say *which* array's reuse pattern breaks at a given cache
+size.  :func:`profile_version` runs it over the exact address stream of
+:func:`repro.execution.trace.line_trace`, classifying lines into the
+trace layout's ``storage`` / ``input`` / ``table`` regions.
+
+Exactness contract (pinned by ``tests/obs/test_reuse.py``): for any
+trace, ``profiler.misses(C)`` equals the miss count of
+:class:`repro.machine.cache.Cache` with ``associativity=0`` (fully
+associative, true LRU) and capacity ``C`` lines — and equals the L1
+miss count of a :class:`~repro.machine.hierarchy.MemoryHierarchy` built
+with such an L1 — *bit-exactly*, for every code × mapping pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Optional, Sequence
+
+__all__ = [
+    "RegionStats",
+    "ReuseProfile",
+    "ReuseProfiler",
+    "profile_version",
+]
+
+#: Histogram key for cold (first-touch) accesses: their stack distance
+#: is infinite — they miss in every finite cache.
+COLD = None
+
+
+class _Fenwick:
+    """A growable binary-indexed tree over 0/1 marks.
+
+    Supports point update and prefix sum in O(log n); capacity doubles
+    (with an O(n) rebuild off the raw mark array) as the trace grows, so
+    callers never size it up front.
+    """
+
+    __slots__ = ("_tree", "_raw", "_n")
+
+    def __init__(self, capacity: int = 1024) -> None:
+        self._n = max(1, capacity)
+        self._tree = [0] * (self._n + 1)
+        self._raw = bytearray(self._n + 1)
+
+    def _grow(self, need: int) -> None:
+        n = self._n
+        while n < need:
+            n *= 2
+        raw = self._raw
+        raw.extend(b"\0" * (n - self._n))
+        tree = [0] * (n + 1)
+        for i in range(1, self._n + 1):
+            if raw[i]:
+                j = i
+                while j <= n:
+                    tree[j] += 1
+                    j += j & (-j)
+        self._tree = tree
+        self._n = n
+
+    def add(self, i: int, delta: int) -> None:
+        """Set/clear the mark at 1-indexed position ``i``."""
+        if i > self._n:
+            self._grow(i)
+        self._raw[i] = 1 if delta > 0 else 0
+        tree, n = self._tree, self._n
+        while i <= n:
+            tree[i] += delta
+            i += i & (-i)
+
+    def prefix(self, i: int) -> int:
+        """Sum of marks in [1, i]."""
+        if i > self._n:
+            i = self._n
+        tree = self._tree
+        total = 0
+        while i > 0:
+            total += tree[i]
+            i -= i & (-i)
+        return total
+
+    def range_sum(self, lo: int, hi: int) -> int:
+        """Sum of marks in [lo, hi] (empty ranges are 0)."""
+        if hi < lo:
+            return 0
+        return self.prefix(hi) - self.prefix(lo - 1)
+
+
+@dataclass
+class RegionStats:
+    """Per-region slice of the profile (one array / memory region)."""
+
+    accesses: int = 0
+    cold_misses: int = 0
+    #: Stack distance (in distinct lines, >= 1) -> access count.
+    histogram: dict = field(default_factory=dict)
+
+    def misses(self, capacity_lines: int) -> int:
+        """Misses this region contributes in a shared LRU cache of
+        ``capacity_lines`` (distances are global, so contributions of
+        all regions sum to the total)."""
+        return self.cold_misses + sum(
+            n for d, n in self.histogram.items() if d > capacity_lines
+        )
+
+
+class ReuseProfiler:
+    """One-pass stack-distance profiling of a line-address stream.
+
+    ``region_of`` (optional) maps a line number to a region name; when
+    given, per-region histograms accumulate alongside the global one.
+    Feed with :meth:`access` / :meth:`feed`, then query misses and miss
+    ratios for *any* capacity — the trace is never stored.
+    """
+
+    def __init__(
+        self, region_of: Optional[Callable[[int], str]] = None
+    ) -> None:
+        self._tree = _Fenwick()
+        self._last: dict[int, int] = {}
+        self._time = 0
+        self._region_of = region_of
+        self.accesses = 0
+        self.cold_misses = 0
+        #: Global stack-distance histogram: distance (>= 1) -> count.
+        self.histogram: dict[int, int] = {}
+        self.regions: dict[str, RegionStats] = {}
+
+    # -- feeding ---------------------------------------------------------
+
+    def access(self, line: int) -> Optional[int]:
+        """Record one access; returns its stack distance (None = cold).
+
+        Distance counts *distinct* lines touched since the previous
+        access to ``line``, inclusive of the line itself: an access with
+        distance ``d`` hits in a fully-associative LRU cache iff its
+        capacity is at least ``d`` lines.
+        """
+        self._time += 1
+        t = self._time
+        self.accesses += 1
+        prev = self._last.get(line)
+        if prev is None:
+            distance = None
+            self.cold_misses += 1
+        else:
+            # Marks flag the *latest* access of each distinct line, so
+            # the mark count strictly between prev and now is exactly
+            # the number of distinct intervening lines.
+            distance = self._tree.range_sum(prev + 1, t - 1) + 1
+            self.histogram[distance] = self.histogram.get(distance, 0) + 1
+            self._tree.add(prev, -1)
+        self._tree.add(t, +1)
+        self._last[line] = t
+        if self._region_of is not None:
+            stats = self._region(self._region_of(line))
+            stats.accesses += 1
+            if distance is None:
+                stats.cold_misses += 1
+            else:
+                stats.histogram[distance] = (
+                    stats.histogram.get(distance, 0) + 1
+                )
+        return distance
+
+    def feed(self, lines: Iterable[int]) -> "ReuseProfiler":
+        for line in lines:
+            self.access(line)
+        return self
+
+    def _region(self, name: str) -> RegionStats:
+        try:
+            return self.regions[name]
+        except KeyError:
+            stats = self.regions[name] = RegionStats()
+            return stats
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def distinct_lines(self) -> int:
+        return len(self._last)
+
+    def misses(self, capacity_lines: int) -> int:
+        """Exact miss count of a ``capacity_lines``-line LRU cache."""
+        if capacity_lines <= 0:
+            return self.accesses
+        return self.cold_misses + sum(
+            n for d, n in self.histogram.items() if d > capacity_lines
+        )
+
+    def miss_ratio(self, capacity_lines: int) -> float:
+        return (
+            self.misses(capacity_lines) / self.accesses
+            if self.accesses
+            else 0.0
+        )
+
+    def working_set_curve(
+        self, capacities: Sequence[int]
+    ) -> list[tuple[int, int, float]]:
+        """``(capacity_lines, misses, miss_ratio)`` per capacity,
+        computed from one cumulative sweep of the histogram."""
+        if not capacities:
+            return []
+        ordered = sorted(set(int(c) for c in capacities))
+        # Cumulative count of accesses with distance > c, descending c.
+        dist_items = sorted(self.histogram.items())
+        out = []
+        idx = 0
+        covered = 0  # accesses with distance <= current capacity
+        for c in ordered:
+            while idx < len(dist_items) and dist_items[idx][0] <= c:
+                covered += dist_items[idx][1]
+                idx += 1
+            misses = self.accesses - covered if c > 0 else self.accesses
+            # 'accesses - covered' counts cold + (distance > c): every
+            # non-cold access is in dist_items exactly once.
+            out.append(
+                (c, misses, misses / self.accesses if self.accesses else 0.0)
+            )
+        return out
+
+    def predicted_miss_ratio(
+        self, cache_bytes: int, line_bytes: int
+    ) -> float:
+        """Miss ratio of a fully-associative LRU cache of ``cache_bytes``."""
+        return self.miss_ratio(max(0, cache_bytes // line_bytes))
+
+    def knee_bytes(self, line_bytes: int, slack: float = 0.01) -> int:
+        """The smallest cache size (bytes) whose miss ratio is within
+        ``slack`` of the compulsory floor — the profile's working-set
+        knee, comparable to the analytic model's ``reuse_bytes``."""
+        if not self.histogram or not self.accesses:
+            return 0
+        # Walk capacities upward; stop once non-compulsory misses
+        # (accesses with distance > capacity) drop within the slack.
+        beyond = self.accesses - self.cold_misses
+        for d, n in sorted(self.histogram.items()):
+            beyond -= n
+            if beyond / self.accesses <= slack:
+                return d * line_bytes
+        return max(self.histogram) * line_bytes
+
+    def log2_buckets(self) -> dict[str, int]:
+        """The histogram folded into power-of-two distance buckets —
+        the compact rendering ``repro stats`` and the EXPERIMENTS.md
+        memory-behavior appendix print."""
+        buckets: dict[str, int] = {}
+        for d, n in sorted(self.histogram.items()):
+            lo = 1
+            while lo * 2 <= d:
+                lo *= 2
+            key = f"[{lo},{lo * 2 - 1}]" if lo > 1 else "[1,1]"
+            buckets[key] = buckets.get(key, 0) + n
+        if self.cold_misses:
+            buckets["cold"] = self.cold_misses
+        return buckets
+
+    def snapshot(self) -> dict:
+        """JSON-serialisable summary (ledger- and trace-friendly)."""
+        return {
+            "accesses": self.accesses,
+            "distinct_lines": self.distinct_lines,
+            "cold_misses": self.cold_misses,
+            "buckets": self.log2_buckets(),
+            "regions": {
+                name: {
+                    "accesses": s.accesses,
+                    "cold_misses": s.cold_misses,
+                    "max_distance": max(s.histogram, default=0),
+                }
+                for name, s in sorted(self.regions.items())
+            },
+        }
+
+
+@dataclass
+class ReuseProfile:
+    """A profiled code version: the profiler plus its trace geometry."""
+
+    code: str
+    version_key: str
+    sizes: dict
+    line_bytes: int
+    profiler: ReuseProfiler
+
+    def miss_ratio_table(
+        self, cache_sizes_bytes: Sequence[int]
+    ) -> list[tuple[int, int, float]]:
+        """``(cache_bytes, misses, miss_ratio)`` rows for a report."""
+        curve = self.profiler.working_set_curve(
+            [c // self.line_bytes for c in cache_sizes_bytes]
+        )
+        by_lines = {c: (m, r) for c, m, r in curve}
+        out = []
+        for cache_bytes in sorted(set(cache_sizes_bytes)):
+            lines = cache_bytes // self.line_bytes
+            misses, ratio = by_lines[lines]
+            out.append((cache_bytes, misses, ratio))
+        return out
+
+
+def profile_version(
+    version,
+    sizes: Mapping[str, int],
+    line_bytes: int = 32,
+    seed: int = 0,
+    collapse: bool = True,
+) -> ReuseProfile:
+    """Profile one code version's full line-address trace.
+
+    Uses the exact stream of :func:`repro.execution.trace.line_trace`
+    (``collapse=True`` merges consecutive identical lines — exact for
+    LRU miss counts at every capacity, cheaper to scan) and classifies
+    each line into the trace layout's region (``storage`` — the mapped
+    temporary buffer, ``input`` — out-of-ISG producers, ``table`` —
+    the code's extra reads).
+    """
+    from repro.execution.trace import TraceLayout, line_trace
+
+    layout = TraceLayout.for_version(version, sizes)
+    input_line = layout.input_base // line_bytes
+    table_line = layout.table_base // line_bytes
+
+    def region_of(line: int) -> str:
+        if line < input_line:
+            return "storage"
+        if line < table_line:
+            return "input"
+        return "table"
+
+    profiler = ReuseProfiler(region_of=region_of)
+    profiler.feed(
+        line_trace(version, sizes, line_bytes, seed=seed, collapse=collapse)
+    )
+    from repro import obs
+
+    metrics = obs.get_metrics()
+    metrics.counter("reuse.profiles").inc()
+    metrics.counter("reuse.accesses").inc(profiler.accesses)
+    return ReuseProfile(
+        code=version.code.name,
+        version_key=version.key,
+        sizes=dict(sizes),
+        line_bytes=line_bytes,
+        profiler=profiler,
+    )

@@ -157,6 +157,16 @@ def render_summary(summary: TraceSummary, top: int = 10) -> str:
                 f"wall {_ms(n.wall_s):>10s}  cpu {_ms(n.cpu_s):>10s}"
             )
 
+    engine_lines = _render_engines(summary)
+    if engine_lines:
+        out.append("")
+        out.extend(engine_lines)
+
+    degradation_lines = _render_degradations(summary)
+    if degradation_lines:
+        out.append("")
+        out.extend(degradation_lines)
+
     tally: dict[str, int] = {}
     for record in summary.all_events:
         tally[record.get("name", "?")] = tally.get(record.get("name", "?"), 0) + 1
@@ -184,6 +194,77 @@ def render_summary(summary: TraceSummary, top: int = 10) -> str:
             for name, value in counters.items():
                 out.append(f"  {name:<40s} {value}")
     return "\n".join(out)
+
+
+def _render_engines(summary: TraceSummary) -> list[str]:
+    """The engines section: requested vs. actually-used per engine span.
+
+    Tallies ``engine.run`` spans (which carry ``requested`` and
+    ``engine_used``) plus any span with an ``engine_used`` attribute, so
+    a native run that silently degraded to the vectorized engine shows
+    up as ``native -> vectorized`` instead of disappearing.
+    """
+    tally: dict[tuple[str, str], dict] = {}
+    for node in summary.spans.values():
+        used = node.attrs.get("engine_used")
+        if used is None:
+            continue
+        requested = node.attrs.get("requested", used)
+        slot = tally.setdefault(
+            (str(requested), str(used)), {"runs": 0, "wall_s": 0.0}
+        )
+        slot["runs"] += 1
+        slot["wall_s"] += node.wall_s
+    # Kernel-level native spans carry profiled kernel seconds.
+    kernel_s = [
+        node.attrs.get("kernel_s")
+        for node in summary.spans.values()
+        if node.name == "native.run"
+        and isinstance(node.attrs.get("kernel_s"), (int, float))
+    ]
+    if not tally and not kernel_s:
+        return []
+    lines = ["engines:"]
+    for (requested, used), slot in sorted(tally.items()):
+        label = used if requested == used else f"{requested} -> {used}"
+        flag = "" if requested == used else "  DEGRADED"
+        lines.append(
+            f"  {label:<28s} x{slot['runs']}  "
+            f"wall {_ms(slot['wall_s'])}{flag}"
+        )
+    if kernel_s:
+        lines.append(
+            f"  native kernel time (profiled)  x{len(kernel_s)}  "
+            f"total {_ms(sum(kernel_s))}"
+        )
+    return lines
+
+
+def _render_degradations(summary: TraceSummary) -> list[str]:
+    """Structured Degradation records: native fallbacks and budget/
+    resilience degradations, with their reasons — previously invisible
+    in the summary."""
+    lines: list[str] = []
+    for record in summary.all_events:
+        name = record.get("name")
+        attrs = record.get("attrs", {})
+        if name == "native.fallback":
+            lines.append(
+                f"  native.fallback: {attrs.get('code', '?')}:"
+                f"{attrs.get('version', '?')} "
+                f"({attrs.get('reason', '?')})"
+            )
+        elif name == "resilience.degradation":
+            fallback = attrs.get("fallback")
+            suffix = f" -> {fallback}" if fallback else ""
+            lines.append(
+                f"  {attrs.get('site', '?')}: "
+                f"{attrs.get('reason', attrs.get('message', '?'))}"
+                f"{suffix}"
+            )
+    if not lines:
+        return []
+    return ["degradations:"] + lines
 
 
 def _render_node(node: SpanNode, out: list[str], depth: int) -> None:

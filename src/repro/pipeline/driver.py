@@ -221,4 +221,44 @@ def compile_spec(
                 StageRecord(stage.name, key, cached, wall, artifact)
             )
             parent_key = key
+    _ledger_compile(result, engine)
     return result
+
+
+def _ledger_compile(result: CompileResult, engine: str) -> None:
+    """Durable run-ledger entries for one compile (DESIGN.md §14).
+
+    One ``compile`` entry per ``compile_spec`` call — spec name, chain
+    key (the content hash of everything that fed the last stage), stage
+    list, cache hits, total wall — plus one ``execute`` entry per
+    execute stage with the engine that *actually* ran.  No-op unless a
+    ledger is open (``--ledger`` / ``REPRO_LEDGER``).
+    """
+    if obs.get_ledger() is None:
+        return
+    total = sum(r.wall_s for r in result.records)
+    obs.ledger_record(
+        "compile",
+        spec=result.spec.name,
+        sizes=result.sizes,
+        seed=result.seed,
+        key=result.records[-1].key if result.records else None,
+        stages=[r.name for r in result.records],
+        cache_hits=len(result.cache_hits),
+        cached=bool(result.records) and not result.stages_run,
+        wall_s=round(total, 6),
+    )
+    for r in result.records:
+        if r.name != "execute":
+            continue
+        a = r.artifact
+        obs.ledger_record(
+            "execute",
+            code=result.spec.name,
+            version=result.spec.mapping or "spec",
+            engine=getattr(a, "engine_used", engine),
+            requested=engine,
+            cached=r.cached,
+            wall_s=round(r.wall_s, 6),
+            outputs_sha256=getattr(a, "outputs_sha256", None),
+        )

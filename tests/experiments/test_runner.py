@@ -193,3 +193,61 @@ class TestPerfDrivers:
             assert get_runner() is runner
         finally:
             set_runner(original)
+
+
+class TestWorkerObservability:
+    """Worker-process metrics must reach the parent registry (merged,
+    not double-counted) — previously only the machine.* slice survived
+    the pipe."""
+
+    def test_worker_counters_merge_into_parent(self, version):
+        from repro import obs
+
+        obs.reset_metrics()
+        try:
+            tasks = [
+                SimTask.of(version, {"T": 6, "L": length}, MACHINE)
+                for length in (16, 24, 32)
+            ]
+            SimulationRunner(jobs=2).run_tasks(tasks)
+            counters = obs.get_metrics().snapshot()["counters"]
+            # One worker process per task; each worker's full registry
+            # merges back: exactly 3 runs, no double count.
+            assert counters["simulate.runs"] == 3
+            assert counters["machine.accesses"] > 0
+            assert counters["simulate.iterations"] > 0  # non-machine.* too
+        finally:
+            obs.reset_metrics()
+
+    def test_worker_and_inprocess_counters_agree(self, version):
+        from repro import obs
+
+        tasks = [
+            SimTask.of(version, {"T": 6, "L": length}, MACHINE)
+            for length in (16, 24)
+        ]
+        obs.reset_metrics()
+        SimulationRunner(jobs=1).run_tasks(tasks)
+        serial = obs.get_metrics().snapshot()["counters"]
+        obs.reset_metrics()
+        SimulationRunner(jobs=2).run_tasks(tasks)
+        parallel = obs.get_metrics().snapshot()["counters"]
+        obs.reset_metrics()
+        assert parallel["machine.accesses"] == serial["machine.accesses"]
+        assert parallel["simulate.runs"] == serial["simulate.runs"]
+
+    def test_worker_dedup_keys_merge(self, version):
+        from repro import obs
+
+        obs.reset()
+        try:
+            # Merging a worker's seen-keys means the parent will not
+            # re-emit a warning the worker already issued.
+            obs.merge_dedup([("native-fallback", "stencil5", "no-toolchain")])
+            assert (
+                "native-fallback",
+                "stencil5",
+                "no-toolchain",
+            ) in obs.seen_keys()
+        finally:
+            obs.reset()

@@ -1,0 +1,95 @@
+"""Native kernel telemetry: instrumented codegen and kernel timers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.codegen.c_gen import generate_c
+from repro.codes import make_stencil5
+from repro.execution import execute_native
+
+from tests.native.conftest import requires_cc
+
+SIZES = {"T": 4, "L": 13}
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+@pytest.fixture
+def version():
+    return make_stencil5()["ov"]
+
+
+class TestProfiledCodegen:
+    def test_profiled_source_brackets_the_loop_nest(self, version):
+        source = generate_c(version, SIZES, profile=True)
+        assert "clock_gettime" in source
+        assert "repro_kernel_ns" in source
+        assert "#include <time.h>" in source
+        # The timer wraps the nest, not each iteration: exactly two calls.
+        assert source.count("clock_gettime(") == 2
+
+    def test_default_source_is_uninstrumented(self, version):
+        source = generate_c(version, SIZES)
+        assert "clock_gettime" not in source
+        assert "repro_kernel_ns" not in source
+
+    def test_profiled_source_hashes_separately(self, version):
+        # Distinct sources land in distinct .so cache slots, so flipping
+        # --profile can never serve a stale uninstrumented object.
+        assert generate_c(version, SIZES) != generate_c(
+            version, SIZES, profile=True
+        )
+
+
+@requires_cc
+class TestProfiledExecution:
+    def test_kernel_time_is_reported(self, version, so_cache):
+        result = execute_native(
+            version, SIZES, cache_dir=so_cache, profile=True
+        )
+        assert result.engine_used == "native"
+        assert result.kernel_s > 0
+        snap = obs.get_metrics().snapshot()
+        assert snap["counters"]["native.profiled_runs"] == 1
+        assert snap["histograms"]["native.kernel_s"]["count"] == 1
+
+    def test_profiling_keeps_bit_identity(self, version, so_cache):
+        plain = execute_native(
+            version, SIZES, cache_dir=so_cache, profile=False
+        )
+        profiled = execute_native(
+            version, SIZES, cache_dir=so_cache, profile=True
+        )
+        np.testing.assert_array_equal(profiled.storage, plain.storage)
+
+    def test_unprofiled_run_has_no_kernel_time(self, version, so_cache):
+        result = execute_native(
+            version, SIZES, cache_dir=so_cache, profile=False
+        )
+        assert not hasattr(result, "kernel_s")
+        counters = obs.get_metrics().snapshot()["counters"]
+        assert "native.profiled_runs" not in counters
+
+    def test_default_follows_the_global_profiling_flag(
+        self, version, so_cache
+    ):
+        obs.set_profiling(True)
+        result = execute_native(version, SIZES, cache_dir=so_cache)
+        assert result.kernel_s > 0
+
+    def test_toolchain_and_compile_metrics_recorded(self, version, tmp_path):
+        from repro.codegen.build import reset_toolchain_cache
+
+        reset_toolchain_cache()  # discovery is memoised per process
+        execute_native(version, SIZES, cache_dir=tmp_path)
+        snap = obs.get_metrics().snapshot()
+        assert snap["gauges"]["native.toolchain.probe_s"] >= 0
+        assert snap["histograms"]["native.compile.wall_s"]["count"] == 1

@@ -1,0 +1,214 @@
+"""perf-check: BENCH schema validation and the noise-tolerant gate."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.perfgate import (
+    PERF_INJECT_ENV,
+    BaselineError,
+    Probe,
+    check_samples,
+    load_baseline,
+    mad,
+    measure,
+    render_results,
+    run_gate,
+    validate_baseline,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+def _payload(**over):
+    payload = {
+        "schema": 1,
+        "context": {
+            "python": "3.x",
+            "numpy": "1.x",
+            "machine": "test",
+            "datetime": "2026-01-01",
+        },
+        "benchmarks": {"probe-key": {"median_s": 0.01}},
+    }
+    payload.update(over)
+    return payload
+
+
+class TestSchema:
+    def test_valid_payload_passes(self):
+        assert validate_baseline(_payload()) is not None
+
+    @pytest.mark.parametrize(
+        "mutate, message",
+        [
+            (lambda p: p.pop("schema"), "schema"),
+            (lambda p: p.update(schema=99), "schema"),
+            (lambda p: p.pop("context"), "context"),
+            (lambda p: p["context"].pop("machine"), "machine"),
+            (lambda p: p.update(benchmarks={}), "benchmarks"),
+            (
+                lambda p: p["benchmarks"].update({"probe-key": {}}),
+                "median_s",
+            ),
+            (
+                lambda p: p["benchmarks"].update(
+                    {"probe-key": {"median_s": -1}}
+                ),
+                "median_s",
+            ),
+        ],
+    )
+    def test_violations_raise(self, mutate, message):
+        payload = _payload()
+        mutate(payload)
+        with pytest.raises(BaselineError, match=message):
+            validate_baseline(payload)
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(BaselineError, match="missing"):
+            load_baseline(tmp_path / "BENCH_nope.json")
+
+    def test_committed_baselines_conform(self, repo_root=None):
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[2]
+        load_baseline(root / "BENCH_baseline.json")
+        load_baseline(root / "BENCH_native.json")
+
+
+class TestCheckSamples:
+    def test_fast_run_passes(self):
+        ok, reason = check_samples([0.008, 0.009, 0.010], 0.01)
+        assert ok and "ok" in reason
+
+    def test_big_stable_slowdown_fails(self):
+        ok, reason = check_samples([0.020, 0.0201, 0.0199], 0.01)
+        assert not ok and "SLOWDOWN" in reason
+
+    def test_noisy_slowdown_abstains(self):
+        # Median is 2x baseline but the run's own MAD swamps the
+        # difference — the gate abstains instead of crying wolf.
+        samples = [0.005, 0.020, 0.040]
+        assert mad(samples) * 3.0 > 0.020 - 0.01
+        ok, reason = check_samples(samples, 0.01)
+        assert ok and "noise" in reason
+
+    def test_injection_multiplies_samples(self, monkeypatch):
+        monkeypatch.setenv(PERF_INJECT_ENV, "100.0")
+        samples = measure(lambda: None, rounds=3, warmup=0)
+        monkeypatch.delenv(PERF_INJECT_ENV)
+        clean = measure(lambda: None, rounds=3, warmup=0)
+        assert min(samples) > max(clean)
+
+
+def _fake_probe(name="fast-probe", key="probe-key", run=lambda: None):
+    return Probe(name, "BENCH_test.json", key, lambda: run)
+
+
+def _write_baseline(tmp_path, median_s=0.01):
+    payload = _payload()
+    payload["benchmarks"]["probe-key"]["median_s"] = median_s
+    (tmp_path / "BENCH_test.json").write_text(json.dumps(payload))
+
+
+class TestRunGate:
+    def test_clean_gate_passes(self, tmp_path):
+        _write_baseline(tmp_path, median_s=0.01)
+        ok, results = run_gate(tmp_path, [_fake_probe()], rounds=3)
+        assert ok
+        assert results[0].ok and results[0].median_s < 0.01
+
+    def test_injected_slowdown_fails(self, tmp_path, monkeypatch):
+        # A no-op probe against a generous baseline passes clean; the
+        # injection hook must make the very same gate fail.
+        _write_baseline(tmp_path, median_s=1e-6)
+
+        def slow():
+            for _ in range(2000):
+                pass
+
+        monkeypatch.setenv(PERF_INJECT_ENV, "1000.0")
+        ok, results = run_gate(
+            tmp_path, [_fake_probe(run=slow)], rounds=3, mad_tolerance=0.0
+        )
+        assert not ok
+        assert "SLOWDOWN" in results[0].reason
+
+    def test_invalid_baseline_fails_without_timing(self, tmp_path):
+        (tmp_path / "BENCH_test.json").write_text("{}")
+        ok, results = run_gate(tmp_path, [_fake_probe()], rounds=3)
+        assert not ok
+        assert "baseline invalid" in results[0].reason
+
+    def test_missing_key_fails(self, tmp_path):
+        _write_baseline(tmp_path)
+        probe = Probe(
+            "missing", "BENCH_test.json", "no-such-key", lambda: (lambda: None)
+        )
+        ok, results = run_gate(tmp_path, [probe], rounds=3)
+        assert not ok
+        assert "no baseline entry" in results[0].reason
+
+    def test_unavailable_probe_skips_not_fails(self, tmp_path):
+        _write_baseline(tmp_path)
+        probe = Probe("skippy", "BENCH_test.json", "probe-key", lambda: None)
+        ok, results = run_gate(tmp_path, [probe], rounds=3)
+        assert ok
+        assert "skipped" in results[0].reason
+
+    def test_gate_writes_a_ledger_entry(self, tmp_path):
+        _write_baseline(tmp_path)
+        obs.configure_ledger(str(tmp_path / "runs.jsonl"))
+        run_gate(tmp_path, [_fake_probe()], rounds=2)
+        obs.shutdown_ledger()
+        from repro.obs.ledger import read_entries
+
+        entries, _ = read_entries(tmp_path / "runs.jsonl")
+        assert entries[0]["kind"] == "perf-check"
+        assert entries[0]["ok"] is True
+        assert entries[0]["results"][0]["probe"] == "fast-probe"
+
+    def test_render_results_table(self, tmp_path):
+        _write_baseline(tmp_path)
+        _, results = run_gate(tmp_path, [_fake_probe()], rounds=2)
+        text = render_results(results)
+        assert "fast-probe" in text and "ok" in text
+
+
+class TestCli:
+    def test_perf_check_exit_codes(self, tmp_path, monkeypatch, capsys):
+        from repro.cli import main
+
+        _write_baseline(tmp_path, median_s=1e-6)
+        monkeypatch.setattr(
+            "repro.obs.perfgate.default_probes",
+            lambda: [_fake_probe(run=lambda: sum(range(2000)))],
+        )
+        monkeypatch.setenv(PERF_INJECT_ENV, "1000.0")
+        # --mad-tolerance 0 pins the verdict to the ratio alone: on a
+        # loaded machine the noise-abstention could mask the injected
+        # slowdown (it has its own dedicated tests above).
+        rc = main(
+            ["perf-check", "--repo-root", str(tmp_path), "--rounds", "2",
+             "--mad-tolerance", "0",
+             "--json-out", str(tmp_path / "out.json")]
+        )
+        assert rc == 1
+        payload = json.loads((tmp_path / "out.json").read_text())
+        assert payload["ok"] is False
+        monkeypatch.delenv(PERF_INJECT_ENV)
+        (tmp_path / "BENCH_test.json").write_text(
+            json.dumps(_payload(
+                benchmarks={"probe-key": {"median_s": 10.0}}
+            ))
+        )
+        rc = main(["perf-check", "--repo-root", str(tmp_path), "--rounds", "2"])
+        assert rc == 0
+        assert "PASS" in capsys.readouterr().out

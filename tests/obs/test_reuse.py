@@ -1,0 +1,193 @@
+"""Reuse-distance profiler: exactness vs. the cache simulator.
+
+The load-bearing property (ISSUE 7 acceptance criterion): the Mattson
+stack-distance histogram must predict the miss count of a
+fully-associative LRU cache *bit-exactly*, at every capacity, for every
+code × mapping pair — validated against both the bare
+:class:`~repro.machine.cache.Cache` and the full
+:class:`~repro.machine.hierarchy.MemoryHierarchy` (whose L1 sees the
+same stream the profiler does).
+"""
+
+import random
+
+import pytest
+
+from repro.codes import CODES, get_versions
+from repro.execution.trace import line_trace
+from repro.machine.analytic import stencil5_streams
+from repro.machine.cache import Cache
+from repro.machine.hierarchy import MemoryHierarchy
+from repro.machine.tlb import TLB
+from repro.obs.reuse import ReuseProfiler, profile_version
+
+LINE = 32
+
+#: Small-but-interesting sizes per code (collapse-friendly, fast).
+SMALL_SIZES = {
+    "simple2d": {"n": 6, "m": 9},
+    "stencil5": {"T": 4, "L": 24},
+    "psm": {"n0": 5, "n1": 6},
+    "jacobi": {"T": 4, "L": 24},
+}
+
+#: Every code × mapping pair in the registry.
+ALL_PAIRS = [
+    (code, key)
+    for code in sorted(CODES.names())
+    for key in sorted(get_versions(code))
+]
+
+
+def fully_assoc_hierarchy(capacity_lines: int) -> MemoryHierarchy:
+    """A hierarchy whose L1 is a fully-associative LRU cache of
+    ``capacity_lines`` lines (associativity=0), with L2/TLB/memory huge
+    so only the L1 filters the stream."""
+    return MemoryHierarchy(
+        l1=Cache("l1", capacity_lines * LINE, LINE, associativity=0),
+        l2=Cache("l2", 1 << 24, LINE, associativity=0),
+        tlb=TLB("tlb", 1 << 16, 4096),
+        memory_bytes=1 << 30,
+        l2_stall=5,
+        memory_stall=50,
+        tlb_stall=10,
+        fault_stall=100000,
+    )
+
+
+class TestExactnessVsSimulator:
+    @pytest.mark.parametrize("code,key", ALL_PAIRS)
+    def test_matches_fully_associative_lru_exactly(self, code, key):
+        version = get_versions(code)[key]
+        sizes = SMALL_SIZES[code]
+        trace = list(line_trace(version, sizes, LINE))
+        profiler = ReuseProfiler().feed(trace)
+        for capacity in (1, 2, 4, 8, 16, 64, 256):
+            hierarchy = fully_assoc_hierarchy(capacity)
+            stats = hierarchy.run_line_trace(iter(trace))
+            assert profiler.misses(capacity) == stats.l1_misses, (
+                f"{code}:{key} capacity={capacity}"
+            )
+            assert profiler.accesses == stats.accesses
+
+    def test_matches_bare_cache_on_random_trace(self):
+        rng = random.Random(1998)
+        trace = [rng.randrange(200) for _ in range(20000)]
+        profiler = ReuseProfiler().feed(trace)
+        for capacity in (1, 3, 17, 50, 128, 200, 300):
+            cache = Cache("c", capacity * LINE, LINE, associativity=0)
+            for line in trace:
+                cache.access(line)
+            assert profiler.misses(capacity) == cache.misses
+
+    def test_fenwick_growth_preserves_exactness(self):
+        """A trace long enough to force several tree doublings."""
+        rng = random.Random(7)
+        trace = [rng.randrange(64) for _ in range(9000)]
+        profiler = ReuseProfiler().feed(trace)
+        cache = Cache("c", 24 * LINE, LINE, associativity=0)
+        for line in trace:
+            cache.access(line)
+        assert profiler.misses(24) == cache.misses
+
+
+class TestProfilerProperties:
+    def test_distance_semantics(self):
+        p = ReuseProfiler()
+        assert p.access(10) is None  # cold
+        assert p.access(10) == 1  # immediate reuse
+        p.access(11)
+        p.access(12)
+        assert p.access(10) == 3  # {11, 12, itself}
+        assert p.cold_misses == 3
+        assert p.distinct_lines == 3
+
+    def test_monotone_miss_curve(self):
+        rng = random.Random(3)
+        p = ReuseProfiler().feed(rng.randrange(50) for _ in range(4000))
+        curve = p.working_set_curve(range(0, 60, 3))
+        misses = [m for _, m, _ in curve]
+        assert misses == sorted(misses, reverse=True)
+        assert misses[-1] == p.cold_misses  # floor = compulsory
+        for c, m, r in curve:
+            assert m == p.misses(c)
+            assert r == pytest.approx(m / p.accesses)
+
+    def test_zero_capacity_misses_everything(self):
+        p = ReuseProfiler().feed([1, 1, 2, 1])
+        assert p.misses(0) == p.accesses
+        assert p.miss_ratio(0) == 1.0
+
+    def test_region_histograms_partition_the_global_one(self):
+        version = get_versions("psm")["ov"]
+        sizes = SMALL_SIZES["psm"]
+        profile = profile_version(version, sizes, line_bytes=LINE)
+        p = profile.profiler
+        assert set(p.regions) <= {"storage", "input", "table"}
+        assert "table" in p.regions  # psm reads its match table
+        assert sum(s.accesses for s in p.regions.values()) == p.accesses
+        assert (
+            sum(s.cold_misses for s in p.regions.values()) == p.cold_misses
+        )
+        for capacity in (2, 8, 32):
+            assert (
+                sum(s.misses(capacity) for s in p.regions.values())
+                == p.misses(capacity)
+            )
+
+    def test_snapshot_is_json_friendly(self):
+        import json
+
+        version = get_versions("stencil5")["ov"]
+        profile = profile_version(version, SMALL_SIZES["stencil5"], LINE)
+        snap = profile.profiler.snapshot()
+        json.dumps(snap)
+        assert snap["accesses"] == profile.profiler.accesses
+        assert "cold" in snap["buckets"]
+
+    def test_miss_ratio_table(self):
+        version = get_versions("stencil5")["storage-optimized"]
+        profile = profile_version(version, SMALL_SIZES["stencil5"], LINE)
+        table = profile.miss_ratio_table([64, 1024, 65536])
+        assert [row[0] for row in table] == [64, 1024, 65536]
+        ratios = [row[2] for row in table]
+        assert ratios == sorted(ratios, reverse=True)
+
+
+class TestAnalyticCrossCheck:
+    """The measured working-set knee must land near the analytic model's
+    ``reuse_bytes`` guess for the untiled stencil5 versions — the two
+    independent estimates of the paper's central quantity must agree."""
+
+    @pytest.mark.parametrize(
+        "key", ["natural", "ov", "storage-optimized"]
+    )
+    def test_knee_tracks_analytic_reuse_bytes(self, key):
+        T, L = 8, 64
+        profile = profile_version(
+            get_versions("stencil5")[key], {"T": T, "L": L}, LINE
+        )
+        p = profile.profiler
+        streams, _, _ = stencil5_streams(key, L, T)
+        analytic = max(
+            s.reuse_bytes for s in streams if s.reuse_bytes is not None
+        )
+        knee = p.knee_bytes(LINE)
+        assert analytic / 2 <= knee <= analytic * 2.5
+        # Above the knee the cache holds the working set: miss ratio is
+        # (near) the compulsory floor.  Far below it, it is much worse.
+        floor = p.cold_misses / p.accesses
+        assert p.predicted_miss_ratio(4 * analytic, LINE) <= floor + 0.05
+        assert p.predicted_miss_ratio(analytic // 8, LINE) > floor + 0.05
+
+    def test_storage_optimized_has_denser_reuse(self):
+        """The paper's trade, measured: the optimized mapping's working
+        set fits where the OV-mapped one does not."""
+        T, L = 8, 64
+        knees = {}
+        for key in ("ov", "storage-optimized"):
+            profile = profile_version(
+                get_versions("stencil5")[key], {"T": T, "L": L}, LINE
+            )
+            knees[key] = profile.profiler.knee_bytes(LINE)
+        assert knees["storage-optimized"] < knees["ov"]

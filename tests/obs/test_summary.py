@@ -116,3 +116,56 @@ class TestCli:
         path.write_text("{broken\n{also broken\n")
         assert main(["trace-summary", str(path)]) == 2
         assert "not a valid trace" in capsys.readouterr().err
+
+
+def _engine_trace_lines() -> list[str]:
+    sink = io.StringIO()
+    tracer = Tracer(sink, program="unit-test")
+    with tracer.span("engine.run", requested="native", engine_used="native"):
+        with tracer.span(
+            "native.run", profiled=True, kernel_s=0.002
+        ):
+            pass
+    with tracer.span(
+        "engine.run", requested="native", engine_used="vectorized"
+    ):
+        tracer.event(
+            "native.fallback",
+            code="stencil5",
+            version="ov",
+            reason="no-toolchain",
+        )
+    with tracer.span("search"):
+        tracer.event(
+            "resilience.degradation",
+            site="pipeline.uov-search",
+            reason="budget-exhausted",
+            fallback="incumbent",
+        )
+    tracer.finish({"counters": {}, "gauges": {}, "histograms": {}})
+    return sink.getvalue().splitlines()
+
+
+class TestEngineSections:
+    def test_engines_section_tallies_requested_vs_used(self):
+        text = render_summary(load_trace(_engine_trace_lines()))
+        assert "engines:" in text
+        assert "native " in text or "native  " in text
+        assert "native -> vectorized" in text
+        assert "DEGRADED" in text
+
+    def test_profiled_kernel_time_is_summed(self):
+        text = render_summary(load_trace(_engine_trace_lines()))
+        assert "native kernel time (profiled)" in text
+        assert "2.00ms" in text
+
+    def test_degradations_section_lists_reasons(self):
+        text = render_summary(load_trace(_engine_trace_lines()))
+        assert "degradations:" in text
+        assert "native.fallback: stencil5:ov (no-toolchain)" in text
+        assert "pipeline.uov-search: budget-exhausted -> incumbent" in text
+
+    def test_sections_absent_without_engine_activity(self):
+        text = render_summary(load_trace(_trace_lines()))
+        assert "engines:" not in text
+        assert "degradations:" not in text
