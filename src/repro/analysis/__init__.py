@@ -11,6 +11,9 @@
   still needed).
 - :mod:`repro.analysis.certify` — static UOV certification: a
   machine-checkable certificate or a replayable counterexample schedule.
+- :mod:`repro.analysis.symcert` — size-parametric certification: the
+  same question decided for *all* box sizes by exact integer
+  Fourier-Motzkin elimination, with auditable proof objects.
 - :mod:`repro.analysis.races` — static storage-race detection for any
   mapping over a concrete ISG, without enumerating schedules.
 - :mod:`repro.analysis.fuzz` — differential fuzzing of static verdicts
@@ -37,6 +40,14 @@ from repro.analysis.legality import (
 from repro.analysis.liveness import is_mapping_legal
 from repro.analysis.races import StorageRace, find_storage_races
 from repro.analysis.regions import RegionSummary, analyse_regions
+from repro.analysis.symcert import (
+    SymbolicCertificate,
+    SymbolicCounterexample,
+    SymbolicOutcome,
+    symbolic_certify,
+    symbolic_certify_code,
+    symbolic_certify_spec,
+)
 
 __all__ = [
     "extract_stencil",
@@ -50,6 +61,12 @@ __all__ = [
     "certify",
     "UOVCertificate",
     "UOVCounterexample",
+    "symbolic_certify",
+    "symbolic_certify_code",
+    "symbolic_certify_spec",
+    "SymbolicCertificate",
+    "SymbolicCounterexample",
+    "SymbolicOutcome",
     "StorageRace",
     "find_storage_races",
     "Severity",

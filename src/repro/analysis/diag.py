@@ -24,7 +24,15 @@ from typing import Any, Iterator, Mapping, Optional
 
 from repro.obs.metrics import Metrics, get_metrics
 
-__all__ = ["Severity", "Finding", "Diagnostics"]
+__all__ = [
+    "Severity",
+    "Finding",
+    "Diagnostics",
+    "FindingSpec",
+    "FINDING_REGISTRY",
+    "finding_spec",
+    "render_lint_codes_md",
+]
 
 #: Schema version of the JSON findings artifact.
 DIAG_SCHEMA_VERSION = 1
@@ -173,3 +181,169 @@ class Diagnostics:
 
     def render_json(self) -> str:
         return json.dumps(self.to_json(), indent=2, sort_keys=False)
+
+
+# -- the finding registry ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FindingSpec:
+    """Registry entry for one stable diagnostic code.
+
+    ``severity`` is the *typical* severity as emitted (a few codes vary:
+    ``STO001`` downgrades to info for under-allocation); ``emitter``
+    names the lint pass or subsystem that produces it.  The registry is
+    the single source of truth behind ``docs/LINT_CODES.md`` (generated
+    by ``repro lint-codes``, freshness-checked in CI) and the
+    registry-coverage test that keeps ad-hoc codes from creeping in.
+    """
+
+    code: str
+    severity: str
+    emitter: str
+    meaning: str
+
+
+#: Every stable diagnostic code, in display order.
+FINDING_REGISTRY: tuple[FindingSpec, ...] = (
+    FindingSpec(
+        "APP001", "warning", "applicability",
+        "the program violates a Section 2 precondition of the UOV "
+        "technique (non-uniform references, uncarried values, exposed "
+        "temporaries)",
+    ),
+    FindingSpec(
+        "APP002", "error", "applicability",
+        "the code's declared stencil differs from the stencil extracted "
+        "from its IR",
+    ),
+    FindingSpec(
+        "SCH001", "error", "schedule-legality",
+        "a version's schedule orders some consumer before its producer, "
+        "violating a value dependence",
+    ),
+    FindingSpec(
+        "SCH002", "error", "schedule-legality",
+        "a schedule mis-enumerates the iteration-space graph (missing, "
+        "duplicated, or out-of-box points)",
+    ),
+    FindingSpec(
+        "UOV001", "error", "uov-certificate",
+        "an OV mapping's occupancy vector is not universal; the payload "
+        "carries the failing stencil vector and, when a counterexample "
+        "schedule was built, the grown replay bounds",
+    ),
+    FindingSpec(
+        "SYM001", "error", "uov-symbolic-certificate",
+        "the symbolic certifier refuted the occupancy vector for every "
+        "box size; the payload carries the witness sizes at which the "
+        "violation first fits",
+    ),
+    FindingSpec(
+        "SYM002", "error", "uov-symbolic-certificate",
+        "the symbolic verdict disagrees with the enumerative certify() "
+        "verdict — a decision-procedure bug, never acceptable",
+    ),
+    FindingSpec(
+        "SYM003", "info", "uov-symbolic-certificate",
+        "the subject is outside the affine model (opaque combine hook, "
+        "irregular bounds, engine budget) and degraded to the "
+        "enumerative path with a structured Degradation",
+    ),
+    FindingSpec(
+        "RACE001", "error", "storage-race",
+        "a mapping claimed schedule-independent reuses storage across "
+        "values whose live ranges can overlap under some legal schedule",
+    ),
+    FindingSpec(
+        "RACE002", "info", "storage-race",
+        "a schedule-dependent mapping (rolling buffer) has colliding "
+        "pairs unordered by dependences — the paper's storage/schedule "
+        "trade-off, not a defect",
+    ),
+    FindingSpec(
+        "RACE003", "error", "storage-race",
+        "a mapping is illegal even under the schedule it ships with",
+    ),
+    FindingSpec(
+        "STO001", "warning", "storage-accounting",
+        "a mapping's allocated size differs from the published storage "
+        "formula (warning when over-allocating, info when under)",
+    ),
+    FindingSpec(
+        "FUZ001", "error", "differential-fuzz",
+        "a sampled random legal schedule disagrees with a static verdict",
+    ),
+    FindingSpec(
+        "RES001", "warning", "pipeline lint stage",
+        "the pipeline's UOV search degraded (budget cut, crash) and "
+        "compiled with a certified fallback vector instead of the "
+        "optimum",
+    ),
+    FindingSpec(
+        "SPEC001", "error", "spec validation",
+        "a spec field is missing or ill-typed",
+    ),
+    FindingSpec(
+        "SPEC002", "error", "spec validation",
+        "bad distance/UOV arity, or a distance that is not "
+        "lexicographically positive",
+    ),
+    FindingSpec(
+        "SPEC003", "error", "spec validation",
+        "a loop bound is non-affine or mentions a loop index",
+    ),
+    FindingSpec(
+        "SPEC004", "error", "spec validation",
+        "a size symbol appears in the bounds without a default binding",
+    ),
+    FindingSpec(
+        "SPEC005", "error", "spec validation",
+        "a combine expression error (unknown kind, weight arity, "
+        "unparseable expression)",
+    ),
+    FindingSpec(
+        "SPEC006", "error", "spec validation",
+        "an input rule error (unknown rule, bad parameter)",
+    ),
+    FindingSpec(
+        "SPEC007", "error", "spec validation",
+        "an unknown mapping or schedule directive",
+    ),
+    FindingSpec(
+        "SPEC008", "error", "spec validation",
+        "unusable size bindings (non-positive extent, empty iteration "
+        "space)",
+    ),
+)
+
+_REGISTRY_BY_CODE = {spec.code: spec for spec in FINDING_REGISTRY}
+
+
+def finding_spec(code: str) -> Optional[FindingSpec]:
+    """Look up the registry entry for a stable code (None if unknown)."""
+    return _REGISTRY_BY_CODE.get(code)
+
+
+def render_lint_codes_md() -> str:
+    """Render the registry as the ``docs/LINT_CODES.md`` document."""
+    lines = [
+        "# Lint finding codes",
+        "",
+        "Every diagnostic the analyses emit carries one of these stable",
+        "codes.  This file is **generated** from the finding registry in",
+        "`src/repro/analysis/diag.py` by `repro lint-codes`; edit the",
+        "registry, not this file (CI asserts the two agree via",
+        "`repro lint-codes --check`).",
+        "",
+        "| Code | Severity | Emitted by | Meaning |",
+        "| --- | --- | --- | --- |",
+    ]
+    for spec in FINDING_REGISTRY:
+        meaning = " ".join(spec.meaning.split())
+        lines.append(
+            f"| `{spec.code}` | {spec.severity} | {spec.emitter} "
+            f"| {meaning} |"
+        )
+    lines.append("")
+    return "\n".join(lines)

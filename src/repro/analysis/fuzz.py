@@ -40,7 +40,13 @@ from repro.obs.metrics import get_metrics
 from repro.schedule.random_legal import sample_legal_orders
 from repro.util.polyhedron import Polytope
 
-__all__ = ["FuzzReport", "differential_fuzz_uov", "differential_fuzz_mapping"]
+__all__ = [
+    "FuzzReport",
+    "differential_fuzz_uov",
+    "differential_fuzz_mapping",
+    "differential_fuzz_symbolic",
+    "random_stencil",
+]
 
 
 @dataclass(frozen=True)
@@ -187,5 +193,137 @@ def differential_fuzz_mapping(
             seed,
             tuple(disagreements),
             dynamic_violations=hits,
+        )
+    )
+
+
+# -- symbolic vs enumerative --------------------------------------------------
+
+
+def random_stencil(
+    rng, dim: int = 2, max_vectors: int = 4, span: int = 3
+) -> Stencil:
+    """A random valid stencil: lex-positive, deduplicated vectors.
+
+    Shared by the differential gate below and the Hypothesis-adjacent
+    property tests, so every harness draws from the same distribution.
+    """
+    vectors: set[tuple[int, ...]] = set()
+    n = rng.randint(1, max_vectors)
+    attempts = 0
+    while len(vectors) < n and attempts < 64:
+        attempts += 1
+        v = tuple(rng.randint(-span, span) for _ in range(dim))
+        lead = next((c for c in v if c != 0), 0)
+        if lead > 0:
+            vectors.add(v)
+    if not vectors:
+        vectors.add((1,) + (0,) * (dim - 1))
+    return Stencil(sorted(vectors))
+
+
+def differential_fuzz_symbolic(
+    trials: int = 25,
+    seed: int = 0,
+    dim: int = 2,
+    sizes: Sequence[int] = (3, 5, 7),
+) -> FuzzReport:
+    """Cross-check the symbolic certifier against enumerative ground truth.
+
+    Random stencils and candidate OVs (universal and broken alike) are
+    decided both ways; the verdicts must agree, and for every rejection
+    the symbolic violation-box analysis must find witness sizes at which
+    the enumerative counterexample replays.  ``sizes`` are deliberately
+    odd/non-power-of-two box extents the parametric claim is spot-checked
+    against (a symbolic "universal" must certify at each).
+    """
+    import random
+
+    from repro.analysis.symcert import (
+        SymbolicBounds,
+        SymbolicCertificate,
+        symbolic_certify,
+    )
+    from repro.ir.affine import AffineExpr
+    from repro.util.fm import FMBudgetExceeded
+
+    rng = random.Random(seed)
+    disagreements: list[str] = []
+    checked = 0
+    for trial in range(trials):
+        stencil = random_stencil(rng, dim=dim)
+        if rng.random() < 0.5:
+            ov = stencil.initial_uov
+        else:
+            ov = tuple(rng.randint(-2, 2) for _ in range(dim))
+            if all(c == 0 for c in ov):
+                ov = stencil.vectors[0]
+        params = tuple(f"N{k}" for k in range(dim))
+        bounds = SymbolicBounds(
+            indices=tuple(f"i{k}" for k in range(dim)),
+            bounds=tuple(
+                (AffineExpr.constant(0), AffineExpr.parse(p)) for p in params
+            ),
+            params=params,
+        )
+        try:
+            symbolic = symbolic_certify(ov, stencil, bounds=bounds)
+        except FMBudgetExceeded:
+            continue  # budget exhaustion is a degradation, not a verdict
+        enumerative = certify(ov, stencil)
+        checked += 1
+        symbolic_safe = isinstance(symbolic, SymbolicCertificate)
+        enumerative_safe = isinstance(enumerative, UOVCertificate)
+        subject = f"trial#{trial} ov={ov} stencil={list(stencil.vectors)}"
+        if symbolic_safe != enumerative_safe:
+            disagreements.append(
+                f"{subject}: symbolic says "
+                f"{'universal' if symbolic_safe else 'rejected'}, "
+                f"enumerative says "
+                f"{'universal' if enumerative_safe else 'rejected'}"
+            )
+            continue
+        if symbolic_safe:
+            if not symbolic.verify():
+                disagreements.append(
+                    f"{subject}: symbolic certificate fails verify()"
+                )
+            # The parametric claim, spot-checked dynamically at odd
+            # concrete sizes: the OV mapping must survive sampled legal
+            # schedules over each box.
+            for extent in sizes:
+                box = tuple((0, extent - 1) for _ in range(dim))
+                mapping = ov_mapping_for(
+                    ov, Polytope.from_loop_bounds(box)
+                )
+                for k, order in enumerate(
+                    sample_legal_orders(stencil, box, 3, seed + trial)
+                ):
+                    violation = find_mapping_violation(
+                        mapping, stencil, order
+                    )
+                    if violation is not None:
+                        disagreements.append(
+                            f"{subject}: parametric certificate violated "
+                            f"dynamically at extent {extent}, schedule "
+                            f"#{k}: {violation}"
+                        )
+        else:
+            if (
+                symbolic.enumerative is not None
+                and not symbolic.confirmed
+                and symbolic.enumerative.replayable
+            ):
+                disagreements.append(
+                    f"{subject}: rejection's replay fragment did not "
+                    f"exhibit a clobber"
+                )
+    return _record(
+        FuzzReport(
+            subject=f"symbolic-vs-enumerative dim={dim} trials={trials}",
+            verdict="universal" if not disagreements else "rejected",
+            samples=checked,
+            seed=seed,
+            disagreements=tuple(disagreements),
         )
     )

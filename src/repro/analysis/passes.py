@@ -19,12 +19,19 @@ pass                   codes    meaning
 ``schedule-legality``  SCH001   a version's schedule breaks a dependence
                        SCH002   a schedule mis-enumerates the ISG
 ``uov-certificate``    UOV001   an OV mapping's vector is not universal
+``uov-symbolic-``      SYM001   symbolically refuted for every box size
+``certificate``        SYM002   symbolic vs enumerative disagreement
+                       SYM003   degraded to the enumerative path (info)
 ``storage-race``       RACE001  schedule-independent mapping has a race
                        RACE002  schedule-dependent mapping's expected races
                        RACE003  mapping illegal even under its own schedule
 ``storage-accounting`` STO001   allocated size differs from the table formula
 ``differential-fuzz``  FUZ001   static and dynamic verdicts disagree
 =====================  =======  ==============================================
+
+The full code catalogue (severity, emitter, meaning) lives in the
+finding registry of :mod:`repro.analysis.diag`, rendered to
+``docs/LINT_CODES.md`` by ``repro lint-codes``.
 
 ``RACE002`` is informational by design: a rolling buffer *is* racy under
 schedules it was never built for — that is the paper's storage/schedule
@@ -80,6 +87,9 @@ class LintTarget:
     stencil: Stencil
     fuzz: int = 0
     seed: int = 0
+    #: Run the symbolic (size-parametric) certifier alongside the
+    #: enumerative one (``repro lint --symbolic``).
+    symbolic: bool = False
 
     def subject(self, version_key: Optional[str] = None) -> str:
         return self.name if version_key is None else f"{self.name}/{version_key}"
@@ -235,6 +245,96 @@ def _pass_uov_certificate(target: LintTarget, diag: Diagnostics) -> None:
                 ),
                 ov=list(ov),
                 failing_vector=list(result.failing_vector),
+                # The replay box the counterexample builder grew to —
+                # JSON consumers reproduce the clobber from the payload
+                # alone, without re-deriving the bounds.
+                bounds=(
+                    [list(b) for b in result.bounds]
+                    if result.bounds is not None
+                    else None
+                ),
+                replayable=result.replayable,
+                writer=list(result.writer) if result.writer else None,
+                victim=list(result.victim) if result.victim else None,
+            )
+
+
+@lint_pass(
+    "uov-symbolic-certificate",
+    "certify every OV mapping's vector for ALL box sizes symbolically",
+    default=False,
+)
+def _pass_uov_symbolic(target: LintTarget, diag: Diagnostics) -> None:
+    """Size-parametric certification (``repro lint --symbolic``).
+
+    Every OV mapping's vector is decided for *every* box size by the
+    parametric FM engine; the enumerative ``certify()`` verdict rides
+    along inside each outcome as a built-in differential check, so a
+    symbolic/enumerative disagreement (SYM002) can never pass silently.
+    """
+    from repro.analysis.symcert import symbolic_certify_code
+
+    code = target.versions[next(iter(target.versions))].code
+    memo: dict[tuple[int, ...], object] = {}
+    for key, version in target.versions.items():
+        mapping = version.mapping(target.sizes)
+        if not _is_ov_mapping(mapping):
+            continue
+        ov = tuple(mapping.ov)
+        outcome = memo.get(ov)
+        if outcome is None:
+            outcome = memo[ov] = symbolic_certify_code(
+                code, ov, sizes=target.sizes
+            )
+        if outcome.verdict == "degraded":
+            d = outcome.degradation
+            diag.emit(
+                "SYM003",
+                Severity.INFO,
+                target.subject(key),
+                f"occupancy vector {ov} is outside the affine model "
+                f"({d.reason}); certified enumeratively at "
+                f"{dict(target.sizes)} instead",
+                reason=d.reason,
+                detail=d.detail,
+                fallback=d.fallback,
+            )
+            continue
+        if outcome.agreement is False:
+            diag.emit(
+                "SYM002",
+                Severity.ERROR,
+                target.subject(key),
+                f"symbolic verdict {outcome.verdict!r} for {ov} "
+                f"disagrees with the enumerative certifier — a decision-"
+                f"procedure bug",
+                ov=list(ov),
+                symbolic=outcome.verdict,
+            )
+            continue
+        if outcome.verdict == "rejected":
+            cx = outcome.counterexample
+            diag.emit(
+                "SYM001",
+                Severity.ERROR,
+                target.subject(key),
+                f"occupancy vector {ov} is not universal for ANY box "
+                f"size: ov - {cx.failing_vector} is outside the stencil "
+                f"cone"
+                + (
+                    f"; the violation first fits at sizes "
+                    f"{cx.witness_sizes}"
+                    if cx.witness_sizes
+                    else ""
+                ),
+                fix_hint=(
+                    f"the initial UOV {target.stencil.initial_uov} is "
+                    f"always safe"
+                ),
+                ov=list(ov),
+                failing_vector=list(cx.failing_vector),
+                witness_sizes=cx.witness_sizes,
+                confirmed=cx.confirmed,
             )
 
 
@@ -367,6 +467,7 @@ def build_target(
     sizes: Mapping[str, int],
     fuzz: int = 0,
     seed: int = 0,
+    symbolic: bool = False,
 ) -> LintTarget:
     """Instantiate one lint target from an arbitrary version family.
 
@@ -385,6 +486,7 @@ def build_target(
         stencil=code.stencil,
         fuzz=fuzz,
         seed=seed,
+        symbolic=symbolic,
     )
 
 
@@ -392,6 +494,7 @@ def build_targets(
     codes: Optional[Iterable[str]] = None,
     fuzz: int = 0,
     seed: int = 0,
+    symbolic: bool = False,
 ) -> list[LintTarget]:
     names = list(codes) if codes is not None else sorted(MAKERS)
     targets = []
@@ -405,18 +508,25 @@ def build_targets(
         if sizes is None:
             raise KeyError(f"no lint sizes registered for code {name!r}")
         targets.append(
-            build_target(name, versions, sizes, fuzz=fuzz, seed=seed)
+            build_target(
+                name, versions, sizes, fuzz=fuzz, seed=seed,
+                symbolic=symbolic,
+            )
         )
     return targets
 
 
 def select_passes(
-    passes: Optional[Iterable[str]] = None, fuzz: int = 0
+    passes: Optional[Iterable[str]] = None,
+    fuzz: int = 0,
+    symbolic: bool = False,
 ) -> list[LintPass]:
     """Resolve a pass selection; unknown names raise ``KeyError``."""
     registry = registered_passes()
     if passes is None:
         selected = [p for p in registry.values() if p.default]
+        if symbolic:
+            selected.append(registry["uov-symbolic-certificate"])
         if fuzz > 0:
             selected.append(registry["differential-fuzz"])
         return selected
@@ -438,7 +548,9 @@ def lint_target(
     used by both ``repro lint`` and the pipeline's lint stage."""
     if diag is None:
         diag = Diagnostics()
-    for lint in select_passes(passes, fuzz=target.fuzz):
+    for lint in select_passes(
+        passes, fuzz=target.fuzz, symbolic=target.symbolic
+    ):
         with obs.span("lint.pass", pass_name=lint.name, code=target.name):
             lint.run(target, diag)
     return diag
@@ -449,17 +561,21 @@ def run_lint(
     passes: Optional[Iterable[str]] = None,
     fuzz: int = 0,
     seed: int = 0,
+    symbolic: bool = False,
     diag: Optional[Diagnostics] = None,
 ) -> Diagnostics:
     """Run lint passes over the shipped corpus and collect findings.
 
-    ``passes=None`` runs every default pass, plus ``differential-fuzz``
-    when ``fuzz > 0``.  Unknown code or pass names raise ``KeyError``
-    before any analysis runs (the CLI maps that to exit code 2).
+    ``passes=None`` runs every default pass, plus
+    ``uov-symbolic-certificate`` when ``symbolic`` is set and
+    ``differential-fuzz`` when ``fuzz > 0``.  Unknown code or pass names
+    raise ``KeyError`` before any analysis runs (the CLI maps that to
+    exit code 2).
     """
     if diag is None:
         diag = Diagnostics()
-    select_passes(passes, fuzz=fuzz)  # fail fast on unknown pass names
-    for target in build_targets(codes, fuzz=fuzz, seed=seed):
+    # Fail fast on unknown pass names before any analysis runs.
+    select_passes(passes, fuzz=fuzz, symbolic=symbolic)
+    for target in build_targets(codes, fuzz=fuzz, seed=seed, symbolic=symbolic):
         lint_target(target, passes, diag)
     return diag

@@ -450,7 +450,11 @@ def _cmd_lint(args) -> int:
         passes = [p.strip() for p in args.passes.split(",") if p.strip()]
     try:
         diag = run_lint(
-            codes=codes, passes=passes, fuzz=args.fuzz, seed=args.seed
+            codes=codes,
+            passes=passes,
+            fuzz=args.fuzz,
+            seed=args.seed,
+            symbolic=args.symbolic,
         )
     except KeyError as exc:
         print(f"lint: {exc.args[0]}", file=sys.stderr)
@@ -470,6 +474,160 @@ def _cmd_lint(args) -> int:
             print(f"lint: cannot write {args.out}: {exc}", file=sys.stderr)
             return 2
     return diag.exit_code(Severity.parse(args.fail_on))
+
+
+def _cmd_certify(args) -> int:
+    """Size-parametric UOV certification of one subject.
+
+    Exit 0 — universal (symbolically, or enumeratively after a graceful
+    degradation); exit 1 — rejected; exit 2 — usage error.
+    """
+    import json as _json
+
+    from repro.analysis.certify import UOVCertificate
+    from repro.analysis.symcert import (
+        symbolic_certify,
+        symbolic_certify_code,
+        symbolic_certify_spec,
+    )
+
+    subjects = sum(
+        1 for s in (args.code, args.spec, args.stencil) if s is not None
+    )
+    if subjects != 1:
+        print(
+            "certify: exactly one of --code, --spec, --stencil is required",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        if args.code is not None:
+            from repro.codes import get_versions
+
+            versions = get_versions(args.code)
+            code = versions[next(iter(versions))].code
+            ov = (
+                tuple(int(c) for c in args.ov.split(","))
+                if args.ov
+                else code.stencil.initial_uov
+            )
+            outcome = symbolic_certify_code(
+                code, ov, sizes=_parse_sizes(args.sizes) if args.sizes else None
+            )
+        elif args.spec is not None:
+            from repro.frontend.spec import SpecError, validate_spec
+
+            try:
+                with open(args.spec) as fh:
+                    spec = validate_spec(_json.load(fh))
+            except (OSError, ValueError, SpecError) as exc:
+                print(f"certify: {exc}", file=sys.stderr)
+                return 2
+            ov = (
+                tuple(int(c) for c in args.ov.split(","))
+                if args.ov
+                else None
+            )
+            outcome = symbolic_certify_spec(spec, ov)
+        else:
+            if not args.ov:
+                print(
+                    "certify: --ov is required with --stencil",
+                    file=sys.stderr,
+                )
+                return 2
+            stencil = Stencil(_parse_vectors(args.stencil))
+            ov = tuple(int(c) for c in args.ov.split(","))
+            result = symbolic_certify(ov, stencil)
+            from repro.analysis.symcert import (
+                SymbolicCertificate,
+                SymbolicOutcome,
+            )
+
+            outcome = SymbolicOutcome(
+                verdict=(
+                    "universal"
+                    if isinstance(result, SymbolicCertificate)
+                    else "rejected"
+                ),
+                subject="<stencil>",
+                certificate=(
+                    result
+                    if isinstance(result, SymbolicCertificate)
+                    else None
+                ),
+                counterexample=(
+                    None
+                    if isinstance(result, SymbolicCertificate)
+                    else result
+                ),
+                enumerative=(
+                    result.enumerative
+                    if not isinstance(result, SymbolicCertificate)
+                    else None
+                ),
+            )
+    except (KeyError, ValueError) as exc:
+        print(f"certify: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(_json.dumps(outcome.to_json(), indent=2))
+    else:
+        if outcome.verdict == "universal":
+            print(outcome.certificate)
+        elif outcome.verdict == "rejected":
+            print(outcome.counterexample)
+        else:
+            d = outcome.degradation
+            print(
+                f"DEGRADED: {d.reason} ({d.detail}); enumerative verdict "
+                f"follows"
+            )
+            print(outcome.enumerative)
+        if outcome.agreement is not None:
+            print(
+                "enumerative cross-check: "
+                + ("agrees" if outcome.agreement else "DISAGREES")
+            )
+    if outcome.verdict == "degraded":
+        return 0 if isinstance(outcome.enumerative, UOVCertificate) else 1
+    if outcome.agreement is False:
+        return 1
+    return 0 if outcome.verdict == "universal" else 1
+
+
+def _cmd_lint_codes(args) -> int:
+    """Render (or freshness-check) the generated lint-code catalogue."""
+    from repro.analysis.diag import render_lint_codes_md
+
+    rendered = render_lint_codes_md()
+    if args.check:
+        try:
+            with open(args.path) as fh:
+                on_disk = fh.read()
+        except OSError as exc:
+            print(f"lint-codes: cannot read {args.path}: {exc}", file=sys.stderr)
+            return 1
+        if on_disk != rendered:
+            print(
+                f"lint-codes: {args.path} is stale; regenerate with "
+                f"`repro lint-codes --out {args.path}`",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"lint-codes: {args.path} is up to date")
+        return 0
+    if args.out:
+        try:
+            with open(args.out, "w") as fh:
+                fh.write(rendered)
+        except OSError as exc:
+            print(f"lint-codes: cannot write {args.out}: {exc}", file=sys.stderr)
+            return 2
+        print(f"wrote {args.out}")
+        return 0
+    print(rendered, end="")
+    return 0
 
 
 def _cmd_experiments(args) -> int:
@@ -826,7 +984,75 @@ def main(argv=None) -> int:
         "legal schedules (default 0: off)",
     )
     p_lint.add_argument("--seed", type=int, default=0)
+    p_lint.add_argument(
+        "--symbolic",
+        action="store_true",
+        help="also run the size-parametric symbolic certifier "
+        "(uov-symbolic-certificate pass): OV verdicts proved for ALL "
+        "box sizes, cross-checked against the enumerative certifier",
+    )
     p_lint.set_defaults(func=_cmd_lint)
+
+    p_certify = sub.add_parser(
+        "certify",
+        help="size-parametric UOV certification of a stencil, code, or spec",
+        parents=[obs_flags],
+    )
+    p_certify.add_argument(
+        "--stencil",
+        default=None,
+        help='dependence vectors "1,0;0,1;1,1" (requires --ov)',
+    )
+    p_certify.add_argument(
+        "--code",
+        default=None,
+        help="a registered benchmark code (default OV: its initial UOV)",
+    )
+    p_certify.add_argument(
+        "--spec",
+        default=None,
+        metavar="FILE",
+        help="a stencil spec JSON file (default OV: its 'uov' directive "
+        "or the initial UOV)",
+    )
+    p_certify.add_argument(
+        "--ov",
+        default=None,
+        help='candidate occupancy vector "1,1"',
+    )
+    p_certify.add_argument(
+        "--sizes",
+        default=None,
+        help='sizes "T=5,L=9" to cross-check the affine bounds model at '
+        "(--code only)",
+    )
+    p_certify.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+    p_certify.set_defaults(func=_cmd_certify)
+
+    p_codes = sub.add_parser(
+        "lint-codes",
+        help="render the generated lint finding-code catalogue",
+        parents=[obs_flags],
+    )
+    p_codes.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="write the markdown to FILE instead of stdout",
+    )
+    p_codes.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 unless the on-disk catalogue matches the registry",
+    )
+    p_codes.add_argument(
+        "--path",
+        default="docs/LINT_CODES.md",
+        help="catalogue path for --check (default docs/LINT_CODES.md)",
+    )
+    p_codes.set_defaults(func=_cmd_lint_codes)
 
     p_exp = sub.add_parser(
         "experiments",

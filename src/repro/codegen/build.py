@@ -41,18 +41,27 @@ from typing import Optional
 
 __all__ = [
     "CC_ENV",
+    "SANITIZE_ENV",
     "CompileError",
     "Toolchain",
     "compile_so",
     "default_so_cache_dir",
     "discover_toolchain",
     "reset_toolchain_cache",
+    "sanitize_flags",
     "toolchain_fingerprint",
 ]
 
 #: Environment override for the compiler: a path/name to use, or
 #: ``none`` / empty to disable native compilation entirely.
 CC_ENV = "REPRO_CC"
+
+#: Comma-separated sanitizers to build native objects with
+#: (``address``, ``undefined``).  The flags become part of the
+#: :class:`Toolchain` flag set and therefore of its fingerprint, so
+#: sanitized objects get their own ``.so`` cache slot — flipping the
+#: variable never reuses (or poisons) unsanitized builds.
+SANITIZE_ENV = "REPRO_CC_SANITIZE"
 
 #: Environment override for the shared-object cache directory.
 SO_CACHE_ENV = "REPRO_SO_CACHE"
@@ -69,9 +78,46 @@ ARCH_FLAG = "-march=native"
 #: Seconds before a wedged compiler invocation is abandoned.
 COMPILE_TIMEOUT_S = 120.0
 
+#: Recognised ``REPRO_CC_SANITIZE`` values and the flags each adds.
+#: ``-fno-sanitize-recover`` makes UBSan findings fatal (a silent
+#: diagnostic would let CI pass on undefined behavior); ASan aborts by
+#: default.  ``-g -fno-omit-frame-pointer`` (added once, below) keeps
+#: the reports symbolised and stack-accurate.
+SANITIZERS: dict[str, tuple[str, ...]] = {
+    "address": ("-fsanitize=address",),
+    "undefined": (
+        "-fsanitize=undefined",
+        "-fno-sanitize-recover=undefined",
+    ),
+}
+
 
 class CompileError(RuntimeError):
     """A compiler invocation failed (non-zero exit, timeout, missing cc)."""
+
+
+def sanitize_flags() -> tuple[str, ...]:
+    """Flags requested via ``REPRO_CC_SANITIZE`` (empty when unset).
+
+    An unknown sanitizer name raises :class:`CompileError` immediately:
+    a typo silently building unsanitized objects would defeat the CI leg
+    that exists to catch memory bugs.
+    """
+    raw = os.environ.get(SANITIZE_ENV, "").strip()
+    if not raw:
+        return ()
+    flags: list[str] = ["-g", "-fno-omit-frame-pointer"]
+    for name in raw.split(","):
+        name = name.strip().lower()
+        if not name:
+            continue
+        if name not in SANITIZERS:
+            raise CompileError(
+                f"unknown sanitizer {name!r} in {SANITIZE_ENV}; one of "
+                f"{sorted(SANITIZERS)}"
+            )
+        flags.extend(SANITIZERS[name])
+    return tuple(dict.fromkeys(flags))
 
 
 @dataclass(frozen=True)
@@ -147,9 +193,10 @@ def discover_toolchain() -> Optional[Toolchain]:
         if probe.returncode != 0:
             continue
         version = probe.stdout.strip() or probe.stderr.strip()
-        flags = BASE_FLAGS + (ARCH_FLAG,)
+        san = sanitize_flags()
+        flags = BASE_FLAGS + (ARCH_FLAG,) + san
         if not _accepts_flags(path, flags):
-            if _accepts_flags(path, BASE_FLAGS):
+            if _accepts_flags(path, BASE_FLAGS + san):
                 obs.warn_once(
                     ("native-no-march", path),
                     f"{name}: {ARCH_FLAG} rejected; compiling without "
@@ -158,8 +205,20 @@ def discover_toolchain() -> Optional[Toolchain]:
                     counter="native.no_march_native",
                     cc=path,
                 )
-                flags = BASE_FLAGS
+                flags = BASE_FLAGS + san
             else:
+                # The sanitizer request is never dropped silently: a
+                # compiler that cannot honour it is not a usable
+                # toolchain for this configuration.
+                if san:
+                    obs.warn_once(
+                        ("native-no-sanitize", path),
+                        f"{name}: sanitizer flags {list(san)} rejected; "
+                        "skipping this compiler",
+                        event="native.no_sanitize",
+                        counter="native.no_sanitize",
+                        cc=path,
+                    )
                 continue
         tc = Toolchain(cc=path, version=version, flags=flags)
         obs.event("native.toolchain", cc=path, fingerprint=tc.fingerprint)

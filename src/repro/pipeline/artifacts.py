@@ -75,6 +75,14 @@ class UOVArtifact(Artifact):
     storage: Optional[int]
     nodes_visited: int
     degradation: Optional[dict] = None
+    #: Size-parametric proof object from :mod:`repro.analysis.symcert`
+    #: (a ``SymbolicCertificate`` in JSON form — ``verdict`` is then
+    #: ``"universal"`` and holds for every box size), or a structured
+    #: degradation record when the subject is outside the affine model.
+    #: Cached with the artifact under the engine-fingerprint key, so a
+    #: warm cache *proves* (replays the stored proof) instead of
+    #: recomputing.
+    certificate: Optional[dict] = None
 
 
 @dataclass(frozen=True)

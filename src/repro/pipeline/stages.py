@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Optional
 
 from repro.resilience.faults import maybe_fault
 
@@ -89,13 +89,52 @@ def _dependence_run(ctx) -> DependenceArtifact:
 
 
 def _uov_payload(ctx) -> dict:
+    from repro.analysis.symcert import SYMCERT_ENGINE_VERSION
+
     # The budget shapes the artifact (a tighter budget may yield a
     # different, degraded UOV), so it must be part of the cache key.
+    # The symbolic-prover fingerprint is part of the key too: the cached
+    # artifact carries the size-parametric proof object, and a changed
+    # prover must invalidate stale proofs rather than trust them.
     budget = ctx.search_budget
     return {
         "uov": list(ctx.spec.uov) if ctx.spec.uov is not None else None,
         "budget": budget.to_json() if budget is not None else None,
+        "symcert": SYMCERT_ENGINE_VERSION,
     }
+
+
+def _symbolic_certificate(ctx, ov) -> Optional[dict]:
+    """Attach the size-parametric proof (or its degradation record).
+
+    The enumerative gate has already vouched for ``ov`` at the compile
+    sizes when this runs, so a symbolic *rejection* here is a
+    symbolic/enumerative disagreement — a decision-procedure bug the
+    compile must not paper over.  Everything else (opaque semantics,
+    irregular bounds, engine budget) degrades to a structured record:
+    the compile stays correct, merely without a parametric proof.
+    """
+    from repro.analysis.symcert import symbolic_certify_code
+    from repro.util.fm import FMBudgetExceeded
+
+    try:
+        outcome = symbolic_certify_code(ctx.code, ov, sizes=ctx.sizes)
+    except (FMBudgetExceeded, ValueError) as exc:
+        return {
+            "verdict": "degraded",
+            "reason": "symcert-error",
+            "detail": str(exc),
+        }
+    if outcome.verdict == "universal":
+        return outcome.certificate.to_json()
+    if outcome.verdict == "degraded":
+        return {"verdict": "degraded", **outcome.degradation.to_json()}
+    raise StageError(
+        "uov-search",
+        f"symbolic certifier rejected {list(ov)} after the enumerative "
+        f"certifier accepted it — symbolic/enumerative disagreement "
+        f"(SYM002)",
+    )
 
 
 def _uov_run(ctx) -> UOVArtifact:
@@ -120,6 +159,7 @@ def _uov_run(ctx) -> UOVArtifact:
             optimal=False,
             storage=None,
             nodes_visited=0,
+            certificate=_symbolic_certificate(ctx, ov),
         )
     result = find_uov_with_fallback(
         ctx.code.stencil, budget=ctx.search_budget
@@ -136,6 +176,7 @@ def _uov_run(ctx) -> UOVArtifact:
         storage=int(result.storage) if result.storage is not None else None,
         nodes_visited=int(result.nodes_visited),
         degradation=degradation.to_json() if degradation is not None else None,
+        certificate=_symbolic_certificate(ctx, tuple(result.ov)),
     )
 
 

@@ -92,3 +92,44 @@ class TestDiagnostics:
     def test_text_render_ends_with_summary(self):
         text = self.make().render_text()
         assert text.splitlines()[-1] == "1 warning, 1 info (2 findings)"
+
+
+class TestFindingRegistry:
+    def test_registry_covers_every_emitted_code(self):
+        """Any "CODE" string literal emitted anywhere under src/ must have
+        a registry entry — docs/LINT_CODES.md is generated from it."""
+        import pathlib
+        import re
+
+        from repro.analysis.diag import FINDING_REGISTRY, finding_spec
+
+        root = pathlib.Path(__file__).resolve().parents[2] / "src"
+        pattern = re.compile(r'"((?:APP|SCH|UOV|SYM|RACE|STO|FUZ|RES|SPEC)\d{3})"')
+        emitted = set()
+        for path in root.rglob("*.py"):
+            emitted.update(pattern.findall(path.read_text()))
+        registered = {spec.code for spec in FINDING_REGISTRY}
+        assert emitted <= registered, emitted - registered
+        for code in sorted(registered):
+            assert finding_spec(code).code == code
+
+    def test_registry_codes_unique_and_sorted_by_family(self):
+        from repro.analysis.diag import FINDING_REGISTRY
+
+        codes = [spec.code for spec in FINDING_REGISTRY]
+        assert len(codes) == len(set(codes))
+
+    def test_unknown_code_is_none(self):
+        from repro.analysis.diag import finding_spec
+
+        assert finding_spec("NOPE999") is None
+
+    def test_lint_codes_doc_is_current(self):
+        """docs/LINT_CODES.md must match `repro lint-codes` output — CI
+        asserts this with `repro lint-codes --check`."""
+        import pathlib
+
+        from repro.analysis.diag import render_lint_codes_md
+
+        doc = pathlib.Path(__file__).resolve().parents[2] / "docs" / "LINT_CODES.md"
+        assert doc.read_text() == render_lint_codes_md()

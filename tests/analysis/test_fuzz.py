@@ -86,3 +86,31 @@ class TestMappingSide:
         assert (a.verdict, a.disagreements, a.dynamic_violations) == (
             b.verdict, b.disagreements, b.dynamic_violations
         )
+
+
+class TestSymbolicSide:
+    def test_symbolic_fuzz_agrees_with_enumerative(self):
+        from repro.analysis.fuzz import differential_fuzz_symbolic
+
+        report = differential_fuzz_symbolic(trials=15, seed=7)
+        assert report.ok, report.disagreements
+        assert report.verdict == "universal"
+        assert 0 < report.samples <= 15
+
+    def test_symbolic_fuzz_3d(self):
+        from repro.analysis.fuzz import differential_fuzz_symbolic
+
+        report = differential_fuzz_symbolic(trials=6, seed=3, dim=3)
+        assert report.ok, report.disagreements
+
+    def test_random_stencil_vectors_are_lex_positive(self):
+        import random
+
+        from repro.analysis.fuzz import random_stencil
+
+        rng = random.Random(11)
+        for _ in range(50):
+            stencil = random_stencil(rng, dim=2)
+            assert stencil.vectors
+            for v in stencil.vectors:
+                assert v > (0, 0) or (v[0] == 0 and v[1] > 0) or v[0] > 0

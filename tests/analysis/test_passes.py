@@ -16,6 +16,7 @@ EXPECTED_PASSES = {
     "applicability",
     "schedule-legality",
     "uov-certificate",
+    "uov-symbolic-certificate",
     "storage-race",
     "storage-accounting",
     "differential-fuzz",
@@ -28,6 +29,9 @@ class TestRegistry:
 
     def test_fuzz_is_off_by_default(self):
         assert not registered_passes()["differential-fuzz"].default
+
+    def test_symbolic_is_off_by_default(self):
+        assert not registered_passes()["uov-symbolic-certificate"].default
 
     def test_every_code_has_lint_sizes(self):
         assert set(LINT_SIZES) == set(MAKERS)
@@ -100,3 +104,70 @@ class TestDriver:
         )
         assert after > before
         assert not any(f.code == "FUZ001" for f in diag)
+
+
+class TestSymbolicPass:
+    def test_symbolic_flag_enables_the_pass(self):
+        from repro.analysis.passes import select_passes
+
+        names = [p.name for p in select_passes(symbolic=True)]
+        assert "uov-symbolic-certificate" in names
+        assert "uov-symbolic-certificate" not in [
+            p.name for p in select_passes()
+        ]
+
+    def test_corpus_certifies_symbolically(self):
+        """Every shipped OV mapping is parametrically safe: no SYM
+        findings at all (not even degradations) across the corpus."""
+        diag = run_lint(symbolic=True, diag=Diagnostics(metrics=Metrics()))
+        assert not any(f.code.startswith("SYM") for f in diag)
+        assert diag.exit_code(Severity.ERROR) == 0
+
+    def test_bad_ov_emits_sym001(self):
+        """A non-universal OV smuggled into a version's mapping is caught
+        parametrically, with minimal witness sizes in the payload."""
+        import dataclasses
+
+        from repro.analysis.passes import build_target, lint_target
+        from repro.codes import get_versions
+
+        from repro.analysis.certify import ov_mapping_for
+        from repro.util.polyhedron import Polytope
+
+        versions = dict(get_versions("simple2d"))
+        good = versions["ov"]
+
+        def bad_factory(sizes):
+            isg = Polytope.from_loop_bounds(good.code.bounds(sizes))
+            return ov_mapping_for((0, 1), isg)
+
+        versions["ov"] = dataclasses.replace(
+            good, mapping_factory=bad_factory
+        )
+        target = build_target(
+            "simple2d", versions, LINT_SIZES["simple2d"]
+        )
+        diag = lint_target(
+            target,
+            passes=["uov-symbolic-certificate"],
+            diag=Diagnostics(metrics=Metrics()),
+        )
+        findings = [f for f in diag if f.code == "SYM001"]
+        assert len(findings) == 1
+        assert findings[0].data["witness_sizes"]
+        assert findings[0].data["confirmed"] is True
+
+        # The enumerative pass on the same target records the grown
+        # replay box in its payload, so a JSON consumer can reproduce
+        # the clobber without re-deriving the bounds.
+        diag = lint_target(
+            target,
+            passes=["uov-certificate"],
+            diag=Diagnostics(metrics=Metrics()),
+        )
+        (uov,) = [f for f in diag if f.code == "UOV001"]
+        assert uov.data["replayable"] is True
+        assert uov.data["bounds"] is not None
+        assert all(len(pair) == 2 for pair in uov.data["bounds"])
+        assert uov.data["writer"] is not None
+        assert uov.data["victim"] is not None

@@ -1,0 +1,76 @@
+"""REPRO_CC_SANITIZE: sanitizer flags, cache slots, failure modes."""
+
+import os
+
+import pytest
+
+from repro.codegen.build import (
+    SANITIZE_ENV,
+    CompileError,
+    discover_toolchain,
+    reset_toolchain_cache,
+    sanitize_flags,
+    toolchain_fingerprint,
+)
+
+
+@pytest.fixture
+def sanitize_env(monkeypatch):
+    """Each test picks its own REPRO_CC_SANITIZE; the toolchain probe
+    cache is reset around it so the env is actually consulted."""
+    monkeypatch.delenv(SANITIZE_ENV, raising=False)
+    reset_toolchain_cache()
+    yield monkeypatch
+    reset_toolchain_cache()
+
+
+class TestFlagParsing:
+    def test_unset_means_no_flags(self, sanitize_env):
+        assert sanitize_flags() == ()
+
+    def test_empty_means_no_flags(self, sanitize_env):
+        sanitize_env.setenv(SANITIZE_ENV, "")
+        assert sanitize_flags() == ()
+
+    def test_address(self, sanitize_env):
+        sanitize_env.setenv(SANITIZE_ENV, "address")
+        flags = sanitize_flags()
+        assert "-fsanitize=address" in flags
+        assert "-g" in flags and "-fno-omit-frame-pointer" in flags
+
+    def test_undefined(self, sanitize_env):
+        sanitize_env.setenv(SANITIZE_ENV, "undefined")
+        flags = sanitize_flags()
+        assert "-fsanitize=undefined" in flags
+        assert "-fno-sanitize-recover=undefined" in flags
+
+    def test_both_comma_separated(self, sanitize_env):
+        sanitize_env.setenv(SANITIZE_ENV, "address,undefined")
+        flags = sanitize_flags()
+        assert "-fsanitize=address" in flags
+        assert "-fsanitize=undefined" in flags
+
+    def test_unknown_sanitizer_raises(self, sanitize_env):
+        sanitize_env.setenv(SANITIZE_ENV, "addres")
+        with pytest.raises(CompileError, match="addres"):
+            sanitize_flags()
+
+
+class TestToolchainIntegration:
+    def test_sanitized_toolchain_carries_the_flags(self, sanitize_env):
+        sanitize_env.setenv(SANITIZE_ENV, "undefined")
+        tc = discover_toolchain()
+        if tc is None:
+            pytest.skip("no C toolchain in this environment")
+        assert "-fsanitize=undefined" in tc.flags
+
+    def test_fingerprint_gets_its_own_cache_slot(self, sanitize_env):
+        plain = toolchain_fingerprint()
+        reset_toolchain_cache()
+        sanitize_env.setenv(SANITIZE_ENV, "undefined")
+        sanitized = toolchain_fingerprint()
+        if discover_toolchain() is None:
+            pytest.skip("no C toolchain in this environment")
+        # Distinct fingerprints => sanitized .so objects can never be
+        # served from (or poison) the plain cache slot.
+        assert plain != sanitized

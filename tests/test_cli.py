@@ -362,3 +362,63 @@ class TestList:
     def test_list_unknown_registry(self, capsys):
         assert main(["list", "codez"]) == 2
         assert "unknown registry" in capsys.readouterr().err
+
+
+class TestCertify:
+    def test_code_certifies(self, capsys):
+        assert main(["certify", "--code", "stencil5"]) == 0
+        out = capsys.readouterr().out
+        assert "universal" in out
+        assert "agrees" in out
+
+    def test_stencil_with_bad_ov_exits_1(self, capsys):
+        assert (
+            main(["certify", "--stencil", "1,0;0,1;1,1", "--ov", "0,1"])
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "NOT universal" in out
+        assert "cross-check: agrees" in out
+
+    def test_spec_certifies(self, capsys):
+        assert main(["certify", "--spec", "examples/specs/heat7.json"]) == 0
+        assert "universal" in capsys.readouterr().out
+
+    def test_json_format(self, capsys):
+        import json as json_mod
+
+        assert main(["certify", "--code", "simple2d", "--format", "json"]) == 0
+        record = json_mod.loads(capsys.readouterr().out)
+        assert record["verdict"] == "universal"
+
+    def test_requires_exactly_one_subject(self, capsys):
+        assert main(["certify"]) == 2
+        assert (
+            main(["certify", "--code", "simple2d", "--spec", "x.json"]) == 2
+        )
+
+    def test_stencil_requires_ov(self, capsys):
+        assert main(["certify", "--stencil", "1,0;0,1"]) == 2
+
+
+class TestLintSymbolic:
+    def test_symbolic_corpus_is_clean(self, capsys):
+        assert main(["lint", "--symbolic"]) == 0
+        out = capsys.readouterr().out
+        assert "SYM001" not in out and "SYM002" not in out
+
+
+class TestLintCodes:
+    def test_check_passes_when_current(self, capsys):
+        assert main(["lint-codes", "--check"]) == 0
+
+    def test_check_fails_when_stale(self, tmp_path, capsys):
+        stale = tmp_path / "LINT_CODES.md"
+        stale.write_text("# stale\n")
+        assert main(["lint-codes", "--check", "--path", str(stale)]) == 1
+        assert "stale" in capsys.readouterr().err.lower()
+
+    def test_prints_the_table(self, capsys):
+        assert main(["lint-codes"]) == 0
+        out = capsys.readouterr().out
+        assert "SYM001" in out and "RACE002" in out

@@ -1,0 +1,260 @@
+"""The exact integer Fourier-Motzkin engine."""
+
+import random
+from fractions import Fraction
+from itertools import product
+
+import pytest
+
+from repro.util.fm import (
+    Constraint,
+    FMBudgetExceeded,
+    LinExpr,
+    System,
+    Trace,
+)
+
+
+def ineq(coeffs, const=0):
+    return Constraint(LinExpr.of(coeffs, const))
+
+
+def eq(coeffs, const=0):
+    return Constraint(LinExpr.of(coeffs, const), equality=True)
+
+
+class TestLinExpr:
+    def test_construction_drops_zero_coefficients(self):
+        e = LinExpr.of({"x": 0, "y": 2}, 3)
+        assert e.variables == ("y",)
+        assert e.coeff("x") == 0 and e.coeff("y") == 2
+
+    def test_substitute(self):
+        # 2x + y + 1 with x := y - 1  ->  3y - 1
+        e = LinExpr.of({"x": 2, "y": 1}, 1)
+        s = e.substitute("x", LinExpr.of({"y": 1}, -1))
+        assert s.coeff("y") == 3 and s.const == -1 and s.coeff("x") == 0
+
+    def test_evaluate(self):
+        e = LinExpr.of({"x": 2, "y": -3}, 5)
+        assert e.evaluate({"x": 1, "y": 2}) == 1
+
+    def test_str_round_trips_signs(self):
+        assert str(LinExpr.of({"x": -1, "y": 2}, -3)) == "- x + 2*y - 3"
+
+
+class TestEmptiness:
+    def test_trivial_nonempty(self):
+        assert not System([ineq({"x": 1})]).is_empty()
+
+    def test_contradictory_interval(self):
+        # x >= 3 and x <= 2
+        s = System([ineq({"x": 1}, -3), ineq({"x": -1}, 2)])
+        assert s.is_empty()
+
+    def test_gcd_infeasible_equality(self):
+        # 2x + 4y == 1 has no integer solution.
+        assert System([eq({"x": 2, "y": 4}, -1)]).is_empty()
+
+    def test_dark_shadow_parity_gap(self):
+        # 2x == y, 3 <= y <= 3 (odd): empty over the integers though the
+        # rational relaxation is not.
+        s = System(
+            [
+                eq({"x": 2, "y": -1}),
+                ineq({"y": 1}, -3),
+                ineq({"y": -1}, 3),
+            ]
+        )
+        assert s.is_empty()
+        assert s.sample_rational() is None or True  # rational may exist
+
+    def test_omega_gap_classic(self):
+        # Pugh's example family: 3x >= 2y, 2y >= 3x - 1 forces
+        # 3x - 2y in {0, 1}; adding parity constraints can empty it.
+        s = System(
+            [
+                ineq({"x": 3, "y": -2}),
+                ineq({"x": -3, "y": 2}, 1),
+                eq({"x": 1, "z": -2}),  # x even
+                eq({"y": 1, "w": -2}, -1),  # y odd
+                ineq({"x": 1}, 0),
+                ineq({"x": -1}, 4),
+            ]
+        )
+        # Ground truth by brute force over the bounded relaxation.
+        brute = any(
+            3 * x - 2 * y >= 0
+            and -3 * x + 2 * y + 1 >= 0
+            and x % 2 == 0
+            and (y - 1) % 2 == 0
+            and 0 <= x <= 4
+            for x in range(-8, 9)
+            for y in range(-8, 9)
+        )
+        assert s.is_empty() == (not brute)
+
+    def test_infeasible_trace_recorded(self):
+        trace = Trace()
+        System([ineq({}, -1)]).is_empty(trace)
+        assert any("op" in step for step in trace.to_json())
+
+
+class TestProjection:
+    def test_projection_contains_shadow(self):
+        # x == 4y - 4, 0 <= y <= 3  projected onto x.
+        s = System(
+            [
+                eq({"x": -1, "y": 4}, -4),
+                ineq({"y": 1}),
+                ineq({"y": -1}, 3),
+            ]
+        )
+        proj = s.project(["x"])
+        for y in range(0, 4):
+            assert proj.satisfies({"x": 4 * y - 4})
+
+    def test_dark_projection_points_lift(self):
+        s = System(
+            [
+                ineq({"x": 2, "y": -1}, 1),
+                ineq({"x": -2, "y": 1}, 5),
+                ineq({"y": 1}),
+                ineq({"y": -1}, 9),
+            ]
+        )
+        dark = s.project(["y"], dark=True)
+        for y in range(0, 10):
+            if dark.satisfies({"y": y}):
+                lifted = s._with_fixed("y", y)
+                assert not lifted.is_empty()
+
+    def test_parametric_projection(self):
+        # Cone coefficients bounded by a size parameter N.
+        s = System(
+            [
+                ineq({"a0": 1}),
+                ineq({"a1": 1}),
+                eq({"a0": 1, "a1": 2, "N": -1}, 1),
+                ineq({"N": 1}, -3),
+            ]
+        )
+        proj = s.project(["N"])
+        assert not proj.is_empty()
+        assert proj.satisfies({"N": 3})
+        assert not proj.satisfies({"N": 0})
+
+
+class TestSampling:
+    def test_sample_satisfies(self):
+        s = System(
+            [
+                ineq({"x": 1}, -2),
+                ineq({"x": -1}, 7),
+                eq({"x": -1, "y": 4}, -4),
+            ]
+        )
+        point = s.sample_point()
+        assert point is not None
+        assert s.satisfies(point)
+
+    def test_sample_prefers_small(self):
+        s = System([ineq({"x": 1}, -3)])
+        assert s.sample_point() == {"x": 3}
+
+    def test_sample_empty_returns_none(self):
+        assert System([ineq({}, -1)]).sample_point() is None
+
+    def test_sample_unbounded_below(self):
+        s = System([ineq({"x": -1}, -5)])  # x <= -5
+        point = s.sample_point()
+        assert point is not None and point["x"] <= -5
+
+    def test_rational_fallback(self):
+        # The fallback witness is rational: midpoints of the eliminated
+        # intervals, back-substituted — it must satisfy every constraint
+        # over the rationals.
+        s = System(
+            [
+                ineq({"x": 1, "y": 2}, -3),
+                ineq({"x": -1, "y": 1}, 10),
+                ineq({"y": -1}, 4),
+                ineq({"y": 1}),
+            ]
+        )
+        rational = s.sample_rational()
+        assert rational is not None
+        for con in s.constraints:
+            value = con.expr.evaluate_rational(
+                {v: rational.get(v, Fraction(0)) for v in con.expr.variables}
+            )
+            assert value >= 0
+
+    def test_rational_fallback_empty_system(self):
+        # Integer-tightened contradiction: x >= 1 (from 2x >= 1) and
+        # x <= 0 (from 2x <= 1) — the fallback reports emptiness too.
+        s = System([ineq({"x": 2}, -1), ineq({"x": -2}, 1)])
+        assert s.is_empty()
+        assert s.sample_rational() is None
+
+    def test_budget_ceiling_raises(self):
+        with pytest.raises(FMBudgetExceeded):
+            System([ineq({"x": 1}, k) for k in range(5000)])
+
+
+class TestDifferentialVsBruteForce:
+    """The engine against exhaustive enumeration on boxed random systems."""
+
+    SPAN = 4
+
+    def brute(self, system, names):
+        for values in product(range(-self.SPAN, self.SPAN + 1), repeat=len(names)):
+            if system.satisfies(dict(zip(names, values))):
+                return dict(zip(names, values))
+        return None
+
+    def random_system(self, rng, names):
+        constraints = []
+        for name in names:  # box the space so brute force is exhaustive
+            constraints.append(ineq({name: 1}, self.SPAN))
+            constraints.append(ineq({name: -1}, self.SPAN))
+        for _ in range(rng.randint(1, 4)):
+            coeffs = {
+                n: rng.randint(-3, 3)
+                for n in rng.sample(names, rng.randint(1, len(names)))
+            }
+            constraints.append(
+                Constraint(
+                    LinExpr.of(coeffs, rng.randint(-6, 6)),
+                    equality=rng.random() < 0.3,
+                )
+            )
+        return System(constraints)
+
+    def test_emptiness_and_samples_agree(self):
+        rng = random.Random(1998)
+        for trial in range(150):
+            names = ["x", "y", "z"][: rng.randint(1, 3)]
+            system = self.random_system(rng, names)
+            truth = self.brute(system, names)
+            assert system.is_empty() == (truth is None), (
+                f"trial {trial}: {system}"
+            )
+            point = system.sample_point()
+            if truth is None:
+                assert point is None
+            else:
+                assert point is not None and system.satisfies(point)
+
+    def test_projection_soundness(self):
+        rng = random.Random(4)
+        for trial in range(60):
+            names = ["x", "y", "z"][: rng.randint(2, 3)]
+            system = self.random_system(rng, names)
+            keep = names[:1]
+            proj = system.project(keep)
+            truth = self.brute(system, names)
+            if truth is not None:
+                assert proj.satisfies({k: truth[k] for k in keep}), (
+                    f"trial {trial}: projection lost {truth} of {system}"
+                )
