@@ -78,6 +78,15 @@ Subcommands:
 
       repro-uov perf-check --rounds 5 --threshold 0.5
 
+- ``store`` — inspect and maintain unified-store cache locations
+  (DESIGN.md §16): ``stats``, ``query`` (by op / engine fingerprint /
+  age / staleness), ``gc``, and ``migrate`` for pre-store cache dirs::
+
+      repro-uov store stats .pipeline-cache --format json
+      repro-uov store query .sim-cache --op simulate --stale
+      repro-uov store gc .sim-cache --keep-latest 5 --max-bytes 50000000
+      repro-uov store migrate .sim-cache
+
 Every subcommand accepts the observability flags ``--trace FILE``
 (structured JSONL tracing), ``--profile`` (print the metrics registry to
 stderr at exit; arms native kernel timers), ``--ledger FILE`` (append
@@ -682,16 +691,24 @@ def _cmd_stats(args) -> int:
     from repro.obs.ledger import LEDGER_ENV, render_stats
 
     path = args.file or os.environ.get(LEDGER_ENV)
-    if not path:
+    if not path and not args.store:
         print(
-            "stats: no ledger file (pass FILE or set REPRO_LEDGER)",
+            "stats: no ledger file (pass FILE or set REPRO_LEDGER) "
+            "and no --store",
             file=sys.stderr,
         )
         return 2
-    if not os.path.exists(path):
-        print(f"stats: no such ledger file: {path}", file=sys.stderr)
-        return 2
-    print(render_stats(path, top=args.top))
+    if path:
+        if not os.path.exists(path):
+            print(f"stats: no such ledger file: {path}", file=sys.stderr)
+            return 2
+        print(render_stats(path, top=args.top))
+    if args.store:
+        from repro.store.cli import render_store_stats
+
+        if path:
+            print()
+        print(render_store_stats(args.store))
     return 0
 
 
@@ -1141,6 +1158,13 @@ def main(argv=None) -> int:
         metavar="K",
         help="how many slowest executions to list (default 5)",
     )
+    p_stats.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="also summarise a unified store (cache dir or *.sqlite): "
+        "entry counts, bytes, per-op and stale-vs-current breakdown",
+    )
     p_stats.set_defaults(func=_cmd_stats)
 
     p_perf = sub.add_parser(
@@ -1184,6 +1208,10 @@ def main(argv=None) -> int:
         help="also write the per-probe results as JSON to FILE",
     )
     p_perf.set_defaults(func=_cmd_perf_check)
+
+    from repro.store.cli import add_store_parser
+
+    add_store_parser(sub, parents=[obs_flags])
 
     args = parser.parse_args(argv)
     if args.inject:

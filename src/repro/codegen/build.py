@@ -150,9 +150,10 @@ def reset_toolchain_cache() -> None:
     """Forget the memoised discovery (tests flip PATH / REPRO_CC)."""
     global _TOOLCHAIN
     _TOOLCHAIN = None
-    from repro.experiments import harness
+    # The engine fingerprint folds the toolchain in; forget it too.
+    from repro.store.fingerprint import reset_engine_fingerprint
 
-    harness._ENGINE_FINGERPRINT = None
+    reset_engine_fingerprint()
 
 
 def discover_toolchain() -> Optional[Toolchain]:
@@ -258,7 +259,9 @@ def toolchain_fingerprint() -> str:
 
     ``"none"`` when no compiler is available — so gaining or losing a
     toolchain also (correctly) invalidates cached pipeline artifacts,
-    whose execute stage records which engine actually ran.
+    whose execute stage records which engine actually ran.  (The
+    consolidated :mod:`repro.store.fingerprint` module delegates here;
+    this is the single implementation.)
     """
     tc = discover_toolchain()
     return tc.fingerprint if tc is not None else "none"
@@ -349,10 +352,44 @@ def compile_so(
         finally:
             tmp_so.unlink(missing_ok=True)
             c_path.unlink(missing_ok=True)
-    metrics.histogram("native.compile.wall_s").observe(
-        time.perf_counter() - compile_t0
-    )
+    compile_wall = time.perf_counter() - compile_t0
+    metrics.histogram("native.compile.wall_s").observe(compile_wall)
+    _record_compile_provenance(cache, key, so_path, toolchain, label,
+                               compile_wall)
     return so_path
+
+
+def _record_compile_provenance(
+    cache: Path,
+    key: str,
+    so_path: Path,
+    toolchain: Toolchain,
+    label: str,
+    wall_s: float,
+) -> None:
+    """A ``run-<key>.json`` meta entry beside each fresh object, so the
+    so-cache answers ``repro store query --op=compile-so`` with full
+    provenance (toolchain fingerprint, source label, wall time).  Best
+    effort: a failure here never fails the compile itself."""
+    try:
+        from repro.store.core import Store
+        from repro.store.provenance import Provenance
+
+        store = Store.open(cache, site="native.so-cache")
+        store.put(
+            f"run-{key}",
+            {"file": so_path.name, "nbytes": so_path.stat().st_size},
+            provenance=Provenance.now(
+                op="compile-so",
+                inputs={"source": key},
+                engine=toolchain.fingerprint,
+                wall_s=round(wall_s, 6),
+                extra={"label": label, "cc": toolchain.cc},
+            ),
+            label=label,
+        )
+    except OSError:
+        pass
 
 
 def quarantine_so(so_path: os.PathLike, problem: str) -> None:

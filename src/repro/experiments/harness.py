@@ -48,11 +48,13 @@ from repro import obs
 from repro.execution.simulator import SimResult
 from repro.machine.configs import MachineConfig
 from repro.machine.hierarchy import AccessStats
-from repro.resilience.cachesafe import atomic_write_json, read_verified_json
 from repro.resilience.checkpoint import CheckpointWriter, load_checkpoint
-from repro.resilience.faults import maybe_corrupt, maybe_fault
+from repro.resilience.faults import maybe_fault
 from repro.resilience.quarantine import QuarantineRecord
 from repro.resilience.retry import RetryPolicy
+from repro.store.core import Store
+from repro.store.fingerprint import content_hash, engine_fingerprint
+from repro.store.provenance import Provenance
 
 _LOG = logging.getLogger("repro.harness")
 
@@ -311,41 +313,10 @@ def _subprocess_worker(task: SimTask, conn) -> None:
         conn.close()
 
 
-_ENGINE_FINGERPRINT: str | None = None
-
-
-def engine_fingerprint() -> str:
-    """Digest of every source file the simulation result depends on.
-
-    Hashes all of :mod:`repro` except ``experiments/`` (which merely
-    arranges tasks and renders results), so editing a figure script keeps
-    the cache warm while touching the tracer, caches, cost model, codes,
-    schedules, or mappings invalidates every cached point.  The C
-    toolchain identity (compiler path + version banner + flags, or
-    ``"none"``) is folded in too: results can come from the native tier,
-    so upgrading gcc — or losing it — invalidates cached artifacts and
-    checkpoints instead of silently reusing objects built by a different
-    compiler.
-    """
-    global _ENGINE_FINGERPRINT
-    if _ENGINE_FINGERPRINT is None:
-        import repro
-        from repro.codegen.build import toolchain_fingerprint
-
-        root = Path(repro.__file__).parent
-        digest = hashlib.sha256()
-        for path in sorted(root.rglob("*.py")):
-            rel = path.relative_to(root)
-            if rel.parts[0] == "experiments":
-                continue
-            digest.update(str(rel).encode())
-            digest.update(b"\0")
-            digest.update(path.read_bytes())
-            digest.update(b"\0")
-        digest.update(b"toolchain:")
-        digest.update(toolchain_fingerprint().encode())
-        _ENGINE_FINGERPRINT = digest.hexdigest()[:16]
-    return _ENGINE_FINGERPRINT
+# ``engine_fingerprint`` lives in :mod:`repro.store.fingerprint` now
+# (DESIGN.md §16) and is re-exported here because experiment code and
+# tests import it from the harness; reset with
+# :func:`repro.store.fingerprint.reset_engine_fingerprint`.
 
 
 class SimulationRunner:
@@ -383,10 +354,13 @@ class SimulationRunner:
     ):
         self.jobs = max(1, int(jobs))
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
-        if self.cache_dir is not None:
-            # Fail fast on an unusable cache location, before any
-            # simulation time is spent.
-            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        # Fail fast on an unusable cache location, before any simulation
+        # time is spent (Store.open creates the directory / database).
+        self._store = (
+            Store.open(cache_dir, site="harness.cache")
+            if cache_dir is not None
+            else None
+        )
         self.timeout_s = timeout_s
         self.retry = RetryPolicy.of(retry)
         self.simulated = 0
@@ -416,10 +390,12 @@ class SimulationRunner:
             )
 
     def close(self) -> None:
-        """Flush and close the checkpoint sink (idempotent)."""
+        """Flush and close the checkpoint sink and store (idempotent)."""
         if self._checkpoint is not None:
             self._checkpoint.close()
             self._checkpoint = None
+        if self._store is not None:
+            self._store.close()
 
     def run(
         self,
@@ -694,7 +670,7 @@ class SimulationRunner:
     ) -> None:
         results[i] = result
         self.simulated += 1
-        self._cache_store(task, result)
+        self._cache_store(task, result, wall_s=wall_s)
         if self._checkpoint is not None:
             self._checkpoint.record_result(
                 self.task_key(task), task.label, asdict(result)
@@ -837,25 +813,35 @@ class SimulationRunner:
             return None
         return self._decode_result(body)
 
-    def _cache_path(self, task: SimTask) -> Path:
-        return self.cache_dir / f"{self.task_key(task)}.json"
-
     def _cache_load(self, task: SimTask) -> SimResult | None:
-        if self.cache_dir is None:
+        if self._store is None:
             return None
-        body = read_verified_json(self._cache_path(task), site="harness.cache")
+        body = self._store.get(self.task_key(task))
         if body is None:
             return None
         return self._decode_result(body)
 
-    def _cache_store(self, task: SimTask, result: SimResult) -> None:
-        if self.cache_dir is None:
+    def _cache_store(
+        self, task: SimTask, result: SimResult, wall_s: float | None = None
+    ) -> None:
+        if self._store is None:
             return
-        path = self._cache_path(task)
-        atomic_write_json(path, asdict(result))
-        # Fault-injection hook: the chaos suite corrupts the entry we
-        # just wrote and asserts the next read heals it.
-        maybe_corrupt("harness.cache.store", path, label=task.label)
+        # The store's directory backend fires the chaos suite's
+        # ``harness.cache.store`` corruption hook after the write and
+        # quarantines corrupt entries on the next read.
+        self._store.put(
+            self.task_key(task),
+            asdict(result),
+            provenance=Provenance.now(
+                op="simulate",
+                inputs={"task": content_hash(task_identity(task))},
+                engine=engine_fingerprint(),
+                machine=task.machine.name,
+                wall_s=round(wall_s, 6) if wall_s is not None else None,
+                extra={"label": task.label},
+            ),
+            label=task.label,
+        )
 
 
 _RUNNER = SimulationRunner()

@@ -48,8 +48,9 @@ __all__ = [
 LEDGER_ENV = "REPRO_LEDGER"
 
 #: Entry kinds the ledger understands (free-form kinds are stored too;
-#: these are the ones ``repro stats`` aggregates specially).
-KINDS = ("compile", "execute", "experiment", "perf-check")
+#: these are the ones ``repro stats`` aggregates specially).  ``store``
+#: entries record unified-store maintenance (migrate/gc) actions.
+KINDS = ("compile", "execute", "experiment", "perf-check", "store")
 
 
 class RunLedger:
@@ -192,11 +193,15 @@ def aggregate(entries: Iterable[dict]) -> dict:
     by_kind: dict[str, int] = {}
     engines: dict[str, dict] = {}
     executions: list[dict] = []
+    store_ops: dict[str, int] = {}
     compiles = cache_hits = 0
     first_ts = last_ts = None
     for e in entries:
         kind = e.get("kind", "?")
         by_kind[kind] = by_kind.get(kind, 0) + 1
+        if kind == "store":
+            action = str(e.get("action", "?"))
+            store_ops[action] = store_ops.get(action, 0) + 1
         ts = e.get("ts")
         if isinstance(ts, (int, float)):
             first_ts = ts if first_ts is None else min(first_ts, ts)
@@ -228,6 +233,7 @@ def aggregate(entries: Iterable[dict]) -> dict:
         "compile_cache_hit_rate": (
             cache_hits / compiles if compiles else None
         ),
+        "store_ops": store_ops,
         "span_s": (
             (last_ts - first_ts)
             if first_ts is not None and last_ts is not None
@@ -282,4 +288,9 @@ def render_stats(path: os.PathLike, top: int = 5) -> str:
             f"compiles: {agg['compiles']} "
             f"(so-cache hit rate {rate:.0%})"
         )
+    if agg.get("store_ops"):
+        lines.append("")
+        lines.append("store maintenance:")
+        for action, n in sorted(agg["store_ops"].items()):
+            lines.append(f"  {action:<12s} {n}")
     return "\n".join(lines)

@@ -1,11 +1,10 @@
 """Content-hash artifact cache with chained per-stage keys.
 
-Reuses the idiom of :mod:`repro.experiments.harness`: every key folds in
-:func:`~repro.experiments.harness.engine_fingerprint` (a digest of all
-``repro`` sources outside ``experiments/``), so editing any analysis,
-mapping, schedule, or execution source transparently invalidates every
-cached artifact, while results survive across processes as one JSON file
-per artifact written atomically via ``os.replace``.
+Every key folds in :func:`repro.store.fingerprint.engine_fingerprint`
+(a digest of all ``repro`` sources outside ``experiments/``), so editing
+any analysis, mapping, schedule, or execution source transparently
+invalidates every cached artifact, while results survive across
+processes in the unified store (:mod:`repro.store`).
 
 Keys are *chained*: each stage's key hashes its parent stage's key plus
 only the stage-local payload (the spec fields that stage actually reads).
@@ -13,9 +12,12 @@ Editing one directive therefore invalidates exactly the stages downstream
 of the first stage whose payload changed — the upstream prefix still
 hits.  The pipeline-caching tests assert both directions.
 
-On-disk entries are digest-wrapped and *self-healing* (DESIGN.md §12):
-a corrupt file is quarantined to ``.corrupt/`` and recomputed rather
-than deserialised or crashed on.
+Persistence is a :class:`repro.store.Store` over the historical
+one-JSON-file-per-artifact directory layout (``<stage>-<key>.json``,
+digest-wrapped, self-healing via ``.corrupt/`` quarantine — DESIGN.md
+§12/§16), so cache directories written before the unified store keep
+hitting.  Pass a ``*.sqlite`` path as ``cache_dir`` to share one
+database between concurrent processes instead.
 """
 
 from __future__ import annotations
@@ -26,26 +28,29 @@ import os
 from pathlib import Path
 from typing import Mapping, Optional, Union
 
-from repro.experiments.harness import engine_fingerprint
-from repro.resilience.cachesafe import atomic_write_json, read_verified_json
-from repro.resilience.faults import maybe_corrupt
+from repro.store.core import Store
+from repro.store.fingerprint import engine_fingerprint
+from repro.store.provenance import Provenance
 
 __all__ = ["ArtifactCache"]
 
 
 class ArtifactCache:
-    """Two-level artifact store: in-process dict over optional JSON files.
+    """Two-level artifact store: in-process dict over an optional Store.
 
     ``cache_dir=None`` keeps artifacts for the lifetime of the process
     only (enough for repeated ``compile_spec`` calls in one run); with a
-    directory, artifacts persist across processes.  ``hits`` and
-    ``misses`` count lookups, for tests and telemetry.
+    directory (or sqlite file), artifacts persist across processes.
+    ``hits`` and ``misses`` count lookups, for tests and telemetry.
     """
 
     def __init__(self, cache_dir: Optional[Union[str, os.PathLike]] = None):
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
-        if self.cache_dir is not None:
-            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self._store = (
+            Store.open(cache_dir, site="pipeline.cache", indent=2)
+            if cache_dir is not None
+            else None
+        )
         self._memory: dict[str, dict] = {}
         self.hits = 0
         self.misses = 0
@@ -62,18 +67,13 @@ class ArtifactCache:
         digest.update(json.dumps(payload, sort_keys=True).encode())
         return digest.hexdigest()[:24]
 
-    def _path(self, stage: str, key: str) -> Path:
-        return self.cache_dir / f"{stage}-{key}.json"
-
     def load(self, stage: str, key: str) -> Optional[dict]:
         record = self._memory.get(key)
-        if record is None and self.cache_dir is not None:
-            # Digest-verified read: a corrupt entry is quarantined to
-            # .corrupt/ and reported as a miss, so the stage reruns and
+        if record is None and self._store is not None:
+            # Digest-verified read through the store: a corrupt entry is
+            # quarantined and reported as a miss, so the stage reruns and
             # the cache heals itself.
-            record = read_verified_json(
-                self._path(stage, key), site="pipeline.cache"
-            )
+            record = self._store.get(f"{stage}-{key}")
             if record is not None:
                 self._memory[key] = record
         if record is None:
@@ -82,10 +82,26 @@ class ArtifactCache:
         self.hits += 1
         return record
 
-    def store(self, stage: str, key: str, artifact_json: dict) -> None:
+    def store(
+        self,
+        stage: str,
+        key: str,
+        artifact_json: dict,
+        provenance: Optional[Provenance] = None,
+    ) -> None:
         self._memory[key] = artifact_json
-        if self.cache_dir is None:
+        if self._store is None:
             return
-        path = self._path(stage, key)
-        atomic_write_json(path, artifact_json, indent=2)
-        maybe_corrupt("pipeline.cache.store", path, label=f"{stage}-{key}")
+        self._store.put(
+            f"{stage}-{key}",
+            artifact_json,
+            provenance=provenance,
+            label=f"{stage}-{key}",
+        )
+
+    def provenance(self, stage: str, key: str) -> Optional[Provenance]:
+        """Provenance of one persisted artifact (None in memory-only mode
+        or for entries written before the unified store)."""
+        if self._store is None:
+            return None
+        return self._store.provenance(f"{stage}-{key}")

@@ -28,6 +28,8 @@ from repro.pipeline.artifacts import Artifact
 from repro.pipeline.cache import ArtifactCache
 from repro.pipeline.stages import PIPELINE_STAGES, Stage, StageError
 from repro.resilience.budget import Budget
+from repro.store.fingerprint import content_hash, engine_fingerprint
+from repro.store.provenance import Provenance
 
 __all__ = ["CompileResult", "PipelineContext", "StageRecord", "compile_spec"]
 
@@ -210,7 +212,23 @@ def compile_spec(
             else:
                 with obs.span("pipeline.stage", stage=stage.name, spec=spec.name):
                     artifact = stage.run(ctx)
-                cache.store(stage.name, key, artifact.to_json())
+                run_wall = time.perf_counter() - t0
+                cache.store(
+                    stage.name,
+                    key,
+                    artifact.to_json(),
+                    provenance=Provenance.now(
+                        op=stage.name,
+                        inputs={
+                            "parent": parent_key or "",
+                            "payload": content_hash(stage.payload(ctx)),
+                        },
+                        engine=engine_fingerprint(),
+                        spec=content_hash(spec.to_json()),
+                        wall_s=round(run_wall, 6),
+                        extra={"spec_name": spec.name, "sizes": dict(sizes)},
+                    ),
+                )
                 cached = False
                 metrics.counter("pipeline.stage.runs").inc()
                 metrics.counter(f"pipeline.stage.runs.{stage.name}").inc()

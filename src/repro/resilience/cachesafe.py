@@ -32,6 +32,7 @@ __all__ = [
     "CACHE_WRAPPER_SCHEMA",
     "atomic_write_json",
     "body_digest",
+    "note_corruption",
     "quarantine_file",
     "read_verified_json",
 ]
@@ -70,10 +71,33 @@ def atomic_write_json(path: os.PathLike, body: Any, indent: Optional[int] = None
         tmp.unlink(missing_ok=True)
 
 
-def quarantine_file(path: os.PathLike, site: str, problem: str) -> Optional[Path]:
-    """Move a corrupt entry into ``.corrupt/`` beside it; None if gone."""
+def note_corruption(site: str, entry: str, problem: str) -> None:
+    """Count and warn about one healed corrupt entry.
+
+    The single ``store.heal.*`` counter family every backend shares
+    (directory quarantine and sqlite row-deletion alike), plus the
+    historical ``resilience.cache.corrupt`` name dashboards pin.
+    """
     from repro import obs
 
+    metrics = obs.get_metrics()
+    metrics.counter("resilience.cache.corrupt").inc()
+    metrics.counter("store.heal.quarantined").inc()
+    metrics.counter(f"store.heal.{site}").inc()
+    obs.warn_once(
+        ("cache-corrupt", site),
+        f"{site}: corrupt cache entry quarantined "
+        f"({entry}: {problem}); recomputing",
+        event="resilience.cache.corrupt",
+        counter="resilience.cache.corrupt_events",
+        site=site,
+        entry=entry,
+        problem=problem,
+    )
+
+
+def quarantine_file(path: os.PathLike, site: str, problem: str) -> Optional[Path]:
+    """Move a corrupt entry into ``.corrupt/`` beside it; None if gone."""
     path = Path(path)
     sidecar = path.parent / CORRUPT_DIR
     destination = sidecar / path.name
@@ -86,17 +110,7 @@ def quarantine_file(path: os.PathLike, site: str, problem: str) -> Optional[Path
         except OSError:
             return None
         destination = None
-    obs.get_metrics().counter("resilience.cache.corrupt").inc()
-    obs.warn_once(
-        ("cache-corrupt", site),
-        f"{site}: corrupt cache entry quarantined "
-        f"({path.name}: {problem}); recomputing",
-        event="resilience.cache.corrupt",
-        counter="resilience.cache.corrupt_events",
-        site=site,
-        entry=path.name,
-        problem=problem,
-    )
+    note_corruption(site, entry=path.name, problem=problem)
     return destination
 
 

@@ -1,0 +1,46 @@
+"""Unified provenance-tracking content-addressed store (DESIGN.md §16).
+
+One storage layer behind every cache in the repo — the pipeline
+artifact cache, the experiment harness's simulation-result cache, and
+the native ``.so`` cache — with pluggable backends (local directory,
+sqlite, in-memory), a provenance record per entry, the consolidated
+fingerprint module, the ``@op`` memoization decorator, and the
+``repro store`` CLI group.
+"""
+
+from repro.store.backend import (
+    DirBackend,
+    EntryInfo,
+    MemoryBackend,
+    SqliteBackend,
+    open_backend,
+)
+from repro.store.core import Store
+from repro.store.fingerprint import (
+    canonical_json,
+    content_hash,
+    engine_fingerprint,
+    reset_engine_fingerprint,
+    toolchain_fingerprint,
+)
+from repro.store.ops import get_default_store, op, set_default_store
+from repro.store.provenance import PROVENANCE_SCHEMA, Provenance
+
+__all__ = [
+    "DirBackend",
+    "EntryInfo",
+    "MemoryBackend",
+    "PROVENANCE_SCHEMA",
+    "Provenance",
+    "SqliteBackend",
+    "Store",
+    "canonical_json",
+    "content_hash",
+    "engine_fingerprint",
+    "get_default_store",
+    "op",
+    "open_backend",
+    "reset_engine_fingerprint",
+    "set_default_store",
+    "toolchain_fingerprint",
+]

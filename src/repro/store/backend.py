@@ -1,0 +1,447 @@
+"""Pluggable storage backends for the unified store (DESIGN.md §16).
+
+A backend stores digest-verified JSON bodies plus optional provenance
+sidecars under string keys.  The contract (duck-typed; every method
+below) is:
+
+- ``get(key) -> body | None`` — digest-verified; a corrupt entry is
+  healed (quarantined or deleted), counted, and reported as a miss.
+- ``put(key, body, provenance=None, label="")`` — atomic; a reader
+  (or a concurrent writer) never observes a torn entry, and a process
+  killed mid-write leaves no corrupt *visible* entry.
+- ``annotate(key, provenance)`` — attach/replace provenance without
+  touching the value bytes (migration uses this so legacy entries stay
+  bit-identical).
+- ``provenance(key) -> Provenance | None``
+- ``delete(key) -> bool`` — removes the entry, its provenance, and any
+  companion file the body names under ``"file"`` (compiled objects).
+- ``keys() -> list[str]`` / ``items() -> list[EntryInfo]`` — listing
+  without deserialising bodies.
+- ``close()``
+
+Backends:
+
+- :class:`MemoryBackend` — a dict; lifetime of the process.
+- :class:`DirBackend` — the repo's historical local-directory layout,
+  byte-compatible with the three pre-store caches: one
+  ``<key>.json`` digest-wrapped file per entry (atomic temp +
+  ``os.replace`` writes, ``.corrupt/`` quarantine via
+  :mod:`repro.resilience.cachesafe`) plus a ``.prov/<key>.json``
+  provenance sidecar.  Warm caches written before the unified store
+  hit unchanged.
+- :class:`SqliteBackend` — one WAL-mode sqlite file, safe under
+  concurrent harness worker processes: writes are transactions
+  (last-write-wins, never torn), reads re-verify the body digest and
+  heal corrupt rows by deleting them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Optional, Union
+
+from repro.resilience.cachesafe import (
+    atomic_write_json,
+    body_digest,
+    note_corruption,
+    quarantine_file,
+    read_verified_json,
+)
+from repro.resilience.faults import maybe_corrupt, maybe_fault
+from repro.store.provenance import Provenance
+
+__all__ = [
+    "EntryInfo",
+    "MemoryBackend",
+    "DirBackend",
+    "SqliteBackend",
+    "open_backend",
+]
+
+#: File suffixes that select the sqlite backend in ``open_backend``.
+SQLITE_SUFFIXES = (".sqlite", ".sqlite3", ".db")
+
+#: Name of the provenance sidecar directory inside a DirBackend root.
+PROV_DIR = ".prov"
+
+
+@dataclass(frozen=True)
+class EntryInfo:
+    """One entry's metadata, cheap enough to list a whole store."""
+
+    key: str
+    nbytes: int
+    created_at: float
+    provenance: Optional[Provenance]
+
+    @property
+    def op(self) -> str:
+        return self.provenance.op if self.provenance is not None else "?"
+
+    @property
+    def engine(self) -> str:
+        return (
+            self.provenance.engine if self.provenance is not None
+            else "unknown"
+        )
+
+
+class MemoryBackend:
+    """Process-lifetime dict backend (no persistence, no healing)."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, tuple[Any, Optional[Provenance], float]] = {}
+
+    def get(self, key: str) -> Optional[Any]:
+        slot = self._entries.get(key)
+        return slot[0] if slot is not None else None
+
+    def put(
+        self,
+        key: str,
+        body: Any,
+        provenance: Optional[Provenance] = None,
+        label: str = "",
+    ) -> None:
+        self._entries[key] = (body, provenance, time.time())
+
+    def annotate(self, key: str, provenance: Provenance) -> None:
+        slot = self._entries.get(key)
+        if slot is not None:
+            self._entries[key] = (slot[0], provenance, slot[2])
+
+    def provenance(self, key: str) -> Optional[Provenance]:
+        slot = self._entries.get(key)
+        return slot[1] if slot is not None else None
+
+    def delete(self, key: str) -> bool:
+        return self._entries.pop(key, None) is not None
+
+    def keys(self) -> list[str]:
+        return sorted(self._entries)
+
+    def items(self) -> list[EntryInfo]:
+        return [
+            EntryInfo(
+                key=key,
+                nbytes=len(json.dumps(body, sort_keys=True)),
+                created_at=ts,
+                provenance=prov,
+            )
+            for key, (body, prov, ts) in sorted(self._entries.items())
+        ]
+
+    def close(self) -> None:
+        pass
+
+
+class DirBackend:
+    """The historical one-JSON-file-per-entry directory layout.
+
+    ``site`` names this store in warnings, counters, and fault-injection
+    sites: a write fires the ``<site>.store`` corruption hook (the chaos
+    suite's ``harness.cache.store:corrupt`` / ``pipeline.cache.store``
+    sites keep working verbatim), and a corrupt read quarantines into
+    ``.corrupt/`` exactly as the pre-store caches did.  ``indent``
+    preserves each legacy cache's on-disk formatting (the pipeline wrote
+    ``indent=2``; the harness wrote compact JSON) so healed entries stay
+    bit-identical to what the previous code produced.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, os.PathLike],
+        site: str = "store",
+        indent: Optional[int] = None,
+    ) -> None:
+        self.root = Path(root)
+        self.site = site
+        self.indent = indent
+        # Fail fast on an unusable location, before any work is spent.
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def _prov_path(self, key: str) -> Path:
+        return self.root / PROV_DIR / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Any]:
+        return read_verified_json(self._path(key), site=self.site)
+
+    def put(
+        self,
+        key: str,
+        body: Any,
+        provenance: Optional[Provenance] = None,
+        label: str = "",
+    ) -> None:
+        path = self._path(key)
+        atomic_write_json(path, body, indent=self.indent)
+        if provenance is not None:
+            self.annotate(key, provenance)
+        # Fault-injection hook: the chaos suite corrupts the entry just
+        # written and asserts the next read heals it.
+        maybe_corrupt(f"{self.site}.store", path, label=label or key)
+
+    def annotate(self, key: str, provenance: Provenance) -> None:
+        prov_path = self._prov_path(key)
+        prov_path.parent.mkdir(exist_ok=True)
+        atomic_write_json(prov_path, provenance.to_json())
+
+    def provenance(self, key: str) -> Optional[Provenance]:
+        prov_path = self._prov_path(key)
+        if not prov_path.exists():
+            return None
+        body = read_verified_json(prov_path, site=f"{self.site}.prov")
+        return Provenance.from_json(body)
+
+    def delete(self, key: str) -> bool:
+        path = self._path(key)
+        companion = self._companion_file(path)
+        existed = path.exists()
+        path.unlink(missing_ok=True)
+        self._prov_path(key).unlink(missing_ok=True)
+        if companion is not None:
+            companion.unlink(missing_ok=True)
+        return existed
+
+    def _companion_file(self, path: Path) -> Optional[Path]:
+        """A non-JSON file the entry body names (compiled ``.so``s)."""
+        try:
+            wrapper = json.loads(path.read_text())
+            name = wrapper["body"]["file"]
+        except (OSError, ValueError, TypeError, KeyError):
+            return None
+        if not isinstance(name, str) or os.path.sep in name:
+            return None
+        companion = self.root / name
+        return companion if companion.exists() else None
+
+    def keys(self) -> list[str]:
+        return sorted(p.stem for p in self.root.glob("*.json"))
+
+    def items(self) -> list[EntryInfo]:
+        infos = []
+        for path in sorted(self.root.glob("*.json")):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            key = path.stem
+            prov = self.provenance(key)
+            created = prov.created_at if prov and prov.created_at else stat.st_mtime
+            infos.append(
+                EntryInfo(
+                    key=key,
+                    nbytes=stat.st_size,
+                    created_at=created,
+                    provenance=prov,
+                )
+            )
+        return infos
+
+    def quarantine(self, key: str, problem: str) -> None:
+        """Move one entry to ``.corrupt/`` (the self-heal idiom)."""
+        quarantine_file(self._path(key), site=self.site, problem=problem)
+
+    def close(self) -> None:
+        pass
+
+
+class SqliteBackend:
+    """One WAL-mode sqlite file; safe under concurrent worker processes.
+
+    Writes are single transactions with ``INSERT OR REPLACE``: two
+    processes racing on the same key converge on last-write-wins and a
+    reader never observes a torn row; a process killed mid-write rolls
+    back, leaving the previous value (or nothing) visible.  Reads
+    re-verify the body digest — a corrupt row (disk damage, a broken
+    writer) is deleted, counted through the same
+    ``store.heal.*``/``resilience.cache.corrupt`` counters as the
+    directory backend, and reported as a miss.
+    """
+
+    _SCHEMA = """
+    CREATE TABLE IF NOT EXISTS entries (
+        key        TEXT PRIMARY KEY,
+        body       TEXT NOT NULL,
+        digest     TEXT NOT NULL,
+        provenance TEXT,
+        created_at REAL NOT NULL,
+        nbytes     INTEGER NOT NULL
+    )
+    """
+
+    def __init__(
+        self, path: Union[str, os.PathLike], site: str = "store"
+    ) -> None:
+        self.path = Path(path)
+        self.site = site
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._conn: Optional[sqlite3.Connection] = None
+        self._conn_pid: Optional[int] = None
+        self._connect()  # fail fast on an unusable location
+
+    def _connect(self) -> sqlite3.Connection:
+        # One connection per process: a forked worker must not share the
+        # parent's sqlite handle, so reopen lazily after a fork.
+        if self._conn is None or self._conn_pid != os.getpid():
+            conn = sqlite3.connect(
+                str(self.path), timeout=30.0, isolation_level=None
+            )
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute("PRAGMA busy_timeout=30000")
+            conn.execute(self._SCHEMA)
+            self._conn = conn
+            self._conn_pid = os.getpid()
+        return self._conn
+
+    def get(self, key: str) -> Optional[Any]:
+        conn = self._connect()
+        row = conn.execute(
+            "SELECT body, digest FROM entries WHERE key = ?", (key,)
+        ).fetchone()
+        if row is None:
+            return None
+        try:
+            body = json.loads(row[0])
+        except ValueError:
+            body = None
+        if body is None or body_digest(body) != row[1]:
+            self._heal(key, "digest mismatch")
+            return None
+        return body
+
+    def _heal(self, key: str, problem: str) -> None:
+        conn = self._connect()
+        conn.execute("DELETE FROM entries WHERE key = ?", (key,))
+        note_corruption(self.site, entry=key, problem=problem)
+
+    def put(
+        self,
+        key: str,
+        body: Any,
+        provenance: Optional[Provenance] = None,
+        label: str = "",
+    ) -> None:
+        blob = json.dumps(body, sort_keys=True)
+        prov_blob = (
+            json.dumps(provenance.to_json(), sort_keys=True)
+            if provenance is not None
+            else None
+        )
+        conn = self._connect()
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            conn.execute(
+                "INSERT OR REPLACE INTO entries "
+                "(key, body, digest, provenance, created_at, nbytes) "
+                "VALUES (?, ?, ?, ?, ?, ?)",
+                (
+                    key,
+                    blob,
+                    body_digest(body),
+                    prov_blob,
+                    (
+                        provenance.created_at
+                        if provenance is not None and provenance.created_at
+                        else time.time()
+                    ),
+                    len(blob),
+                ),
+            )
+            # Fault-injection hook: a ``kill`` here dies inside the
+            # transaction — the chaos suite asserts no corrupt entry
+            # becomes visible (the transaction simply never commits).
+            maybe_fault(f"{self.site}.sqlite.put", label=label or key)
+            conn.execute("COMMIT")
+        except BaseException:
+            try:
+                conn.execute("ROLLBACK")
+            except sqlite3.Error:
+                pass
+            raise
+
+    def annotate(self, key: str, provenance: Provenance) -> None:
+        conn = self._connect()
+        conn.execute(
+            "UPDATE entries SET provenance = ? WHERE key = ?",
+            (json.dumps(provenance.to_json(), sort_keys=True), key),
+        )
+
+    def provenance(self, key: str) -> Optional[Provenance]:
+        conn = self._connect()
+        row = conn.execute(
+            "SELECT provenance FROM entries WHERE key = ?", (key,)
+        ).fetchone()
+        if row is None or row[0] is None:
+            return None
+        try:
+            return Provenance.from_json(json.loads(row[0]))
+        except ValueError:
+            return None
+
+    def delete(self, key: str) -> bool:
+        conn = self._connect()
+        cursor = conn.execute("DELETE FROM entries WHERE key = ?", (key,))
+        return cursor.rowcount > 0
+
+    def keys(self) -> list[str]:
+        conn = self._connect()
+        return [
+            row[0]
+            for row in conn.execute("SELECT key FROM entries ORDER BY key")
+        ]
+
+    def items(self) -> list[EntryInfo]:
+        conn = self._connect()
+        infos = []
+        for key, prov_blob, created, nbytes in conn.execute(
+            "SELECT key, provenance, created_at, nbytes FROM entries "
+            "ORDER BY key"
+        ):
+            prov = None
+            if prov_blob:
+                try:
+                    prov = Provenance.from_json(json.loads(prov_blob))
+                except ValueError:
+                    prov = None
+            infos.append(
+                EntryInfo(
+                    key=key,
+                    nbytes=int(nbytes),
+                    created_at=float(created),
+                    provenance=prov,
+                )
+            )
+        return infos
+
+    def close(self) -> None:
+        if self._conn is not None and self._conn_pid == os.getpid():
+            try:
+                self._conn.close()
+            except sqlite3.Error:
+                pass
+        self._conn = None
+        self._conn_pid = None
+
+
+def open_backend(
+    path: Union[str, os.PathLike],
+    site: str = "store",
+    indent: Optional[int] = None,
+):
+    """Pick a backend from a path: ``*.sqlite``/``*.db`` files get the
+    sqlite backend, anything else the directory backend — so every
+    legacy ``--cache-dir`` flag transparently accepts both."""
+    name = str(path)
+    if name.endswith(SQLITE_SUFFIXES):
+        return SqliteBackend(path, site=site)
+    return DirBackend(path, site=site, indent=indent)

@@ -1,0 +1,107 @@
+"""The one fingerprint module (DESIGN.md §16).
+
+Every cache key in the system folds in a fingerprint of the machinery
+that produced the cached value, so editing that machinery transparently
+invalidates exactly the entries it could have changed.  Before the
+unified store, three near-identical implementations lived in
+``experiments/harness.py``, ``pipeline/cache.py``, and
+``codegen/build.py``; this module is now the single source of truth —
+the old import paths re-export from here.
+
+- :func:`engine_fingerprint` — a digest of every ``repro`` source file a
+  simulation or compile result depends on (everything outside
+  ``experiments/``, which merely arranges tasks and renders results),
+  plus the C toolchain identity.  Editing a figure script keeps caches
+  warm; touching the tracer, caches, cost model, codes, schedules,
+  mappings, or upgrading/losing the compiler invalidates every entry.
+- :func:`toolchain_fingerprint` — the C compiler identity (resolved
+  path + ``--version`` banner + flag set), or ``"none"`` when native
+  compilation is unavailable.
+- :func:`content_hash` — the canonical content hash of any
+  JSON-serialisable payload (``sha256`` over ``json.dumps(...,
+  sort_keys=True)``), the idiom every key scheme and digest wrapper in
+  the repo is built from.  Its exact byte format is pinned by
+  ``tests/store/test_fingerprint.py``: changing it silently would
+  invalidate every on-disk cache in the field.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Optional
+
+__all__ = [
+    "canonical_json",
+    "content_hash",
+    "engine_fingerprint",
+    "reset_engine_fingerprint",
+    "toolchain_fingerprint",
+]
+
+
+def canonical_json(payload: Any) -> bytes:
+    """The canonical serialised form content hashes are computed over."""
+    return json.dumps(payload, sort_keys=True).encode()
+
+
+def content_hash(payload: Any, length: int = 64) -> str:
+    """Canonical content hash of a JSON-serialisable payload.
+
+    ``length`` truncates the hex digest (64 = full sha256); the format
+    (sort_keys JSON, sha256) is pinned — see the module docstring.
+    """
+    return hashlib.sha256(canonical_json(payload)).hexdigest()[:length]
+
+
+def toolchain_fingerprint() -> str:
+    """The C toolchain identity folded into the engine fingerprint.
+
+    ``"none"`` when no compiler is available — so gaining or losing a
+    toolchain also (correctly) invalidates cached artifacts, whose
+    execute stage records which engine actually ran.  Delegates to
+    :mod:`repro.codegen.build`, which owns toolchain discovery.
+    """
+    from repro.codegen import build
+
+    return build.toolchain_fingerprint()
+
+
+_ENGINE_FINGERPRINT: Optional[str] = None
+
+
+def reset_engine_fingerprint() -> None:
+    """Forget the memoised engine fingerprint (tests flip toolchains)."""
+    global _ENGINE_FINGERPRINT
+    _ENGINE_FINGERPRINT = None
+
+
+def engine_fingerprint() -> str:
+    """Digest of every source file a cached result depends on.
+
+    Hashes all of :mod:`repro` except ``experiments/`` plus the C
+    toolchain identity (via :mod:`repro.codegen.build`, looked up at
+    call time so tests can monkeypatch it).  Memoised per process;
+    :func:`reset_engine_fingerprint` (or
+    :func:`repro.codegen.build.reset_toolchain_cache`) forgets it.
+    """
+    global _ENGINE_FINGERPRINT
+    if _ENGINE_FINGERPRINT is None:
+        import repro
+        from repro.codegen import build
+
+        root = Path(repro.__file__).parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            rel = path.relative_to(root)
+            if rel.parts[0] == "experiments":
+                continue
+            digest.update(str(rel).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        digest.update(b"toolchain:")
+        digest.update(build.toolchain_fingerprint().encode())
+        _ENGINE_FINGERPRINT = digest.hexdigest()[:16]
+    return _ENGINE_FINGERPRINT

@@ -1,0 +1,123 @@
+"""``@op(version=...)`` — declarative memoization over the unified store.
+
+The legacy caches hand-roll their key schemes (and keep them, for warm
+on-disk compatibility); new code declares an op instead:
+
+    from repro.store import op
+
+    @op(version=2)
+    def dependence_distance(code, sizes):
+        ...
+
+Calling the wrapped function computes a content-addressed key from the
+op name, its declared ``version``, the live engine fingerprint, and the
+JSON-canonicalised arguments; a hit returns the stored value, a miss
+runs the function, stores the result with a full :class:`Provenance`
+record, and returns it.  Bumping ``version`` is the op author's manual
+invalidation lever; editing any engine source file invalidates
+automatically through the fingerprint — the same surgical-invalidation
+contract the pipeline's chained stage keys provide.
+
+Results must be JSON-serialisable (the store's integrity digest is
+computed over canonical JSON).  The wrapper exposes:
+
+- ``fn.key(*args, **kwargs)`` — the key a call would use;
+- ``fn.uncached(*args, **kwargs)`` — bypass the store entirely;
+- ``fn.op_name`` / ``fn.op_version`` — the declared identity.
+
+Ops write to an explicit ``store=`` if given, else the process-wide
+default store (:func:`set_default_store`; an in-memory store until one
+is configured, or the directory/sqlite path named by ``$REPRO_STORE``).
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import time
+from typing import Any, Callable, Optional
+
+from repro.store.core import Store
+from repro.store.fingerprint import content_hash, engine_fingerprint
+from repro.store.provenance import Provenance
+
+__all__ = ["op", "get_default_store", "set_default_store"]
+
+#: Environment variable naming the default store location.
+STORE_ENV = "REPRO_STORE"
+
+_DEFAULT_STORE: Optional[Store] = None
+
+
+def set_default_store(store: Optional[Store]) -> None:
+    """Install (or with ``None``, forget) the process-wide op store."""
+    global _DEFAULT_STORE
+    _DEFAULT_STORE = store
+
+
+def get_default_store() -> Store:
+    """The process-wide op store, creating it on first use: the path in
+    ``$REPRO_STORE`` if set, else an in-memory store."""
+    global _DEFAULT_STORE
+    if _DEFAULT_STORE is None:
+        configured = os.environ.get(STORE_ENV)
+        if configured:
+            _DEFAULT_STORE = Store.open(configured, site="ops")
+        else:
+            _DEFAULT_STORE = Store.in_memory()
+    return _DEFAULT_STORE
+
+
+def op(
+    name: Optional[str] = None,
+    version: int = 1,
+    store: Optional[Store] = None,
+) -> Callable:
+    """Memoize a function through the unified store with provenance."""
+
+    def decorate(fn: Callable) -> Callable:
+        op_name = name or fn.__name__
+
+        def call_key(*args: Any, **kwargs: Any) -> str:
+            payload = {
+                "op": op_name,
+                "version": version,
+                "engine": engine_fingerprint(),
+                "args": list(args),
+                "kwargs": dict(sorted(kwargs.items())),
+            }
+            return f"{op_name}-{content_hash(payload, length=24)}"
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            target = store if store is not None else get_default_store()
+            key = call_key(*args, **kwargs)
+            sentinel = object()
+            hit = target.get(key, default=sentinel)
+            if hit is not sentinel:
+                return hit
+            started = time.monotonic()
+            value = fn(*args, **kwargs)
+            wall = time.monotonic() - started
+            prov = Provenance.now(
+                op=op_name,
+                op_version=version,
+                inputs={
+                    "call": content_hash(
+                        {"args": list(args),
+                         "kwargs": dict(sorted(kwargs.items()))}
+                    )
+                },
+                engine=engine_fingerprint(),
+                wall_s=round(wall, 6),
+            )
+            target.put(key, value, provenance=prov, label=op_name)
+            return value
+
+        wrapper.key = call_key
+        wrapper.uncached = fn
+        wrapper.op_name = op_name
+        wrapper.op_version = version
+        return wrapper
+
+    return decorate

@@ -1,0 +1,83 @@
+"""Provenance records: who computed a stored value, from what, with what.
+
+Every entry the unified store holds can carry a :class:`Provenance`
+record (schema v1, DESIGN.md §16): the op that produced it, the op's
+declared version, content hashes of its inputs, the engine/toolchain
+fingerprint it ran under, the spec hash and machine config where
+applicable, when it was created, and how long it took.  Provenance is
+*advisory metadata*: it never participates in the value's integrity
+digest, so legacy entries without provenance remain first-class cache
+hits — they merely answer ``repro store query`` as ``engine=unknown``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Any, Mapping, Optional
+
+__all__ = ["PROVENANCE_SCHEMA", "Provenance"]
+
+#: Schema version stamped into every serialised record.
+PROVENANCE_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """Everything known about how one stored value came to be."""
+
+    #: Operation name (pipeline stage, "simulate", "compile-so", ...).
+    op: str
+    #: Declared version of the op's implementation; bumping it is the
+    #: op author's way of invalidating old results by hand.
+    op_version: int = 1
+    #: Named content hashes of the inputs (parent keys, payload hashes).
+    inputs: dict[str, str] = field(default_factory=dict)
+    #: Engine/toolchain fingerprint the op ran under
+    #: (:func:`repro.store.fingerprint.engine_fingerprint` or a
+    #: toolchain fingerprint for native objects; "unknown" for entries
+    #: migrated from pre-provenance caches).
+    engine: str = "unknown"
+    #: Content hash of the spec that drove the compile, if any.
+    spec: Optional[str] = None
+    #: Machine config name the result was simulated on, if any.
+    machine: Optional[str] = None
+    #: Unix timestamp of creation.
+    created_at: float = 0.0
+    #: Wall-clock seconds the op spent producing the value.
+    wall_s: Optional[float] = None
+    #: Free-form extras (task identity, labels, sizes...).
+    extra: dict = field(default_factory=dict)
+
+    @classmethod
+    def now(cls, op: str, **kwargs: Any) -> "Provenance":
+        """A record stamped with the current time."""
+        kwargs.setdefault("created_at", round(time.time(), 3))
+        return cls(op=op, **kwargs)
+
+    def to_json(self) -> dict:
+        body = asdict(self)
+        body["schema"] = PROVENANCE_SCHEMA
+        return body
+
+    @classmethod
+    def from_json(cls, data: Optional[Mapping]) -> Optional["Provenance"]:
+        """Rebuild a record; tolerant of missing/extra fields and of
+        ``None`` (legacy entries), which round-trips to ``None``."""
+        if not isinstance(data, Mapping):
+            return None
+        fields = {
+            "op": str(data.get("op", "?")),
+            "op_version": int(data.get("op_version", 1) or 1),
+            "inputs": dict(data.get("inputs") or {}),
+            "engine": str(data.get("engine", "unknown") or "unknown"),
+            "spec": data.get("spec"),
+            "machine": data.get("machine"),
+            "created_at": float(data.get("created_at", 0.0) or 0.0),
+            "wall_s": data.get("wall_s"),
+            "extra": dict(data.get("extra") or {}),
+        }
+        try:
+            return cls(**fields)
+        except (TypeError, ValueError):
+            return None

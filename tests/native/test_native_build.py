@@ -74,18 +74,19 @@ class TestToolchainIdentity:
 
     def test_engine_fingerprint_folds_in_toolchain(self, monkeypatch):
         from repro.experiments import harness
+        from repro.store.fingerprint import reset_engine_fingerprint
 
-        monkeypatch.setattr(harness, "_ENGINE_FINGERPRINT", None)
+        reset_engine_fingerprint()
         monkeypatch.setattr(
             build_mod, "toolchain_fingerprint", lambda: "gcc-old"
         )
         fp_old = harness.engine_fingerprint()
-        harness._ENGINE_FINGERPRINT = None
+        reset_engine_fingerprint()
         monkeypatch.setattr(
             build_mod, "toolchain_fingerprint", lambda: "gcc-new"
         )
         fp_new = harness.engine_fingerprint()
-        harness._ENGINE_FINGERPRINT = None
+        reset_engine_fingerprint()
         assert fp_old != fp_new
 
 

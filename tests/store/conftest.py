@@ -1,0 +1,37 @@
+"""Store-suite fixtures: clean metrics, no armed faults, both backends."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import obs
+from repro.resilience.faults import ENV_DIR, ENV_SEED, ENV_SPEC, install_plan
+from repro.store import DirBackend, SqliteBackend, Store
+
+
+@pytest.fixture(autouse=True)
+def clean_slate():
+    """No armed plan, no injection env vars, fresh metrics — both sides."""
+    for var in (ENV_SPEC, ENV_SEED, ENV_DIR):
+        os.environ.pop(var, None)
+    install_plan(None)
+    obs.reset()
+    yield
+    install_plan(None)
+    for var in (ENV_SPEC, ENV_SEED, ENV_DIR):
+        os.environ.pop(var, None)
+    obs.reset()
+
+
+@pytest.fixture(params=["dir", "sqlite"])
+def store(request, tmp_path):
+    """One Store per backend flavour; tests run against both."""
+    if request.param == "dir":
+        backend = DirBackend(tmp_path / "cache", site="test")
+    else:
+        backend = SqliteBackend(tmp_path / "cache.sqlite", site="test")
+    st = Store(backend)
+    yield st
+    st.close()

@@ -1,0 +1,176 @@
+"""Cross-process sqlite-backend guarantees: concurrent writers to one
+key are last-write-wins with no torn reads, and a process killed
+mid-write leaves no corrupt visible entry.
+
+These spawn real subprocesses (not threads): WAL-mode sqlite's
+guarantees are per-connection-per-process, and the harness workers the
+backend exists for are processes.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.resilience.faults import KILL_EXIT_CODE, FaultPlan
+from repro.store import SqliteBackend, Store
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+WRITER = """
+import json, sys
+from repro.store import SqliteBackend, Store
+
+path, key, tag, rounds = sys.argv[1], sys.argv[2], sys.argv[3], int(sys.argv[4])
+store = Store(SqliteBackend(path, site="test"))
+for i in range(rounds):
+    store.put(key, {"writer": tag, "round": i, "pad": tag * 64}, label=tag)
+    value = store.get(key)
+    # A read must never be torn: whatever writer won, the body is a
+    # complete, digest-verified record from *some* put.
+    assert value is not None, "visible entry vanished mid-run"
+    assert value["pad"] == value["writer"] * 64, f"torn read: {value}"
+store.close()
+print("ok")
+"""
+
+
+def run_child(code, *argv, env_extra=None):
+    import os
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env.pop("REPRO_FAULTS", None)
+    env.pop("REPRO_FAULTS_SEED", None)
+    env.pop("REPRO_FAULTS_DIR", None)
+    if env_extra:
+        env.update(env_extra)
+    return subprocess.run(
+        [sys.executable, "-c", code, *map(str, argv)],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=str(REPO_ROOT),
+        timeout=120,
+    )
+
+
+class TestConcurrentWriters:
+    def test_same_key_last_write_wins_no_torn_reads(self, tmp_path):
+        path = tmp_path / "shared.sqlite"
+        procs = [
+            subprocess.Popen(
+                [
+                    sys.executable,
+                    "-c",
+                    WRITER,
+                    str(path),
+                    "contended",
+                    tag,
+                    "25",
+                ],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+                env=_child_env(),
+                cwd=str(REPO_ROOT),
+            )
+            for tag in ("a", "b")
+        ]
+        for proc in procs:
+            out, err = proc.communicate(timeout=120)
+            assert proc.returncode == 0, err
+            assert "ok" in out
+
+        # Afterwards exactly one complete record is visible — from
+        # whichever writer committed last.
+        store = Store(SqliteBackend(path, site="test"))
+        final = store.get("contended")
+        assert final is not None
+        assert final["writer"] in ("a", "b")
+        assert final["pad"] == final["writer"] * 64
+        assert store.backend.keys() == ["contended"]
+        store.close()
+
+    def test_disjoint_keys_all_land(self, tmp_path):
+        path = tmp_path / "shared.sqlite"
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", WRITER, str(path), f"k-{tag}", tag, "10"],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+                env=_child_env(),
+                cwd=str(REPO_ROOT),
+            )
+            for tag in ("a", "b", "c")
+        ]
+        for proc in procs:
+            _, err = proc.communicate(timeout=120)
+            assert proc.returncode == 0, err
+        store = Store(SqliteBackend(path, site="test"))
+        assert sorted(store.backend.keys()) == ["k-a", "k-b", "k-c"]
+        for tag in ("a", "b", "c"):
+            assert store.get(f"k-{tag}")["writer"] == tag
+        store.close()
+
+
+class TestKillMidWrite:
+    def test_kill_between_insert_and_commit_rolls_back(self, tmp_path):
+        """The put transaction fires ``{site}.sqlite.put`` between the
+        INSERT and the COMMIT; a kill there must leave nothing visible."""
+        path = tmp_path / "chaos.sqlite"
+        plan = FaultPlan.from_spec("test.sqlite.put:kill")
+        env = plan.arm_env({})
+        result = run_child(
+            WRITER, path, "doomed", "x", 1, env_extra=env
+        )
+        assert result.returncode == KILL_EXIT_CODE, result.stderr
+
+        store = Store(SqliteBackend(path, site="test"))
+        assert store.get("doomed") is None
+        assert store.backend.keys() == []
+        store.close()
+
+    def test_survivors_keep_writing_after_a_kill(self, tmp_path):
+        """A crashed writer must not wedge the database for others."""
+        path = tmp_path / "chaos.sqlite"
+        plan = FaultPlan.from_spec("test.sqlite.put:kill")
+        killed = run_child(
+            WRITER, path, "doomed", "x", 1, env_extra=plan.arm_env({})
+        )
+        assert killed.returncode == KILL_EXIT_CODE
+
+        survivor = run_child(WRITER, path, "alive", "y", 5)
+        assert survivor.returncode == 0, survivor.stderr
+        store = Store(SqliteBackend(path, site="test"))
+        assert store.get("alive")["writer"] == "y"
+        assert store.backend.keys() == ["alive"]
+        store.close()
+
+    def test_kill_only_fires_once(self, tmp_path):
+        """``times=1`` with a scratch dir: the second write in the same
+        armed environment succeeds (the slot is already claimed)."""
+        path = tmp_path / "chaos.sqlite"
+        plan = FaultPlan.from_spec(
+            "test.sqlite.put:kill", scratch_dir=tmp_path / "scratch"
+        )
+        env = plan.arm_env({})
+        first = run_child(WRITER, path, "k", "x", 1, env_extra=env)
+        assert first.returncode == KILL_EXIT_CODE
+        second = run_child(WRITER, path, "k", "x", 1, env_extra=env)
+        assert second.returncode == 0, second.stderr
+        store = Store(SqliteBackend(path, site="test"))
+        assert store.get("k")["writer"] == "x"
+        store.close()
+
+
+def _child_env():
+    import os
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    for var in ("REPRO_FAULTS", "REPRO_FAULTS_SEED", "REPRO_FAULTS_DIR"):
+        env.pop(var, None)
+    return env

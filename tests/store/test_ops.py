@@ -1,0 +1,128 @@
+"""The ``@op`` memoization decorator: hits, invalidation levers,
+introspection helpers, and default-store resolution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.store import Store, get_default_store, op, set_default_store
+from repro.store.fingerprint import reset_engine_fingerprint
+from repro.store.ops import STORE_ENV
+
+
+@pytest.fixture(autouse=True)
+def fresh_default_store(monkeypatch):
+    monkeypatch.delenv(STORE_ENV, raising=False)
+    set_default_store(None)
+    yield
+    set_default_store(None)
+
+
+def counted(store, version=1):
+    calls = []
+
+    @op(name="probe", version=version, store=store)
+    def probe(x, y=0):
+        calls.append((x, y))
+        return {"sum": x + y}
+
+    return probe, calls
+
+
+class TestMemoization:
+    def test_second_call_is_a_hit(self):
+        probe, calls = counted(Store.in_memory())
+        assert probe(2, y=3) == {"sum": 5}
+        assert probe(2, y=3) == {"sum": 5}
+        assert calls == [(2, 3)]
+
+    def test_distinct_arguments_are_distinct_keys(self):
+        probe, calls = counted(Store.in_memory())
+        probe(1)
+        probe(2)
+        assert len(calls) == 2
+        assert probe.key(1) != probe.key(2)
+
+    def test_version_bump_invalidates(self):
+        store = Store.in_memory()
+        v1, calls1 = counted(store, version=1)
+        v2, calls2 = counted(store, version=2)
+        v1(5)
+        v2(5)
+        assert calls1 == [(5, 0)] and calls2 == [(5, 0)]
+        assert v1.key(5) != v2.key(5)
+
+    def test_engine_change_invalidates(self, monkeypatch):
+        from repro.codegen import build
+
+        store = Store.in_memory()
+        probe, _ = counted(store)
+        reset_engine_fingerprint()
+        monkeypatch.setattr(build, "toolchain_fingerprint", lambda: "tc-one")
+        key_one = probe.key(7)
+        reset_engine_fingerprint()
+        monkeypatch.setattr(build, "toolchain_fingerprint", lambda: "tc-two")
+        key_two = probe.key(7)
+        reset_engine_fingerprint()
+        assert key_one != key_two
+
+    def test_uncached_bypasses_the_store(self):
+        probe, calls = counted(Store.in_memory())
+        probe(1)
+        probe.uncached(1)
+        probe.uncached(1)
+        assert len(calls) == 3
+
+    def test_wrapper_identity(self):
+        probe, _ = counted(Store.in_memory(), version=3)
+        assert probe.op_name == "probe"
+        assert probe.op_version == 3
+        assert probe.key(1).startswith("probe-")
+
+    def test_default_name_is_function_name(self):
+        @op(store=Store.in_memory())
+        def quadrature(n):
+            return n * n
+
+        assert quadrature.op_name == "quadrature"
+        assert quadrature(3) == 9
+
+
+class TestProvenance:
+    def test_miss_records_full_provenance(self):
+        store = Store.in_memory()
+        probe, _ = counted(store, version=4)
+        probe(10, y=1)
+        info = store.query(op="probe")
+        assert len(info) == 1
+        record = info[0].provenance
+        assert record.op == "probe"
+        assert record.op_version == 4
+        assert record.engine != "unknown"
+        assert "call" in record.inputs
+        assert record.wall_s is not None
+        assert record.created_at > 0
+
+
+class TestDefaultStore:
+    def test_in_memory_until_configured(self):
+        default = get_default_store()
+        assert get_default_store() is default  # memoized
+
+    def test_set_default_store_wins(self):
+        mine = Store.in_memory()
+        set_default_store(mine)
+        assert get_default_store() is mine
+
+        @op(name="d")
+        def doubled(x):
+            return x * 2
+
+        doubled(21)
+        assert mine.query(op="d")
+
+    def test_env_var_names_the_path(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(STORE_ENV, str(tmp_path / "opstore"))
+        store = get_default_store()
+        store.put("k", 1)
+        assert (tmp_path / "opstore" / "k.json").exists()
