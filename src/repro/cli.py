@@ -78,6 +78,12 @@ Subcommands:
 
       repro-uov perf-check --rounds 5 --threshold 0.5
 
+- ``serve`` — run the fault-tolerant compilation/experiment daemon: an
+  HTTP/JSON API over the pipeline with crash-only workers, admission
+  control, request coalescing, and circuit breakers (DESIGN.md §17)::
+
+      repro-uov serve --port 8750 --workers 4 --cache-dir serve.sqlite
+
 - ``store`` — inspect and maintain unified-store cache locations
   (DESIGN.md §16): ``stats``, ``query`` (by op / engine fingerprint /
   age / staleness), ``gc``, and ``migrate`` for pre-store cache dirs::
@@ -743,6 +749,12 @@ def _cmd_perf_check(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_serve(args) -> int:
+    from repro.serve import serve_main
+
+    return serve_main(args)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-uov",
@@ -1208,6 +1220,105 @@ def main(argv=None) -> int:
         help="also write the per-probe results as JSON to FILE",
     )
     p_perf.set_defaults(func=_cmd_perf_check)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the fault-tolerant compilation/experiment daemon "
+        "(HTTP/JSON; DESIGN.md §17)",
+        parents=[obs_flags],
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=8750,
+        help="bind port (default 8750; 0 picks a free port)",
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="crash-only worker subprocesses (default 2)",
+    )
+    p_serve.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="shared artifact store (dir or *.sqlite); also backs "
+        "GET /artifact/<key> (default: no persistence)",
+    )
+    p_serve.add_argument(
+        "--deadline",
+        type=float,
+        default=60.0,
+        metavar="S",
+        help="per-request worker deadline in seconds; an overdue worker "
+        "is killed and respawned (default 60, 0 disables)",
+    )
+    p_serve.add_argument(
+        "--rate",
+        type=float,
+        default=50.0,
+        metavar="R",
+        help="sustained admission rate, requests/s (default 50)",
+    )
+    p_serve.add_argument(
+        "--burst",
+        type=int,
+        default=100,
+        metavar="N",
+        help="admission token-bucket burst (default 100)",
+    )
+    p_serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        metavar="N",
+        help="admitted requests alive at once before shedding 429s "
+        "(default 64)",
+    )
+    p_serve.add_argument(
+        "--memory-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="peak-RSS watermark; past it every request sheds (default off)",
+    )
+    p_serve.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=3,
+        metavar="N",
+        help="consecutive failures that open a circuit breaker (default 3)",
+    )
+    p_serve.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        default=30.0,
+        metavar="S",
+        help="seconds an open breaker waits before a half-open probe "
+        "(default 30)",
+    )
+    p_serve.add_argument(
+        "--crash-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="times a crashed/overdue job is retried on a fresh worker "
+        "before the request fails (default 2)",
+    )
+    p_serve.add_argument(
+        "--drain-grace",
+        type=float,
+        default=10.0,
+        metavar="S",
+        help="SIGTERM drain grace: seconds to let in-flight requests "
+        "finish (default 10)",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
 
     from repro.store.cli import add_store_parser
 

@@ -39,6 +39,7 @@ import multiprocessing
 import os
 import time
 from collections import deque
+from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field
 from multiprocessing.connection import wait as _connection_wait
 from pathlib import Path
@@ -69,6 +70,7 @@ __all__ = [
     "TaskFailure",
     "engine_fingerprint",
     "get_runner",
+    "interruption_guard",
     "set_runner",
     "task_identity",
 ]
@@ -396,6 +398,46 @@ class SimulationRunner:
             self._checkpoint = None
         if self._store is not None:
             self._store.close()
+
+    def interrupt_flush(self, signame: str) -> None:
+        """Make an interrupted run durable before the process dies.
+
+        Called from a SIGINT/SIGTERM handler (:func:`interruption_guard`):
+        appends one final ``interrupt`` record to the checkpoint (every
+        per-result record is already flushed as it is written — this
+        stamps *when and why* the run stopped), closes the writer so the
+        last line is never torn, and writes a final run-ledger record
+        carrying the progress counts and every quarantined identity, so
+        ``--resume`` sees exactly what finished.
+        """
+        if self._checkpoint is not None:
+            self._checkpoint._write(
+                {
+                    "type": "interrupt",
+                    "signal": signame,
+                    "simulated": self.simulated,
+                    "cache_hits": self.cache_hits,
+                    "quarantined": len(self.quarantined),
+                }
+            )
+        self.close()
+        obs.get_metrics().counter("resilience.interrupts").inc()
+        obs.ledger_record(
+            "experiments",
+            event="interrupted",
+            signal=signame,
+            simulated=self.simulated,
+            cache_hits=self.cache_hits,
+            retries=self.retries_used,
+            resumed=self.resumed,
+            quarantined=[r.to_json() for r in self.quarantined],
+            checkpoint=(
+                str(self.checkpoint_path)
+                if self.checkpoint_path is not None
+                else None
+            ),
+        )
+        obs.shutdown_ledger()
 
     def run(
         self,
@@ -858,6 +900,51 @@ def set_runner(runner: SimulationRunner) -> SimulationRunner:
     previous = _RUNNER
     _RUNNER = runner
     return previous
+
+
+@contextmanager
+def interruption_guard(runner: SimulationRunner):
+    """SIGINT/SIGTERM handlers that keep an interrupted run resumable.
+
+    While the body runs, a delivered SIGINT or SIGTERM first calls
+    :meth:`SimulationRunner.interrupt_flush` — final checkpoint record,
+    clean writer close, final ledger record with the quarantine list —
+    and then resumes the interruption (``KeyboardInterrupt`` for
+    SIGINT, ``SystemExit(128+signum)`` for SIGTERM), so ``--resume``
+    always starts from a complete, untorn checkpoint.
+
+    Installs handlers only on the main thread (the only place Python
+    allows it); elsewhere it is a no-op pass-through.  Previous
+    handlers are restored on exit either way.
+    """
+    import signal as _sig
+    import threading
+
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def _on_signal(signum, frame):
+        signame = _sig.Signals(signum).name
+        _LOG.warning("interrupted by %s; flushing checkpoint + ledger", signame)
+        try:
+            runner.interrupt_flush(signame)
+        finally:
+            if signum == _sig.SIGINT:
+                raise KeyboardInterrupt
+            raise SystemExit(128 + signum)
+
+    previous = {}
+    for signum in (_sig.SIGINT, _sig.SIGTERM):
+        try:
+            previous[signum] = _sig.signal(signum, _on_signal)
+        except (ValueError, OSError):  # pragma: no cover - exotic hosts
+            pass
+    try:
+        yield
+    finally:
+        for signum, handler in previous.items():
+            _sig.signal(signum, handler)
 
 
 def ascii_table(rows: Sequence[Sequence[str]]) -> str:

@@ -1,0 +1,8 @@
+"""``python -m repro.serve`` — shorthand for ``repro-uov serve ...``."""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(["serve", *sys.argv[1:]]))

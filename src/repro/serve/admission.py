@@ -1,0 +1,157 @@
+"""Admission control: shed overload with structured 429s, never queue
+unboundedly.
+
+Three gates, checked in order at the front door (before any worker or
+coalescing state is touched):
+
+1. **queue depth** — at most ``max_inflight`` admitted requests may be
+   alive at once (in a worker or waiting for one).  This is the
+   daemon's whole queue; there is no secondary unbounded buffer behind
+   it.
+2. **token bucket** — sustained rate ``rate_per_s`` with burst
+   ``burst``: short spikes ride the bucket, sustained overload drains
+   it and sheds.
+3. **memory watermark** — reuses the resilience layer's
+   :class:`~repro.resilience.budget.Budget`/:func:`~repro.resilience.budget.rss_mb`
+   watermark: once the process peak RSS crosses ``memory_mb`` the gate
+   sheds everything until restart (a watermark crossed once stays
+   crossed — by then the daemon is already oversubscribed and the
+   honest answer is 429, not an OOM kill mid-request).
+
+A shed produces an :class:`AdmissionDecision` carrying the machine
+reason and a ``retry_after_s`` hint (time until a token or slot frees),
+which the app folds into both the ``Retry-After`` header and the JSON
+error body, counts as ``serve.shed`` (and ``serve.shed.<reason>``), and
+records as a :class:`~repro.resilience.budget.Degradation` in the run
+ledger — load shedding is a *graceful degradation of capacity* and is
+reported through the same vocabulary as every other degradation in the
+repo.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.resilience.budget import Budget, Degradation, rss_mb
+
+__all__ = ["AdmissionDecision", "AdmissionGate"]
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The gate's verdict on one request."""
+
+    admitted: bool
+    reason: str = ""  # "queue-depth" | "rate" | "memory-budget" when shed
+    retry_after_s: float = 0.0
+    inflight: int = 0
+
+    def degradation(self) -> Degradation:
+        """The shed, in the repo's structured degradation vocabulary."""
+        return Degradation(
+            reason=self.reason,
+            detail=f"admission shed at {self.inflight} in-flight",
+            fallback="retry-after",
+            data={"retry_after_s": round(self.retry_after_s, 3)},
+        )
+
+
+class AdmissionGate:
+    """Token-bucket + queue-depth + RSS-watermark admission gate.
+
+    Thread-safe: ``try_admit`` runs on the event loop, ``release`` may
+    run from worker-completion callbacks.  ``budget`` declares the
+    static limits in the resilience layer's own terms — ``max_nodes``
+    is the queue depth (admitted, not-yet-released requests), and
+    ``memory_mb`` the process peak-RSS watermark.
+    """
+
+    def __init__(
+        self,
+        rate_per_s: float = 50.0,
+        burst: int = 100,
+        max_inflight: int = 64,
+        memory_mb: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate_per_s <= 0:
+            raise ValueError("rate_per_s must be > 0")
+        if burst < 1 or max_inflight < 1:
+            raise ValueError("burst and max_inflight must be >= 1")
+        self.budget = Budget(max_nodes=max_inflight, memory_mb=memory_mb)
+        self.rate_per_s = float(rate_per_s)
+        self.burst = int(burst)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._tokens = float(burst)
+        self._refilled_at = clock()
+        self._inflight = 0
+        self.admitted = 0
+        self.shed: dict[str, int] = {}
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._refilled_at)
+        self._refilled_at = now
+        self._tokens = min(float(self.burst), self._tokens + elapsed * self.rate_per_s)
+
+    def try_admit(self) -> AdmissionDecision:
+        """Admit (consuming a token and an in-flight slot) or shed.
+
+        Callers MUST pair every admitted decision with exactly one
+        :meth:`release` once the request finishes, whatever the outcome.
+        """
+        with self._lock:
+            now = self._clock()
+            self._refill(now)
+            max_inflight = self.budget.max_nodes or 0
+            if self._inflight >= max_inflight:
+                # No slot frees deterministically; hint one mean service
+                # interval at the sustained rate.
+                return self._shed("queue-depth", 1.0 / self.rate_per_s)
+            if self._tokens < 1.0:
+                return self._shed("rate", (1.0 - self._tokens) / self.rate_per_s)
+            if self.budget.memory_mb is not None:
+                peak = rss_mb()
+                if peak is not None and peak >= self.budget.memory_mb:
+                    return self._shed("memory-budget", 5.0)
+            self._tokens -= 1.0
+            self._inflight += 1
+            self.admitted += 1
+            return AdmissionDecision(admitted=True, inflight=self._inflight)
+
+    def _shed(self, reason: str, retry_after_s: float) -> AdmissionDecision:
+        self.shed[reason] = self.shed.get(reason, 0) + 1
+        return AdmissionDecision(
+            admitted=False,
+            reason=reason,
+            # Never advertise 0s: even an instant retry needs a token.
+            retry_after_s=max(0.05, retry_after_s),
+            inflight=self._inflight,
+        )
+
+    def release(self) -> None:
+        with self._lock:
+            if self._inflight > 0:
+                self._inflight -= 1
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            self._refill(self._clock())
+            return {
+                "inflight": self._inflight,
+                "max_inflight": self.budget.max_nodes,
+                "tokens": round(self._tokens, 2),
+                "burst": self.burst,
+                "rate_per_s": self.rate_per_s,
+                "memory_mb": self.budget.memory_mb,
+                "admitted": self.admitted,
+                "shed": dict(self.shed),
+            }

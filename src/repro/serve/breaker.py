@@ -1,0 +1,208 @@
+"""Circuit breakers: quarantine poisoned work, degrade broken backends.
+
+The daemon runs two breaker families (DESIGN.md §17):
+
+- a **spec breaker** per request content-hash: a spec whose pipeline run
+  keeps crashing workers (or timing out, or raising) trips its breaker
+  after ``failure_threshold`` consecutive failures, and further requests
+  for that hash are rejected at the door (HTTP 422,
+  ``spec-quarantined``) instead of burning another worker.  After
+  ``cooldown_s`` the breaker goes **half-open** and admits exactly one
+  probe; a probe success closes it, a probe failure re-opens it for a
+  full fresh cooldown.
+- the **toolchain breaker** around native compiles: repeated toolchain
+  failures (``cc`` missing, wedged, or crashing) open it, and while it
+  is open every ``engine=native`` request is rewritten to the
+  vectorized engine *before* dispatch, with a truthful
+  :class:`~repro.resilience.budget.Degradation` attached to the
+  response — clients get correct numbers from a slower engine, never an
+  error storm.  Half-open probes let one native request through to
+  detect recovery.
+
+State machine (per breaker)::
+
+    closed --[threshold consecutive failures]--> open
+    open   --[cooldown elapsed, one probe]-----> half-open
+    half-open --success--> closed
+    half-open --failure--> open (fresh cooldown)
+
+All transitions are counted (``serve.breaker.opened`` /
+``.closed`` / ``.half_open``) and mirrored into the
+``serve.breaker_state`` gauge family for ``GET /stats``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+__all__ = ["BreakerBoard", "CircuitBreaker"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """One named breaker; thread-safe (pool thread + event loop share it)."""
+
+    def __init__(
+        self,
+        name: str,
+        failure_threshold: int = 3,
+        cooldown_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0  # consecutive, resets on success
+        self._opened_at: Optional[float] = None
+        self._probe_out = False
+        self.transitions = {"opened": 0, "closed": 0, "half_open": 0}
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def retry_after_s(self) -> float:
+        """Seconds until the next probe slot (0 when not open)."""
+        with self._lock:
+            if self._state != OPEN or self._opened_at is None:
+                return 0.0
+            return max(0.0, self._opened_at + self.cooldown_s - self._clock())
+
+    def allow(self) -> bool:
+        """True when a request may proceed; a half-open breaker hands out
+        exactly one probe token until its outcome is recorded."""
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN and not self._probe_out:
+                self._probe_out = True
+                return True
+            return False
+
+    # -- outcomes --------------------------------------------------------
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._probe_out = False
+            if self._state != CLOSED:
+                self._transition(CLOSED, "closed")
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._probe_out = False
+            if self._state == HALF_OPEN:
+                self._open()  # the probe failed: fresh cooldown
+                return
+            self._failures += 1
+            if self._state == CLOSED and self._failures >= self.failure_threshold:
+                self._open()
+
+    # -- internals (lock held) -------------------------------------------
+
+    def _open(self) -> None:
+        self._opened_at = self._clock()
+        self._failures = 0
+        self._transition(OPEN, "opened")
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state == OPEN
+            and self._opened_at is not None
+            and self._clock() - self._opened_at >= self.cooldown_s
+        ):
+            self._transition(HALF_OPEN, "half_open")
+
+    def _transition(self, state: str, counter: str) -> None:
+        from repro import obs
+
+        self._state = state
+        self.transitions[counter] += 1
+        metrics = obs.get_metrics()
+        metrics.counter(f"serve.breaker.{counter}").inc()
+        # 0 = closed, 1 = half-open, 2 = open: a cheap state gauge.
+        metrics.gauge(f"serve.breaker_state.{self.name}").set(
+            {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}[state]
+        )
+        obs.event("serve.breaker", breaker=self.name, state=state)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            self._maybe_half_open()
+            return {
+                "name": self.name,
+                "state": self._state,
+                "consecutive_failures": self._failures,
+                "transitions": dict(self.transitions),
+            }
+
+
+class BreakerBoard:
+    """Per-key breakers with shared settings (the spec-hash quarantine).
+
+    Breakers are created lazily on first failure-or-check and never
+    expire (a daemon's working set of distinct spec hashes is bounded by
+    its clients; ``max_breakers`` caps pathological churn by evicting
+    the oldest *closed* breaker).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+        max_breakers: int = 4096,
+    ) -> None:
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self.max_breakers = max_breakers
+        self._lock = threading.Lock()
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    def breaker(self, key: str) -> CircuitBreaker:
+        with self._lock:
+            breaker = self._breakers.get(key)
+            if breaker is None:
+                if len(self._breakers) >= self.max_breakers:
+                    for name, candidate in self._breakers.items():
+                        if candidate.state == CLOSED:
+                            del self._breakers[name]
+                            break
+                breaker = CircuitBreaker(
+                    key,
+                    failure_threshold=self.failure_threshold,
+                    cooldown_s=self.cooldown_s,
+                    clock=self._clock,
+                )
+                self._breakers[key] = breaker
+            return breaker
+
+    def snapshot(self) -> dict:
+        """Counts by state plus every non-closed breaker (the short list
+        an operator actually wants in ``/stats``)."""
+        with self._lock:
+            breakers = list(self._breakers.values())
+        by_state = {CLOSED: 0, OPEN: 0, HALF_OPEN: 0}
+        tripped = []
+        for breaker in breakers:
+            state = breaker.state
+            by_state[state] = by_state.get(state, 0) + 1
+            if state != CLOSED:
+                tripped.append(breaker.snapshot())
+        return {"total": len(breakers), "by_state": by_state, "tripped": tripped}

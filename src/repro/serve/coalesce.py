@@ -1,0 +1,76 @@
+"""In-flight request coalescing on content hash (single-flight).
+
+Two identical concurrent ``POST /compile`` bodies describe the same
+work; running the pipeline twice would waste a worker and — worse —
+race on the shared store.  The :class:`Coalescer` keys every request by
+its content hash (the store's fingerprint scheme, so "identical" means
+*semantically* identical after canonicalisation, not byte-identical):
+the first arrival becomes the **leader** and actually runs the job;
+followers arriving while it is in flight await the leader's future and
+receive the same result marked ``coalesced: true``.
+
+Failure is *not* shared: a leader's failure completes the followers'
+future too (they would have failed identically — the work is
+content-identical), but the entry is removed first, so the next arrival
+starts a fresh flight rather than latching a transient crash forever.
+
+Purely asyncio (single event loop); the pool's worker threads never
+touch this state.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable
+
+__all__ = ["Coalescer"]
+
+
+class Coalescer:
+    """Single-flight keyed futures over one event loop."""
+
+    def __init__(self) -> None:
+        self._inflight: dict[str, asyncio.Future] = {}
+        self.leaders = 0
+        self.coalesced = 0
+
+    def inflight(self) -> int:
+        return len(self._inflight)
+
+    async def run(
+        self, key: str, thunk: Callable[[], Awaitable[Any]]
+    ) -> tuple[Any, bool]:
+        """``(result, coalesced)`` — run ``thunk`` or join the in-flight
+        leader for ``key``.  Raises whatever the leader raised."""
+        existing = self._inflight.get(key)
+        if existing is not None:
+            self.coalesced += 1
+            from repro import obs
+
+            obs.get_metrics().counter("serve.coalesced").inc()
+            return await asyncio.shield(existing), True
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        self.leaders += 1
+        try:
+            result = await thunk()
+        except BaseException as exc:
+            self._inflight.pop(key, None)
+            if not future.done():
+                future.set_exception(exc)
+                # The followers all consume it; stop "never retrieved"
+                # warnings when there are none.
+                future.exception()
+            raise
+        else:
+            self._inflight.pop(key, None)
+            if not future.done():
+                future.set_result(result)
+            return result, False
+
+    def snapshot(self) -> dict:
+        return {
+            "inflight": len(self._inflight),
+            "leaders": self.leaders,
+            "coalesced": self.coalesced,
+        }

@@ -1,0 +1,137 @@
+"""A deliberately small asyncio HTTP/1.1 layer (zero dependencies).
+
+The serve daemon needs exactly: request line + headers + sized JSON
+body in, status + headers + JSON body out, one request per connection
+(``Connection: close``).  Anything cleverer (keep-alive, chunked
+encoding, TLS) belongs in a reverse proxy in front of the daemon, not
+here — this layer's only jobs are to never let a malformed or
+adversarial request past the caps and to never crash the loop.
+
+Limits: 16 KiB of request head, 8 MiB of body (a StencilSpec is a few
+KiB; 8 MiB is generous for generated corpora), 10 s header read
+timeout.  Violations map to 400/413/408 without touching the app.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["HttpError", "Request", "Response", "read_request", "write_response"]
+
+MAX_HEAD_BYTES = 16 * 1024
+MAX_BODY_BYTES = 8 * 1024 * 1024
+HEAD_TIMEOUT_S = 10.0
+
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """A protocol-level violation, mapped straight to a status code."""
+
+    def __init__(self, status: int, message: str):
+        self.status = status
+        self.message = message
+        super().__init__(message)
+
+
+@dataclass
+class Request:
+    method: str
+    path: str
+    headers: dict[str, str]
+    body: bytes
+
+    def json(self):
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise HttpError(400, f"request body is not valid JSON: {exc}")
+
+
+@dataclass
+class Response:
+    status: int
+    body: dict
+    headers: dict[str, str] = field(default_factory=dict)
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request; None on a cleanly closed idle connection."""
+    try:
+        head = await asyncio.wait_for(
+            reader.readuntil(b"\r\n\r\n"), timeout=HEAD_TIMEOUT_S
+        )
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # client connected and went away: not an error
+        raise HttpError(400, "truncated request head")
+    except asyncio.LimitOverrunError:
+        raise HttpError(400, "request head too large")
+    except asyncio.TimeoutError:
+        raise HttpError(408, "timed out reading request head")
+    if len(head) > MAX_HEAD_BYTES:
+        raise HttpError(400, "request head too large")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line {lines[0]!r}")
+    method, target, _version = parts
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise HttpError(400, "bad Content-Length")
+        if length < 0:
+            raise HttpError(400, "bad Content-Length")
+        if length > MAX_BODY_BYTES:
+            raise HttpError(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise HttpError(400, "truncated request body")
+    elif headers.get("transfer-encoding"):
+        raise HttpError(400, "chunked request bodies are not supported")
+    # Strip any query string; the API is purely path + JSON body.
+    path = target.split("?", 1)[0]
+    return Request(method=method.upper(), path=path, headers=headers, body=body)
+
+
+async def write_response(
+    writer: asyncio.StreamWriter, response: Response
+) -> None:
+    payload = (
+        json.dumps(response.body, sort_keys=True) + "\n"
+    ).encode("utf-8")
+    reason = REASONS.get(response.status, "Unknown")
+    head = [f"HTTP/1.1 {response.status} {reason}"]
+    headers = {
+        "content-type": "application/json",
+        "content-length": str(len(payload)),
+        "connection": "close",
+    }
+    headers.update({k.lower(): str(v) for k, v in response.headers.items()})
+    head.extend(f"{name}: {value}" for name, value in headers.items())
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + payload)
+    await writer.drain()

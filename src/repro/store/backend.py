@@ -265,7 +265,22 @@ class SqliteBackend:
     writer) is deleted, counted through the same
     ``store.heal.*``/``resilience.cache.corrupt`` counters as the
     directory backend, and reported as a miss.
+
+    ``PRAGMA busy_timeout`` makes sqlite itself wait on a plain row
+    lock, but "database is locked" can still escape it — a competing
+    ``BEGIN IMMEDIATE`` held past the timeout under a pile-up of
+    writers, or a WAL snapshot conflict, both surface as
+    ``sqlite3.OperationalError`` after the pragma gives up.  Every
+    write (``put``/``annotate``/``delete``) therefore retries the whole
+    transaction with capped exponential backoff
+    (:data:`LOCKED_BACKOFF_S`, ~3 s worst case) and counts
+    ``store.locked_retries`` before letting the error propagate:
+    under the serve daemon's concurrent workers a transient lock storm
+    costs milliseconds, not a failed request.
     """
+
+    #: Backoff schedule (seconds) for "database is locked" retries.
+    LOCKED_BACKOFF_S = (0.01, 0.02, 0.05, 0.1, 0.25, 0.5, 1.0)
 
     _SCHEMA = """
     CREATE TABLE IF NOT EXISTS entries (
@@ -303,6 +318,29 @@ class SqliteBackend:
             self._conn_pid = os.getpid()
         return self._conn
 
+    def _retry_locked(self, label: str, attempt):
+        """Run ``attempt()`` again after a lock-contention error, backing
+        off through :data:`LOCKED_BACKOFF_S`; re-raise anything else (a
+        real error — disk full, corrupt file — must not be retried into
+        a hang) and the lock error itself once the schedule runs dry."""
+        from repro import obs
+
+        for delay in self.LOCKED_BACKOFF_S:
+            try:
+                return attempt()
+            except sqlite3.OperationalError as exc:
+                message = str(exc).lower()
+                if "locked" not in message and "busy" not in message:
+                    raise
+                obs.get_metrics().counter("store.locked_retries").inc()
+                obs.warn_once(
+                    f"{self.site}.locked:{label}",
+                    f"{self.site}: {self.path.name} is locked "
+                    f"({exc}); retrying {label}",
+                )
+                time.sleep(delay)
+        return attempt()
+
     def get(self, key: str) -> Optional[Any]:
         conn = self._connect()
         row = conn.execute(
@@ -337,43 +375,49 @@ class SqliteBackend:
             if provenance is not None
             else None
         )
-        conn = self._connect()
-        conn.execute("BEGIN IMMEDIATE")
-        try:
-            conn.execute(
-                "INSERT OR REPLACE INTO entries "
-                "(key, body, digest, provenance, created_at, nbytes) "
-                "VALUES (?, ?, ?, ?, ?, ?)",
-                (
-                    key,
-                    blob,
-                    body_digest(body),
-                    prov_blob,
-                    (
-                        provenance.created_at
-                        if provenance is not None and provenance.created_at
-                        else time.time()
-                    ),
-                    len(blob),
-                ),
-            )
-            # Fault-injection hook: a ``kill`` here dies inside the
-            # transaction — the chaos suite asserts no corrupt entry
-            # becomes visible (the transaction simply never commits).
-            maybe_fault(f"{self.site}.sqlite.put", label=label or key)
-            conn.execute("COMMIT")
-        except BaseException:
+        def attempt() -> None:
+            conn = self._connect()
+            conn.execute("BEGIN IMMEDIATE")
             try:
-                conn.execute("ROLLBACK")
-            except sqlite3.Error:
-                pass
-            raise
+                conn.execute(
+                    "INSERT OR REPLACE INTO entries "
+                    "(key, body, digest, provenance, created_at, nbytes) "
+                    "VALUES (?, ?, ?, ?, ?, ?)",
+                    (
+                        key,
+                        blob,
+                        body_digest(body),
+                        prov_blob,
+                        (
+                            provenance.created_at
+                            if provenance is not None and provenance.created_at
+                            else time.time()
+                        ),
+                        len(blob),
+                    ),
+                )
+                # Fault-injection hook: a ``kill`` here dies inside the
+                # transaction — the chaos suite asserts no corrupt entry
+                # becomes visible (the transaction simply never commits).
+                maybe_fault(f"{self.site}.sqlite.put", label=label or key)
+                conn.execute("COMMIT")
+            except BaseException:
+                try:
+                    conn.execute("ROLLBACK")
+                except sqlite3.Error:
+                    pass
+                raise
+
+        self._retry_locked("put", attempt)
 
     def annotate(self, key: str, provenance: Provenance) -> None:
-        conn = self._connect()
-        conn.execute(
-            "UPDATE entries SET provenance = ? WHERE key = ?",
-            (json.dumps(provenance.to_json(), sort_keys=True), key),
+        blob = json.dumps(provenance.to_json(), sort_keys=True)
+        self._retry_locked(
+            "annotate",
+            lambda: self._connect().execute(
+                "UPDATE entries SET provenance = ? WHERE key = ?",
+                (blob, key),
+            ),
         )
 
     def provenance(self, key: str) -> Optional[Provenance]:
@@ -389,8 +433,12 @@ class SqliteBackend:
             return None
 
     def delete(self, key: str) -> bool:
-        conn = self._connect()
-        cursor = conn.execute("DELETE FROM entries WHERE key = ?", (key,))
+        cursor = self._retry_locked(
+            "delete",
+            lambda: self._connect().execute(
+                "DELETE FROM entries WHERE key = ?", (key,)
+            ),
+        )
         return cursor.rowcount > 0
 
     def keys(self) -> list[str]:

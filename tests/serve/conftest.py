@@ -1,0 +1,34 @@
+"""Serve-suite fixtures: every test starts and ends fault-free."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import obs
+from repro.resilience.faults import ENV_DIR, ENV_SEED, ENV_SPEC, install_plan
+
+
+@pytest.fixture(autouse=True)
+def clean_faults():
+    """No armed plan, no injection env vars, fresh metrics — both sides."""
+    for var in (ENV_SPEC, ENV_SEED, ENV_DIR):
+        os.environ.pop(var, None)
+    install_plan(None)
+    obs.reset()  # metrics + warn_once dedup keys
+    yield
+    install_plan(None)
+    for var in (ENV_SPEC, ENV_SEED, ENV_DIR):
+        os.environ.pop(var, None)
+    obs.reset()
+
+
+@pytest.fixture
+def relax3_spec() -> dict:
+    """A small, valid stencil spec body (examples/specs/relax3.json)."""
+    import json
+    from pathlib import Path
+
+    root = Path(__file__).resolve().parents[2]
+    return json.loads((root / "examples" / "specs" / "relax3.json").read_text())

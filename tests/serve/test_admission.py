@@ -1,0 +1,104 @@
+"""Admission control: token bucket, queue depth, structured sheds."""
+
+import pytest
+
+from repro.serve.admission import AdmissionGate
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, s: float) -> None:
+        self.now += s
+
+
+class TestQueueDepth:
+    def test_sheds_at_max_inflight_and_recovers_on_release(self):
+        gate = AdmissionGate(rate_per_s=1000.0, burst=1000, max_inflight=2)
+        assert gate.try_admit().admitted
+        assert gate.try_admit().admitted
+        shed = gate.try_admit()
+        assert not shed.admitted
+        assert shed.reason == "queue-depth"
+        assert shed.retry_after_s > 0
+        gate.release()
+        assert gate.try_admit().admitted
+
+    def test_release_never_goes_negative(self):
+        gate = AdmissionGate(max_inflight=1)
+        gate.release()
+        gate.release()
+        assert gate.inflight == 0
+        assert gate.try_admit().admitted
+
+
+class TestTokenBucket:
+    def test_burst_then_rate_shed(self):
+        clock = FakeClock()
+        gate = AdmissionGate(
+            rate_per_s=1.0, burst=2, max_inflight=100, clock=clock
+        )
+        assert gate.try_admit().admitted
+        assert gate.try_admit().admitted
+        shed = gate.try_admit()
+        assert not shed.admitted and shed.reason == "rate"
+        # retry_after names the time for one token at the sustained rate.
+        assert shed.retry_after_s == pytest.approx(1.0, abs=0.05)
+
+    def test_tokens_refill_with_time(self):
+        clock = FakeClock()
+        gate = AdmissionGate(
+            rate_per_s=2.0, burst=1, max_inflight=100, clock=clock
+        )
+        assert gate.try_admit().admitted
+        assert not gate.try_admit().admitted
+        clock.advance(0.5)  # one token at 2/s
+        assert gate.try_admit().admitted
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        gate = AdmissionGate(
+            rate_per_s=10.0, burst=3, max_inflight=100, clock=clock
+        )
+        clock.advance(60.0)
+        granted = sum(1 for _ in range(10) if gate.try_admit().admitted)
+        assert granted == 3
+
+
+class TestDecisions:
+    def test_shed_counts_by_reason(self):
+        gate = AdmissionGate(rate_per_s=1000.0, burst=1000, max_inflight=1)
+        gate.try_admit()
+        gate.try_admit()
+        gate.try_admit()
+        assert gate.shed == {"queue-depth": 2}
+
+    def test_degradation_speaks_the_resilience_vocabulary(self):
+        gate = AdmissionGate(rate_per_s=1000.0, burst=1000, max_inflight=1)
+        gate.try_admit()
+        decision = gate.try_admit()
+        degradation = decision.degradation()
+        assert degradation.reason == "queue-depth"
+        assert degradation.fallback == "retry-after"
+        assert degradation.data["retry_after_s"] > 0
+        # Round-trips through the shared Degradation JSON schema.
+        assert degradation.to_json()["reason"] == "queue-depth"
+
+    def test_snapshot_shape(self):
+        gate = AdmissionGate(rate_per_s=5.0, burst=7, max_inflight=3)
+        gate.try_admit()
+        snap = gate.snapshot()
+        assert snap["inflight"] == 1
+        assert snap["max_inflight"] == 3
+        assert snap["burst"] == 7
+        assert snap["admitted"] == 1
+
+    def test_rejects_nonsense_limits(self):
+        with pytest.raises(ValueError):
+            AdmissionGate(rate_per_s=0.0)
+        with pytest.raises(ValueError):
+            AdmissionGate(max_inflight=0)

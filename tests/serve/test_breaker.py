@@ -1,0 +1,121 @@
+"""The circuit-breaker state machine, driven by a fake clock."""
+
+from repro.serve.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerBoard,
+    CircuitBreaker,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, s: float) -> None:
+        self.now += s
+
+
+def make(threshold=3, cooldown=30.0):
+    clock = FakeClock()
+    return CircuitBreaker(
+        "test", failure_threshold=threshold, cooldown_s=cooldown, clock=clock
+    ), clock
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self):
+        breaker, _ = make()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+        assert breaker.retry_after_s() == 0.0
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker, _ = make(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+
+    def test_success_resets_the_consecutive_count(self):
+        breaker, _ = make(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # never two *consecutive* failures
+
+    def test_retry_after_counts_down_the_cooldown(self):
+        breaker, clock = make(threshold=1, cooldown=30.0)
+        breaker.record_failure()
+        assert breaker.retry_after_s() == 30.0
+        clock.advance(12.0)
+        assert breaker.retry_after_s() == 18.0
+
+    def test_half_open_after_cooldown_hands_out_one_probe(self):
+        breaker, clock = make(threshold=1, cooldown=30.0)
+        breaker.record_failure()
+        clock.advance(30.0)
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()  # the probe
+        assert not breaker.allow()  # no second probe until an outcome
+
+    def test_probe_success_closes(self):
+        breaker, clock = make(threshold=1, cooldown=30.0)
+        breaker.record_failure()
+        clock.advance(30.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_with_fresh_cooldown(self):
+        breaker, clock = make(threshold=1, cooldown=30.0)
+        breaker.record_failure()
+        clock.advance(30.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.retry_after_s() == 30.0  # fresh, not residual
+
+    def test_transitions_are_counted(self):
+        breaker, clock = make(threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.transitions == {
+            "opened": 1,
+            "half_open": 1,
+            "closed": 1,
+        }
+
+
+class TestBreakerBoard:
+    def test_same_key_same_breaker(self):
+        board = BreakerBoard()
+        assert board.breaker("a") is board.breaker("a")
+        assert board.breaker("a") is not board.breaker("b")
+
+    def test_snapshot_lists_only_tripped(self):
+        board = BreakerBoard(failure_threshold=1)
+        board.breaker("ok")
+        board.breaker("bad").record_failure()
+        snap = board.snapshot()
+        assert snap["total"] == 2
+        assert snap["by_state"][OPEN] == 1
+        assert [b["name"] for b in snap["tripped"]] == ["bad"]
+
+    def test_cap_evicts_oldest_closed_breaker(self):
+        board = BreakerBoard(failure_threshold=1, max_breakers=2)
+        board.breaker("first")
+        board.breaker("tripped").record_failure()
+        board.breaker("third")  # evicts "first" (closed), never "tripped"
+        snap = board.snapshot()
+        assert snap["total"] == 2
+        assert snap["by_state"][OPEN] == 1

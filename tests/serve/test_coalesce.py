@@ -1,0 +1,147 @@
+"""Single-flight coalescing: one pipeline run per in-flight content hash."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.coalesce import Coalescer
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestSingleFlight:
+    def test_concurrent_identical_keys_run_once(self):
+        async def scenario():
+            coalescer = Coalescer()
+            runs = 0
+            release = asyncio.Event()
+
+            async def thunk():
+                nonlocal runs
+                runs += 1
+                await release.wait()
+                return {"n": runs}
+
+            leader = asyncio.create_task(coalescer.run("k", thunk))
+            await asyncio.sleep(0)  # leader registers its flight
+            followers = [
+                asyncio.create_task(coalescer.run("k", thunk))
+                for _ in range(5)
+            ]
+            await asyncio.sleep(0)
+            release.set()
+            outcomes = await asyncio.gather(leader, *followers)
+            return runs, outcomes
+
+        runs, outcomes = run(scenario())
+        assert runs == 1  # the thunk ran exactly once
+        results = [r for r, _ in outcomes]
+        assert all(r == {"n": 1} for r in results)
+        flags = [coalesced for _, coalesced in outcomes]
+        assert flags.count(False) == 1  # exactly one leader
+        assert flags.count(True) == 5
+
+    def test_different_keys_do_not_coalesce(self):
+        async def scenario():
+            coalescer = Coalescer()
+
+            async def thunk(value):
+                await asyncio.sleep(0)
+                return value
+
+            a, b = await asyncio.gather(
+                coalescer.run("a", lambda: thunk(1)),
+                coalescer.run("b", lambda: thunk(2)),
+            )
+            return a, b
+
+        (ra, ca), (rb, cb) = run(scenario())
+        assert (ra, rb) == (1, 2)
+        assert not ca and not cb
+
+    def test_sequential_same_key_runs_twice(self):
+        async def scenario():
+            coalescer = Coalescer()
+            runs = 0
+
+            async def thunk():
+                nonlocal runs
+                runs += 1
+                return runs
+
+            first, _ = await coalescer.run("k", thunk)
+            second, coalesced = await coalescer.run("k", thunk)
+            return first, second, coalesced
+
+        first, second, coalesced = run(scenario())
+        assert (first, second) == (1, 2)
+        assert not coalesced  # the first flight had already landed
+
+
+class TestFailureSemantics:
+    def test_leader_failure_propagates_to_followers(self):
+        async def scenario():
+            coalescer = Coalescer()
+            release = asyncio.Event()
+
+            async def thunk():
+                await release.wait()
+                raise RuntimeError("boom")
+
+            leader = asyncio.create_task(coalescer.run("k", thunk))
+            await asyncio.sleep(0)
+            follower = asyncio.create_task(coalescer.run("k", thunk))
+            await asyncio.sleep(0)
+            release.set()
+            with pytest.raises(RuntimeError):
+                await leader
+            with pytest.raises(RuntimeError):
+                await follower
+            return coalescer
+
+        coalescer = run(scenario())
+        assert coalescer.inflight() == 0
+
+    def test_failure_is_not_latched(self):
+        async def scenario():
+            coalescer = Coalescer()
+            attempts = 0
+
+            async def flaky():
+                nonlocal attempts
+                attempts += 1
+                if attempts == 1:
+                    raise RuntimeError("first flight fails")
+                return "ok"
+
+            with pytest.raises(RuntimeError):
+                await coalescer.run("k", flaky)
+            result, coalesced = await coalescer.run("k", flaky)
+            return result, coalesced
+
+        result, coalesced = run(scenario())
+        assert result == "ok" and not coalesced
+
+    def test_snapshot_counts(self):
+        async def scenario():
+            coalescer = Coalescer()
+            release = asyncio.Event()
+
+            async def thunk():
+                await release.wait()
+                return 1
+
+            leader = asyncio.create_task(coalescer.run("k", thunk))
+            await asyncio.sleep(0)
+            follower = asyncio.create_task(coalescer.run("k", thunk))
+            await asyncio.sleep(0)
+            mid = coalescer.snapshot()
+            release.set()
+            await asyncio.gather(leader, follower)
+            return mid, coalescer.snapshot()
+
+        mid, final = run(scenario())
+        assert mid == {"inflight": 1, "leaders": 1, "coalesced": 1}
+        assert final == {"inflight": 0, "leaders": 1, "coalesced": 1}

@@ -1,0 +1,174 @@
+"""The crash-only worker pool: crashes, timeouts, retirement, telemetry.
+
+Uses cheap ``probe`` jobs plus the ``serve.worker`` fault site, so every
+failure mode is deterministic and each test stays fast.
+"""
+
+import concurrent.futures
+
+import pytest
+
+from repro import obs
+from repro.resilience.faults import FaultPlan, install_plan
+from repro.serve.workers import (
+    JobFailed,
+    WorkerCrash,
+    WorkerPool,
+    WorkerTimeout,
+    execute_job,
+)
+
+PROBE = {"kind": "probe", "label": "probe"}
+
+
+def arm(spec: str, tmp_path, seed: int = 0) -> FaultPlan:
+    """Install + env-arm a plan with cross-process sentinel counting."""
+    plan = FaultPlan.from_spec(spec, seed=seed, scratch_dir=tmp_path / "faults")
+    install_plan(plan)
+    plan.arm_env()
+    return plan
+
+
+@pytest.fixture
+def make_pool():
+    """Factory so tests can arm faults *before* the workers fork (workers
+    copy the environment at fork time; arming afterwards is invisible)."""
+    pools = []
+
+    def factory(workers=2, deadline_s=None):
+        pool = WorkerPool(workers=workers, deadline_s=deadline_s)
+        pool.start()
+        pools.append(pool)
+        return pool
+
+    yield factory
+    for pool in pools:
+        pool.shutdown(grace_s=2.0)
+
+
+@pytest.fixture
+def pool(make_pool):
+    return make_pool()
+
+
+class TestHappyPath:
+    def test_probe_round_trips(self, pool):
+        result = pool.submit(dict(PROBE)).result(timeout=30)
+        assert isinstance(result["pid"], int)
+        assert result["pid"] != 0
+
+    def test_jobs_fan_out_and_all_complete(self, pool):
+        futures = [pool.submit(dict(PROBE)) for _ in range(8)]
+        pids = {f.result(timeout=30)["pid"] for f in futures}
+        assert pids  # at least one worker served them
+        assert pool.completed == 8
+        assert pool.snapshot()["queued"] == 0
+
+    def test_worker_metrics_ship_home(self, pool):
+        pool.submit(dict(PROBE)).result(timeout=30)
+        counters = obs.get_metrics().snapshot()["counters"]
+        assert counters.get("serve.jobs.completed") == 1
+
+    def test_unknown_kind_is_job_failure_not_crash(self, pool):
+        with pytest.raises(JobFailed, match="unknown job kind"):
+            pool.submit({"kind": "nope"}).result(timeout=30)
+        assert pool.restarts == 0  # the worker survived
+
+
+class TestCrashOnly:
+    def test_injected_kill_is_a_crash_and_the_pool_recovers(
+        self, make_pool, tmp_path
+    ):
+        arm("serve.worker:kill:times=1", tmp_path)
+        pool = make_pool()
+        with pytest.raises(WorkerCrash) as excinfo:
+            pool.submit(dict(PROBE)).result(timeout=30)
+        assert excinfo.value.exitcode == 113  # KILL_EXIT_CODE
+        # The replacement worker serves the next job.
+        assert pool.submit(dict(PROBE)).result(timeout=30)["pid"]
+        assert pool.restarts == 1
+        assert pool.crashes == 1
+
+    def test_crash_exception_stays_in_the_worker(self, make_pool, tmp_path):
+        arm("serve.worker:crash:times=1", tmp_path)
+        pool = make_pool()
+        with pytest.raises(JobFailed, match="serve.worker"):
+            pool.submit(dict(PROBE)).result(timeout=30)
+        assert pool.restarts == 0  # raised, reported, worker lives on
+        assert pool.submit(dict(PROBE)).result(timeout=30)["pid"]
+
+    def test_other_inflight_jobs_survive_a_crash(self, make_pool, tmp_path):
+        # Exactly one kill, matched to one label: the poisoned job dies,
+        # the healthy ones complete on their own workers.
+        arm("serve.worker:kill:times=1,match=poison", tmp_path)
+        pool = make_pool()
+        poisoned = pool.submit({"kind": "probe", "label": "poison"})
+        healthy = [
+            pool.submit({"kind": "probe", "label": f"ok-{i}"})
+            for i in range(4)
+        ]
+        with pytest.raises(WorkerCrash):
+            poisoned.result(timeout=30)
+        for future in healthy:
+            assert future.result(timeout=30)["pid"]
+
+    def test_deadline_reaps_a_wedged_worker(self, make_pool, tmp_path):
+        arm("serve.worker:timeout:times=1,delay=60", tmp_path)
+        pool = make_pool(workers=1, deadline_s=0.5)
+        with pytest.raises(WorkerTimeout):
+            pool.submit(dict(PROBE)).result(timeout=30)
+        assert pool.timeouts == 1
+        assert pool.restarts == 1
+        # The replacement worker is live.
+        assert pool.submit(dict(PROBE)).result(timeout=30)["pid"]
+
+
+class TestShutdown:
+    def test_shutdown_fails_pending_futures(self):
+        pool = WorkerPool(workers=1)
+        pool.start()
+        future = pool.submit(dict(PROBE))
+        future.result(timeout=30)
+        pool.shutdown(grace_s=1.0)
+        with pytest.raises(RuntimeError, match="shutting down"):
+            pool.submit(dict(PROBE))
+
+    def test_snapshot_shape(self, pool):
+        snap = pool.snapshot()
+        assert snap["size"] == 2
+        assert set(snap) >= {
+            "alive",
+            "busy",
+            "queued",
+            "completed",
+            "restarts",
+            "crashes",
+            "timeouts",
+        }
+
+
+class TestExecuteJob:
+    """``execute_job`` runs in-process too (what the workers actually do)."""
+
+    def test_compile_job(self, relax3_spec, tmp_path):
+        from repro.serve.protocol import normalize_compile_request
+
+        job = normalize_compile_request({"spec": relax3_spec})
+        result = execute_job(job, str(tmp_path / "cache"))
+        assert result["spec"] == "relax3"
+        assert result["engine_used"] == "interpreter"
+        assert [s["name"] for s in result["stages"]][:2] == [
+            "parse",
+            "dependence",
+        ]
+        assert result["outputs_sha256"]
+
+    def test_experiment_job(self, tmp_path):
+        from repro.serve.protocol import normalize_experiment_request
+
+        job = normalize_experiment_request(
+            {"code": "stencil5", "version": "ov", "sizes": {"T": 4, "L": 12}}
+        )
+        result = execute_job(job, None)
+        assert result["task"].startswith("stencil5/ov")
+        assert result["result"]["cycles_per_iteration"] > 0
