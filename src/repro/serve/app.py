@@ -128,6 +128,7 @@ class ServeApp:
         self._active = 0  # open HTTP connections being handled
         self._drained: Optional[asyncio.Event] = None
         self._server: Optional[asyncio.base_events.Server] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
 
     # -- lifecycle -------------------------------------------------------
 
@@ -145,6 +146,7 @@ class ServeApp:
         )
         bound = self._server.sockets[0].getsockname()
         loop = asyncio.get_running_loop()
+        self._loop = loop  # begin_drain bounces off-loop callers here
         for signum in (signal.SIGTERM, signal.SIGINT):
             try:
                 loop.add_signal_handler(signum, self.begin_drain, signal.Signals(signum).name)
@@ -167,7 +169,24 @@ class ServeApp:
             await self._shutdown()
 
     def begin_drain(self, why: str = "requested") -> None:
-        """Stop accepting and let in-flight work finish (idempotent)."""
+        """Stop accepting and let in-flight work finish (idempotent).
+
+        Callable from any thread: off-loop callers are marshalled onto
+        the serving loop captured in :meth:`run_async`.
+        """
+        loop = self._loop
+        if loop is None or loop.is_closed():
+            return  # not serving; nothing to drain
+        try:
+            on_loop = asyncio.get_running_loop() is loop
+        except RuntimeError:
+            on_loop = False
+        if on_loop:
+            self._begin_drain_on_loop(why)
+        else:
+            loop.call_soon_threadsafe(self._begin_drain_on_loop, why)
+
+    def _begin_drain_on_loop(self, why: str) -> None:
         if self.draining:
             return
         self.draining = True
@@ -176,8 +195,8 @@ class ServeApp:
         obs.event("serve.drain", why=why)
         if self._server is not None:
             self._server.close()
-        loop = asyncio.get_event_loop()
-        loop.create_task(self._await_quiesce(why))
+        assert self._loop is not None
+        self._loop.create_task(self._await_quiesce(why))
 
     async def _await_quiesce(self, why: str) -> None:
         deadline = time.monotonic() + self.drain_grace_s

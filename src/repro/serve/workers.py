@@ -214,6 +214,17 @@ def _worker_main(conn, cache_dir: Optional[str]) -> None:
 # -- parent-side pool ---------------------------------------------------------
 
 
+def _fail_future(future: Future, exc: BaseException) -> None:
+    """Fail ``future`` unless it already resolved (races the scheduler
+    thread delivering a result between our done() check and set)."""
+    if future.done():
+        return
+    try:
+        future.set_exception(exc)
+    except Exception:  # InvalidStateError: the result won the race
+        pass
+
+
 class _Worker:
     """Parent-side record of one worker process."""
 
@@ -285,7 +296,14 @@ class WorkerPool:
 
     def shutdown(self, grace_s: float = 10.0) -> None:
         """Stop accepting, let in-flight jobs finish within ``grace_s``,
-        then take the pool down (kill anything still running)."""
+        then take the pool down (kill anything still running).
+
+        While ``_closing`` is set the scheduler keeps dispatching the
+        already-accepted queue and delivering results; it only refuses
+        *new* submissions.  So the grace loop here normally observes the
+        pool go idle with every future resolved, and the failure path
+        below only fires for jobs that truly outlived the grace window.
+        """
         self._closing.set()
         self._wake()
         deadline = time.monotonic() + grace_s
@@ -301,15 +319,14 @@ class WorkerPool:
             workers, self._workers = self._workers, []
             pending, self._pending = list(self._pending), collections.deque()
         for _, _, future, _ in pending:
-            if not future.done():
-                future.set_exception(RuntimeError("pool shut down"))
+            _fail_future(future, RuntimeError("pool shut down"))
         for worker in workers:
             try:
                 worker.conn.send(None)
             except (OSError, ValueError):
                 pass
-            if worker.busy and worker.future is not None and not worker.future.done():
-                worker.future.set_exception(RuntimeError("pool shut down"))
+            if worker.future is not None:
+                _fail_future(worker.future, RuntimeError("pool shut down"))
         for worker in workers:
             worker.proc.join(1.0)
             if worker.proc.is_alive():
@@ -330,10 +347,10 @@ class WorkerPool:
             raise RuntimeError("pool is shutting down")
         future: Future = Future()
         job_id = next(self._job_ids)
+        if deadline_s is None:
+            deadline_s = self.deadline_s
         with self._lock:
-            self._pending.append(
-                (job_id, job, future, deadline_s or self.deadline_s)
-            )
+            self._pending.append((job_id, job, future, deadline_s))
         self._wake()
         return future
 
@@ -346,16 +363,26 @@ class WorkerPool:
     # -- the scheduler thread -------------------------------------------
 
     def _scheduler(self) -> None:
-        while not self._closing.is_set():
+        while True:
             self._dispatch()
+            closing = self._closing.is_set()
             waitables: list[Any] = [self._wake_r]
             timeout = 0.5
             now = time.monotonic()
             with self._lock:
+                busy = sum(1 for w in self._workers if w.busy)
+                pending = len(self._pending)
+                alive = len(self._workers)
                 for worker in self._workers:
                     waitables.append(worker.conn.recv_conn)
                     if worker.busy and worker.deadline is not None:
                         timeout = min(timeout, max(0.0, worker.deadline - now))
+            if closing and busy == 0 and (pending == 0 or alive == 0):
+                # Draining is done: every dispatched job delivered its
+                # result (or its worker died and the future failed), and
+                # nothing dispatchable remains.  shutdown() fails whatever
+                # is left and reaps the processes.
+                break
             try:
                 ready = _connection_wait(waitables, timeout=timeout)
             except OSError:
@@ -372,40 +399,44 @@ class WorkerPool:
                     continue
                 self._on_worker_message(conn)
             self._reap_overdue()
-        # Drain pass on the way out: deliver results that raced the close.
-        with self._lock:
-            busy = [w for w in self._workers if w.busy]
-        for worker in busy:
-            try:
-                if worker.conn.recv_conn.poll(0.01):
-                    self._on_worker_message(worker.conn.recv_conn)
-            except (EOFError, OSError):
-                pass
 
     def _dispatch(self) -> None:
-        with self._lock:
-            for worker in self._workers:
-                if not self._pending:
-                    break
-                if worker.busy:
-                    continue
-                job_id, job, future, deadline_s = self._pending.popleft()
-                if future.cancelled():
-                    continue
-                try:
-                    worker.conn.send((job_id, job))
-                except (OSError, ValueError):
-                    # Worker died while idle: respawn and retry the job.
-                    self._pending.appendleft((job_id, job, future, deadline_s))
-                    self._replace(worker, count_restart=True)
-                    continue
-                worker.job_id = job_id
-                worker.future = future
-                worker.deadline = (
-                    time.monotonic() + deadline_s
-                    if deadline_s is not None
-                    else None
-                )
+        # Loop of passes: each pass assigns pending jobs under the lock;
+        # workers found dead are replaced *after* the lock is released
+        # (_replace takes the lock itself, and mutates self._workers),
+        # then one more pass lets the replacements pick up requeued jobs.
+        while True:
+            dead: list[_Worker] = []
+            with self._lock:
+                for worker in self._workers:
+                    if not self._pending:
+                        break
+                    if worker.busy:
+                        continue
+                    job_id, job, future, deadline_s = self._pending.popleft()
+                    if future.cancelled():
+                        continue
+                    try:
+                        worker.conn.send((job_id, job))
+                    except (OSError, ValueError):
+                        # Worker died while idle: requeue the job and
+                        # respawn once we are outside the lock.
+                        self._pending.appendleft(
+                            (job_id, job, future, deadline_s)
+                        )
+                        dead.append(worker)
+                        continue
+                    worker.job_id = job_id
+                    worker.future = future
+                    worker.deadline = (
+                        time.monotonic() + deadline_s
+                        if deadline_s is not None
+                        else None
+                    )
+            if not dead:
+                return
+            for worker in dead:
+                self._replace(worker, count_restart=True)
 
     def _on_worker_message(self, conn) -> None:
         from repro import obs
@@ -447,7 +478,7 @@ class WorkerPool:
         self._replace(worker, count_restart=True)
         if future is not None and not future.done():
             self.crashes += 1
-            future.set_exception(WorkerCrash(exitcode))
+            _fail_future(future, WorkerCrash(exitcode))
 
     def _reap_overdue(self) -> None:
         now = time.monotonic()
@@ -468,9 +499,11 @@ class WorkerPool:
             self._replace(worker, count_restart=True)
             if future is not None and not future.done():
                 self.timeouts += 1
-                future.set_exception(WorkerTimeout(deadline_s or 0.0))
+                _fail_future(future, WorkerTimeout(deadline_s or 0.0))
 
     def _replace(self, worker: _Worker, count_restart: bool) -> None:
+        # Takes self._lock (non-reentrant): callers MUST NOT hold it —
+        # collect dead workers under the lock, replace after releasing.
         from repro import obs
 
         try:

@@ -5,6 +5,8 @@ failure mode is deterministic and each test stays fast.
 """
 
 import concurrent.futures
+import threading
+import time
 
 import pytest
 
@@ -112,6 +114,48 @@ class TestCrashOnly:
         for future in healthy:
             assert future.result(timeout=30)["pid"]
 
+    def test_idle_dead_worker_is_replaced_without_deadlock(self):
+        # Regression: _dispatch used to call _replace while still holding
+        # the pool lock (a non-reentrant Lock) when sending to an
+        # idle-dead worker failed — wedging the scheduler thread forever.
+        # Drive _dispatch directly against a pre-killed idle worker and
+        # require it to return and respawn.
+        pool = WorkerPool(workers=1)
+        try:
+            victim = pool._spawn()
+            pool._workers.append(victim)
+            victim.proc.kill()
+            victim.proc.join()
+            pool.submit(dict(PROBE))
+            done = threading.Event()
+
+            def run():
+                pool._dispatch()
+                done.set()
+
+            thread = threading.Thread(target=run, daemon=True)
+            thread.start()
+            assert done.wait(20), "_dispatch deadlocked on an idle-dead worker"
+            assert pool.restarts == 1
+            assert victim not in pool._workers
+            assert len(pool._workers) == 1  # the replacement
+        finally:
+            pool.shutdown(grace_s=0.2)
+
+    def test_idle_crash_recovers_end_to_end(self, pool):
+        # The scheduler route for the same failure: kill a worker while it
+        # sits idle between jobs, then keep submitting — the pool must
+        # keep serving (no wedge, no lost jobs).
+        pids = {pool.submit(dict(PROBE)).result(timeout=30)["pid"]}
+        victims = list(pool._workers)
+        for worker in victims:
+            worker.proc.kill()
+        for worker in victims:
+            worker.proc.join()  # fully dead before the next dispatch
+        for _ in range(4):
+            pids.add(pool.submit(dict(PROBE)).result(timeout=30)["pid"])
+        assert pool.snapshot()["alive"] >= 1
+
     def test_deadline_reaps_a_wedged_worker(self, make_pool, tmp_path):
         arm("serve.worker:timeout:times=1,delay=60", tmp_path)
         pool = make_pool(workers=1, deadline_s=0.5)
@@ -132,6 +176,38 @@ class TestShutdown:
         pool.shutdown(grace_s=1.0)
         with pytest.raises(RuntimeError, match="shutting down"):
             pool.submit(dict(PROBE))
+
+    def test_shutdown_grace_delivers_inflight_results(self, tmp_path):
+        # Regression: setting _closing used to stop the scheduler loop
+        # immediately, so a job that finished *during* the grace window
+        # had no one to deliver its result — shutdown spun the full
+        # grace, then failed an already-completed job with "pool shut
+        # down".  Now the scheduler keeps draining while closing.
+        arm("serve.worker:timeout:times=1,delay=0.4", tmp_path)
+        pool = WorkerPool(workers=1)
+        pool.start()
+        try:
+            slow = pool.submit(dict(PROBE))
+            t0 = time.monotonic()
+            pool.shutdown(grace_s=30.0)
+            took = time.monotonic() - t0
+            assert slow.result(timeout=5)["pid"]  # delivered, not discarded
+            assert took < 10  # went idle after the job, not the full grace
+        finally:
+            pool.shutdown(grace_s=0.2)
+
+    def test_shutdown_dispatches_queued_jobs_within_grace(self):
+        # Jobs accepted before shutdown but not yet dispatched are still
+        # run and delivered inside the grace window.
+        pool = WorkerPool(workers=1)
+        pool.start()
+        try:
+            futures = [pool.submit(dict(PROBE)) for _ in range(4)]
+            pool.shutdown(grace_s=30.0)
+            for future in futures:
+                assert future.result(timeout=5)["pid"]
+        finally:
+            pool.shutdown(grace_s=0.2)
 
     def test_snapshot_shape(self, pool):
         snap = pool.snapshot()
